@@ -1,0 +1,63 @@
+"""T3 — stepwise regression of the execution-time error (Section IV-D).
+
+Paper findings reproduced:
+
+* a handful of HW PMC events predict the gem5 error with R^2 ~= 0.97
+  (seven events; the best single predictor is PC_WRITE_SPEC);
+* gem5's own statistics do slightly better (eight events, R^2 ~= 0.99);
+* every accepted term satisfies the p < 0.05 rule.
+"""
+
+from benchmarks.conftest import paper_row, print_header
+from repro.core.error_id import error_regression
+
+
+def test_error_regression_from_hw_pmcs(benchmark, gs_a15):
+    dataset = gs_a15.dataset
+    freq = gs_a15.config.analysis_freq_hz
+
+    regression = benchmark(
+        lambda: error_regression(dataset, freq, source="hw", max_terms=8)
+    )
+
+    print_header("T3: stepwise regression of the time error (HW PMCs)")
+    print(paper_row("R^2 / adjusted R^2", "0.97 / 0.97",
+                    f"{regression.r2:.3f} / {regression.adjusted_r2:.3f}"))
+    print(paper_row("events selected", "7", str(len(regression.selected))))
+    print(paper_row("best single predictor", "0x76 PC_WRITE_SPEC (total)",
+                    regression.best_predictor))
+    for step in regression.stepwise.steps:
+        print(f"    + {step.added:<40s} R^2 -> {step.r2:.3f}")
+
+    assert regression.r2 > 0.9
+    assert 2 <= len(regression.selected) <= 8
+    assert regression.stepwise.model.max_p_value() <= 0.05
+    # Branch/speculation events carry the error signal, as in the paper
+    # (whose selection leads with PC_WRITE_SPEC and includes BR_RETURN_SPEC
+    # and LDREX_SPEC alongside memory events).
+    assert any(
+        any(token in name for token in
+            ("PC_WRITE", "BR_", "0x12", "0x76", "0x78", "0x10", "0x1B", "LDREX",
+             "TLB", "SPEC"))
+        for name in regression.selected
+    ), regression.selected
+
+
+def test_error_regression_from_gem5_stats(benchmark, gs_a15):
+    dataset = gs_a15.dataset
+    freq = gs_a15.config.analysis_freq_hz
+
+    regression = benchmark(
+        lambda: error_regression(dataset, freq, source="gem5", max_terms=8)
+    )
+
+    print_header("T3: stepwise regression of the time error (gem5 stats)")
+    print(paper_row("R^2", "0.99", f"{regression.r2:.3f}"))
+    print(paper_row("events selected", "8", str(len(regression.selected))))
+    print("    selected: " + ", ".join(regression.selected))
+
+    assert regression.r2 > 0.93
+    hw = error_regression(dataset, freq, source="hw", max_terms=8)
+    assert regression.r2 >= hw.r2 - 0.05, (
+        "gem5's own stats explain its error about as well as HW PMCs"
+    )

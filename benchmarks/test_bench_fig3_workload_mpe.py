@@ -1,0 +1,72 @@
+"""Fig. 3 — per-workload execution-time MPE, ordered by HCA cluster.
+
+Paper observations reproduced:
+
+1. the MPE varies significantly between workloads;
+2. workloads of the same cluster exhibit similar MPEs;
+3. workloads with extreme MPEs isolate into (near-)singleton clusters;
+4. the worst workload is ``par-basicmath-rad2deg`` (MPE -268 % at 1 GHz).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import paper_row, print_header
+from repro.core.error_id import cluster_workloads
+from repro.core.report import render_workload_mpe_figure
+
+
+def test_fig3_workload_mpe_by_cluster(benchmark, gs_a15):
+    dataset = gs_a15.dataset
+    freq = gs_a15.config.analysis_freq_hz
+
+    analysis = benchmark(
+        lambda: cluster_workloads(dataset, freq, n_clusters=16)
+    )
+
+    print_header("Fig. 3: per-workload MPE by HCA cluster (A15 @ 1 GHz)")
+    print(render_workload_mpe_figure(analysis))
+
+    name, cluster, error = analysis.extreme_workload()
+    print(paper_row("worst workload", "par-basicmath-rad2deg -268%",
+                    f"{name} {error:+.0f}%"))
+
+    # Observation 1: wide MPE spread.
+    assert analysis.errors.max() - analysis.errors.min() > 100
+
+    # Observation 2: within-cluster MPE spread is smaller than the global
+    # spread for most clusters.
+    global_std = float(np.std(analysis.errors))
+    labels = np.asarray(analysis.clusters.labels)
+    tighter = 0
+    multi = 0
+    for c in range(1, analysis.clusters.n_clusters + 1):
+        members = analysis.errors[labels == c]
+        if len(members) >= 2:
+            multi += 1
+            if float(np.std(members)) < global_std:
+                tighter += 1
+    assert tighter >= 0.7 * multi
+
+    # Observations 3 and 4: the extreme workload is the paper's, isolated.
+    assert name in ("par-basicmath-rad2deg", "par-basicmath-deg2rad")
+    assert error < -150
+    assert len(analysis.clusters.members(cluster)) <= 3
+
+
+def test_fig3_cluster_mpe_spread(benchmark, gs_a15):
+    """Cluster-level annotations like the paper's '+47 %', '-66 %', '-3 %'."""
+    dataset = gs_a15.dataset
+    freq = gs_a15.config.analysis_freq_hz
+    analysis = cluster_workloads(dataset, freq, n_clusters=16)
+
+    table = benchmark(analysis.cluster_mpe)
+
+    print_header("Fig. 3 annotations: per-cluster MPE")
+    for cluster, value in sorted(table.items()):
+        members = analysis.clusters.members(cluster)
+        print(f"  cluster {cluster:>2d} ({len(members):>2d} wl): {value:+7.1f}%   "
+              f"e.g. {members[0]}")
+    values = list(table.values())
+    # Both positive and strongly negative clusters exist, as in Fig. 3.
+    assert max(values) > 0
+    assert min(values) < -60

@@ -1,0 +1,69 @@
+"""Fig. 4 — lmbench memory latency (stride 256) on hardware vs model.
+
+Paper findings reproduced:
+
+* the model's DRAM latency is too low (both clusters);
+* the gem5 Cortex-A7 L2 hit latency is too high;
+* the L1 regions match closely.
+"""
+
+from benchmarks.conftest import paper_row, print_header
+from repro.sim.machine import (
+    gem5_ex5_big,
+    gem5_ex5_little,
+    hardware_a7,
+    hardware_a15,
+)
+from repro.workloads.microbench import memory_latency_sweep
+
+SIZES = (4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384)
+
+
+def _curve(machine):
+    return memory_latency_sweep(machine, sizes_kb=SIZES, n_instrs=30_000)
+
+
+def test_fig4_memory_latency_a15(benchmark):
+    hw = _curve(hardware_a15())
+    model = benchmark(lambda: _curve(gem5_ex5_big()))
+
+    print_header("Fig. 4: lat_mem_rd stride 256 (A15)")
+    print(f"  {'size':>10s} {'HW ns':>8s} {'model ns':>9s}")
+    for h, m in zip(hw, model):
+        print(f"  {h.size_kb:>7d}KiB {h.ns_per_access:>8.1f} {m.ns_per_access:>9.1f}")
+
+    l1_hw, l1_model = hw[1].ns_per_access, model[1].ns_per_access
+    dram_hw, dram_model = hw[-1].ns_per_access, model[-1].ns_per_access
+    print(paper_row("L1 region", "model ~= HW", f"{l1_model:.1f} vs {l1_hw:.1f} ns"))
+    print(paper_row("DRAM region", "model < HW (too low)",
+                    f"{dram_model:.1f} vs {dram_hw:.1f} ns"))
+
+    assert abs(l1_model - l1_hw) / l1_hw < 0.2, "L1 latencies must match"
+    assert dram_model < 0.85 * dram_hw, "model DRAM latency must be too low"
+
+
+def test_fig4_memory_latency_a7(benchmark):
+    hw = _curve(hardware_a7())
+    model = benchmark(lambda: _curve(gem5_ex5_little()))
+
+    print_header("Fig. 4: lat_mem_rd stride 256 (A7)")
+    print(f"  {'size':>10s} {'HW ns':>8s} {'model ns':>9s}")
+    for h, m in zip(hw, model):
+        print(f"  {h.size_kb:>7d}KiB {h.ns_per_access:>8.1f} {m.ns_per_access:>9.1f}")
+
+    # L2-resident probe (between 32 KiB L1 and 512 KiB L2).
+    l2_index = SIZES.index(256)
+    l2_hw = hw[l2_index].ns_per_access
+    l2_model = model[l2_index].ns_per_access
+    print(paper_row("A7 L2 region", "model > HW (too high)",
+                    f"{l2_model:.1f} vs {l2_hw:.1f} ns"))
+    print(paper_row("A7 DRAM region", "model < HW (too low)",
+                    f"{model[-1].ns_per_access:.1f} vs {hw[-1].ns_per_access:.1f} ns"))
+
+    assert l2_model > 1.3 * l2_hw, "A7 model L2 latency must be too high"
+    assert model[-1].ns_per_access < 0.8 * hw[-1].ns_per_access
+
+    # Both curves are monotone staircases in array size.
+    for curve in (hw, model):
+        values = [p.ns_per_access for p in curve]
+        assert all(b >= a - 0.5 for a, b in zip(values, values[1:]))

@@ -1,0 +1,100 @@
+"""Fig. 7 — power and energy error of the gem5-driven estimates.
+
+Paper numbers reproduced in shape (A15, 45 workloads):
+
+* power MPE +3.3 %, MAPE 10 % — small despite large event errors, because
+  the dominant components (intercept, 0x11 rate) are well modelled and the
+  others partially cancel;
+* energy MPE -43.6 %, MAPE 50 % — energy inherits the execution-time error;
+* per-cluster energy MAPE spans two orders of magnitude (0.6 % .. 266 %);
+* Cortex-A7: power -5.48 % / 7.97 %, energy +5.85 % / 14.6 %.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import paper_row, print_header
+from repro.core.energy import compare_power_energy
+from repro.core.report import render_power_energy_figure
+
+
+def test_fig7_a15_power_energy(benchmark, gs_a15):
+    comparison = benchmark.pedantic(
+        lambda: compare_power_energy(
+            gs_a15.dataset, gs_a15.application, gs_a15.workload_clusters
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print_header("Fig. 7: A15 power/energy error of gem5-driven estimates")
+    print(render_power_energy_figure(comparison))
+    print(paper_row("power MPE / MAPE", "+3.3% / 10%",
+                    f"{comparison.power_mpe():+.1f}% / {comparison.power_mape():.1f}%"))
+    print(paper_row("energy MPE / MAPE", "-43.6% / 50%",
+                    f"{comparison.energy_mpe():+.1f}% / {comparison.energy_mape():.1f}%"))
+
+    assert abs(comparison.power_mpe()) < 15.0
+    assert comparison.power_mape() < 20.0
+    assert comparison.energy_mpe() < -25.0
+    assert comparison.energy_mape() > 35.0
+    assert comparison.energy_mape() > 2.5 * comparison.power_mape()
+
+    table = comparison.cluster_table()
+    energy_mapes = [row["energy_mape"] for row in table.values()]
+    print(paper_row("cluster energy MAPE range", "0.6% .. 266%",
+                    f"{min(energy_mapes):.1f}% .. {max(energy_mapes):.0f}%"))
+    assert max(energy_mapes) > 100.0
+    assert min(energy_mapes) < 30.0
+
+
+def test_fig7_component_cancellation(benchmark, gs_a15):
+    """Section VI: a cluster can have a tiny power error while individual
+    model inputs are off by large factors, because components cancel."""
+    comparison = compare_power_energy(
+        gs_a15.dataset, gs_a15.application, gs_a15.workload_clusters
+    )
+
+    def analyse():
+        best = min(
+            comparison.cluster_table().items(), key=lambda kv: kv[1]["power_mape"]
+        )
+        hw_parts = comparison.mean_components("hw", cluster=best[0])
+        gem5_parts = comparison.mean_components("gem5", cluster=best[0])
+        return best, hw_parts, gem5_parts
+
+    (best_cluster, stats), hw_parts, gem5_parts = benchmark(analyse)
+    print_header("Fig. 7 detail: component cancellation")
+    print(f"  best cluster {best_cluster}: power MAPE {stats['power_mape']:.1f}%")
+    for key in hw_parts:
+        print(f"    {key:<12s} hw={hw_parts[key]:+.3f} W  gem5={gem5_parts[key]:+.3f} W")
+
+    assert stats["power_mape"] < 8.0
+    # At least one individual component differs by >30 % while the total
+    # power error stays small — the cancellation effect.
+    relative_gaps = [
+        abs(hw_parts[k] - gem5_parts[k]) / max(abs(hw_parts[k]), 1e-6)
+        for k in hw_parts
+        if abs(hw_parts[k]) > 0.005
+    ]
+    assert max(relative_gaps) > 0.3
+
+
+def test_fig7_a7_power_energy(benchmark, gs_a7):
+    comparison = benchmark.pedantic(
+        lambda: compare_power_energy(
+            gs_a7.dataset, gs_a7.application, gs_a7.workload_clusters
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print_header("Fig. 7 (A7 variant): power/energy error")
+    print(paper_row("power MPE / MAPE", "-5.48% / 7.97%",
+                    f"{comparison.power_mpe():+.1f}% / {comparison.power_mape():.1f}%"))
+    print(paper_row("energy MPE / MAPE", "+5.85% / 14.6%",
+                    f"{comparison.energy_mpe():+.1f}% / {comparison.energy_mape():.1f}%"))
+
+    # The A7 errors are far smaller than the A15's (the simpler in-order
+    # model is more accurate).
+    assert comparison.power_mape() < 15.0
+    assert comparison.energy_mape() < 30.0

@@ -1,0 +1,87 @@
+"""Fig. 8 — performance/power/energy scaling across DVFS levels.
+
+Paper findings reproduced:
+
+* A15 mean speedup 1800 vs 600 MHz: 2.7x hardware, 2.9x model — the model,
+  with its too-low DRAM latency, looks more CPU-bound and scales better;
+* the hardware speedup *range* (2.1x-3.2x) is wider than the model's
+  (2.8x-3.0x): the model compresses workload diversity;
+* hardware energy at 1800 MHz is 1.7x-2.3x the 600 MHz energy (mean 1.8x),
+  the model estimates 1.6x-1.9x (mean 1.7x);
+* the modelled A15 performance relative to the A7 is lower than measured.
+"""
+
+from benchmarks.conftest import paper_row, print_header
+from repro.core.energy import big_little_scaling, dvfs_scaling
+from repro.core.report import render_dvfs_figure
+
+TOP = 1800e6
+BOTTOM = 600e6
+
+
+def test_fig8_a15_scaling(benchmark, gs_a15):
+    scaling = benchmark.pedantic(
+        lambda: dvfs_scaling(
+            gs_a15.dataset, gs_a15.application, gs_a15.workload_clusters,
+            base_freq_hz=BOTTOM,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print_header("Fig. 8: A15 scaling normalised to 600 MHz")
+    print(render_dvfs_figure(scaling))
+
+    hw = scaling.speedup_stats(TOP, "hw")
+    gem5 = scaling.speedup_stats(TOP, "gem5")
+    print(paper_row("mean speedup 1800/600 (HW / model)", "2.7x / 2.9x",
+                    f"{hw['mean']:.2f}x / {gem5['mean']:.2f}x"))
+    print(paper_row("HW speedup range", "2.1x - 3.2x",
+                    f"{hw['min']:.2f}x - {hw['max']:.2f}x"))
+    print(paper_row("model speedup range", "2.8x - 3.0x",
+                    f"{gem5['min']:.2f}x - {gem5['max']:.2f}x"))
+
+    clock_ratio = TOP / BOTTOM  # 3.0
+    assert 1.5 < hw["mean"] < clock_ratio
+    assert gem5["mean"] > hw["mean"], "model must scale better (DRAM too low)"
+    hw_range = hw["max"] - hw["min"]
+    gem5_range = gem5["max"] - gem5["min"]
+    assert gem5_range < hw_range, "model must compress scaling diversity"
+
+    hw_energy = scaling.energy_stats(TOP, "hw")
+    gem5_energy = scaling.energy_stats(TOP, "gem5")
+    print(paper_row("HW energy increase", "1.7x - 2.3x (mean 1.8x)",
+                    f"{hw_energy['min']:.2f}x - {hw_energy['max']:.2f}x "
+                    f"(mean {hw_energy['mean']:.2f}x)"))
+    print(paper_row("model energy increase", "1.6x - 1.9x (mean 1.7x)",
+                    f"{gem5_energy['min']:.2f}x - {gem5_energy['max']:.2f}x "
+                    f"(mean {gem5_energy['mean']:.2f}x)"))
+    assert 1.2 < hw_energy["mean"] < 3.0
+    assert hw_energy["mean"] > 1.0 and gem5_energy["mean"] > 1.0
+
+
+def test_fig8_big_little_relative_performance(benchmark, gs_a15, gs_a7):
+    """'the modelled Cortex-A15 performance is lower, with respect to the
+    Cortex-A7, than measured from HW'."""
+    comparison = benchmark.pedantic(
+        lambda: big_little_scaling(gs_a7.dataset, gs_a15.dataset),
+        rounds=1,
+        iterations=1,
+    )
+
+    print_header("Fig. 8 detail: A15 performance relative to A7 @ 200 MHz")
+    print(f"  {'OPP':>10s} {'HW':>8s} {'model':>8s}")
+    for freq in sorted(comparison.relative_performance["hw"]):
+        hw = comparison.relative_performance["hw"][freq]
+        gem5 = comparison.relative_performance["gem5"][freq]
+        print(f"  {freq / 1e6:>7.0f}MHz {hw:>7.2f}x {gem5:>7.2f}x")
+
+    deficit = comparison.a15_deficit()
+    print(paper_row("A15 relative-performance deficit (hw - model)",
+                    "positive", f"{deficit:+.2f}x mean"))
+    assert deficit > 0, "the buggy model under-rates the A15 vs the A7"
+
+    # The A15 at its top OPP outruns the A7 base OPP by a large factor on
+    # both hardware and model.
+    top = max(comparison.relative_performance["hw"])
+    assert comparison.relative_performance["hw"][top] > 5.0

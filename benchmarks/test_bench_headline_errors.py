@@ -1,0 +1,78 @@
+"""T1 — headline execution-time errors (Sections I and IV).
+
+Paper numbers reproduced in shape:
+
+* PARSEC subset, both clusters, all DVFS levels: MAPE 25.5 %, MPE -7.5 %
+* full 45-workload set, both clusters, all levels: MAPE 40 %, MPE -21 %
+* Cortex-A7 model at 1 GHz: MAPE 20 %, MPE +8.5 %
+* Cortex-A15 model at 1 GHz: MAPE 59 %, MPE -51 %
+"""
+
+import numpy as np
+
+from benchmarks.conftest import ANALYSIS_FREQ, paper_row, print_header
+
+
+def _combined(datasets, suites=None):
+    hw, gem5 = [], []
+    for dataset in datasets:
+        runs = dataset.runs
+        if suites is not None:
+            runs = [r for r in runs if r.suite in suites]
+        hw.extend(r.hw_time for r in runs)
+        gem5.extend(r.gem5_time for r in runs)
+    hw, gem5 = np.asarray(hw), np.asarray(gem5)
+    pe = (hw - gem5) / hw * 100.0
+    return float(np.abs(pe).mean()), float(pe.mean())
+
+
+def test_headline_execution_time_errors(benchmark, gs_a15, gs_a7):
+    a15, a7 = gs_a15.dataset, gs_a7.dataset
+
+    def analyse():
+        return {
+            "parsec": _combined([a15, a7], suites=("parsec",)),
+            "all": _combined([a15, a7]),
+            "a7_1ghz": (a7.time_mape(ANALYSIS_FREQ), a7.time_mpe(ANALYSIS_FREQ)),
+            "a15_1ghz": (a15.time_mape(ANALYSIS_FREQ), a15.time_mpe(ANALYSIS_FREQ)),
+        }
+
+    result = benchmark(analyse)
+
+    print_header("T1: headline execution-time errors")
+    print(paper_row("PARSEC (both clusters, all OPPs) MAPE/MPE",
+                    "25.5% / -7.5%",
+                    f"{result['parsec'][0]:.1f}% / {result['parsec'][1]:+.1f}%"))
+    print(paper_row("45 workloads (both clusters, all OPPs)",
+                    "40% / -21%",
+                    f"{result['all'][0]:.1f}% / {result['all'][1]:+.1f}%"))
+    print(paper_row("Cortex-A7 model @ 1 GHz",
+                    "20% / +8.5%",
+                    f"{result['a7_1ghz'][0]:.1f}% / {result['a7_1ghz'][1]:+.1f}%"))
+    print(paper_row("Cortex-A15 model @ 1 GHz",
+                    "59% / -51%",
+                    f"{result['a15_1ghz'][0]:.1f}% / {result['a15_1ghz'][1]:+.1f}%"))
+
+    # Shape assertions: signs and orderings from the paper.
+    assert result["a15_1ghz"][1] < -25, "A15 model must overestimate time"
+    assert result["a7_1ghz"][1] > 0, "A7 model must underestimate time"
+    assert result["a15_1ghz"][0] > result["a7_1ghz"][0], "A15 model less accurate"
+    assert abs(result["parsec"][1]) < abs(result["all"][1]) + 15, (
+        "PARSEC-only MPE is milder than the diverse 45-workload MPE"
+    )
+
+
+def test_mpe_becomes_more_positive_with_frequency(benchmark, gs_a15, gs_a7):
+    """'the MPE on both the Cortex-A7 and Cortex-A15 becomes gradually more
+    positive with frequency'."""
+    def analyse():
+        return {
+            "A15": [gs_a15.dataset.time_mpe(f) for f in gs_a15.dataset.frequencies],
+            "A7": [gs_a7.dataset.time_mpe(f) for f in gs_a7.dataset.frequencies],
+        }
+
+    result = benchmark(analyse)
+    print_header("T1b: MPE vs frequency")
+    for core, series in result.items():
+        print(f"  {core}: " + " -> ".join(f"{v:+.1f}%" for v in series))
+        assert series[-1] > series[0], f"{core} MPE must grow with frequency"

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Building an empirical PMC power model, Section V style.
+
+Walks the full Powmon-derived workflow:
+
+1. characterise power and PMC rates over the 65-workload set and the DVFS
+   sweep (Experiments 3 and 4);
+2. select model events by stepwise adjusted-R^2 with a VIF restraint, once
+   unrestricted and once restricted to events with reliable gem5
+   equivalents (the paper's restraint pools);
+3. fit per-OPP models, validate against the platform, and compare against
+   a McPAT-style analytical baseline;
+4. emit the run-time power equations GemStone would splice into gem5.
+
+Run:  python examples/build_power_model.py
+"""
+
+import numpy as np
+
+from repro.core.power_model import (
+    PowerModelApplication,
+    PowerModelBuilder,
+    collect_power_dataset,
+    restraint_pool_gem5,
+)
+from repro.core.report import render_power_model_summary
+from repro.power_baselines.mcpat_like import McPatLikeModel
+from repro.sim.platform import HardwarePlatform
+from repro.workloads.suites import power_modelling_workloads
+
+CORE = "A15"
+
+platform = HardwarePlatform(CORE, trace_instructions=20_000)
+workloads = power_modelling_workloads()[::2]  # half the set, for speed
+print(f"Characterising {len(workloads)} workloads across the DVFS sweep...")
+observations = collect_power_dataset(platform, workloads)
+print(f"  {len(observations)} (workload, OPP) power observations\n")
+
+# --- Unrestricted vs gem5-restrained selection ------------------------------
+for label, excluded in (
+    ("unrestricted", frozenset()),
+    ("gem5-restrained", restraint_pool_gem5(CORE)),
+):
+    builder = PowerModelBuilder(CORE, excluded_events=excluded, max_terms=7)
+    model = builder.fit(observations)
+    print(f"[{label}]")
+    print(render_power_model_summary(model))
+    print()
+    if excluded:
+        final_model = model
+
+# --- Against the analytical baseline ----------------------------------------
+mcpat = McPatLikeModel(CORE)
+apes = []
+for obs in observations:
+    rates = {
+        "cycles": obs.rates[0x11],
+        "instructions": obs.rates[0x08],
+        "l1_accesses": obs.rates[0x04] + obs.rates[0x14],
+        "l2_accesses": obs.rates[0x16],
+        "dram_accesses": obs.rates[0x19],
+        "fp_ops": obs.rates.get(0x75, 0.0) + obs.rates.get(0x74, 0.0),
+    }
+    predicted = mcpat.estimate(rates, obs.voltage, obs.freq_hz, obs.threads)
+    apes.append(abs(obs.power_w - predicted) / obs.power_w * 100.0)
+print(
+    f"McPAT-style analytical baseline MAPE: {np.mean(apes):.1f}% "
+    f"(vs {final_model.quality.mape:.2f}% for the fitted empirical model)\n"
+)
+
+# --- Application + runtime equations ----------------------------------------
+application = PowerModelApplication(final_model, platform.opps)
+sample = platform.characterize(workloads[0], 1400e6)
+estimate = application.apply_to_hw(sample)
+print(
+    f"Sanity: {sample.workload} @ 1400 MHz — sensor {sample.power_w:.3f} W, "
+    f"model {estimate.power_w:.3f} W"
+)
+print("\nRun-time power equations for gem5 (Fig. 2 output):")
+print(final_model.gem5_equations())

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Quickstart: validate a gem5 CPU model against reference hardware.
+
+Runs the complete GemStone flow for the Cortex-A15 cluster — characterise
+the hardware platform, run the (pre-bug-fix) ``ex5_big`` gem5 model on the
+same workloads, and print the execution-time error analysis plus the key
+source-of-error findings.
+
+A reduced workload set and short traces keep this under a minute; drop the
+``workloads=``/``trace_instructions=`` overrides to reproduce the paper's
+full 45-workload evaluation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import GemStone, GemStoneConfig
+from repro.core.report import render_workload_mpe_figure
+from repro.workloads.suites import validation_workloads
+
+# A representative slice of the validation suite (every third workload).
+workloads = tuple(validation_workloads()[::3])
+
+gemstone = GemStone(
+    GemStoneConfig(
+        core="A15",
+        workloads=workloads,
+        power_workloads=workloads,
+        trace_instructions=20_000,
+        n_workload_clusters=8,
+    )
+)
+
+# --- Execution-time accuracy (the Section IV headline) ---------------------
+dataset = gemstone.dataset
+print("Execution-time error of the gem5 ex5_big model vs hardware:")
+for freq in dataset.frequencies:
+    print(
+        f"  {freq / 1e6:>6.0f} MHz: MAPE {dataset.time_mape(freq):5.1f}%  "
+        f"MPE {dataset.time_mpe(freq):+6.1f}%"
+    )
+print(
+    "  (negative MPE = the model overestimates execution time, "
+    "as the paper finds for the pre-fix A15 model)\n"
+)
+
+# --- Fig. 3: workload clusters and their errors ----------------------------
+print(render_workload_mpe_figure(gemstone.workload_clusters))
+print()
+
+# --- Source-of-error identification -----------------------------------------
+correlation = gemstone.pmc_correlation
+print("Strongest HW-PMC correlations with the time error (Fig. 5):")
+for name, corr, cluster in correlation.strongest(6):
+    print(f"  {name:<28s} r={corr:+.2f}  (event cluster {cluster})")
+print()
+
+regression = gemstone.regression("hw")
+print(
+    f"Stepwise error regression (Section IV-D): R^2={regression.r2:.3f} "
+    f"from {len(regression.selected)} events:"
+)
+for name in regression.selected:
+    print(f"  {name}")
+print()
+
+# --- Branch predictor: the key source of error ------------------------------
+hw_acc, gem5_acc = gemstone.event_comparison.mean_bp_accuracy()
+extreme = gemstone.event_comparison.extreme_bp_workload()
+print(
+    f"Branch predictor accuracy: hardware {hw_acc:.1%} vs model {gem5_acc:.1%}"
+)
+print(
+    f"Most inverted workload: {extreme.workload} "
+    f"(hardware {extreme.hw_accuracy:.2%}, model {extreme.gem5_accuracy:.2%})"
+)

@@ -1,0 +1,28 @@
+"""repro — a reproduction of "Hardware-Validated CPU Performance and Energy
+Modelling" (Walker et al., ISPASS 2018): the GemStone methodology and tool.
+
+Public API highlights:
+
+* :class:`repro.GemStone` / :class:`repro.GemStoneConfig` — the end-to-end
+  evaluation facade (characterise hardware, run the gem5 model, identify
+  error sources, build power models, quantify power/energy error).
+* :mod:`repro.sim` — the reference hardware platform and the gem5-style
+  model simulations.
+* :mod:`repro.workloads` — the 65-workload synthetic suite catalog.
+* :mod:`repro.core` — the statistical methodology (HCA, correlation,
+  stepwise regression, Powmon-style power modelling).
+
+Quickstart::
+
+    from repro import GemStone, GemStoneConfig
+
+    gs = GemStone(GemStoneConfig(core="A15", trace_instructions=20_000))
+    print(gs.dataset.time_mpe(1.0e9))   # headline MPE at 1 GHz
+    print(gs.report())
+"""
+
+from repro.core.pipeline import GemStone, GemStoneConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["GemStone", "GemStoneConfig", "__version__"]

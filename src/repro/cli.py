@@ -1,0 +1,289 @@
+"""The ``gemstone`` command-line tool.
+
+Mirrors the workflow of the paper's released software::
+
+    gemstone report --core A15 --model gem5-ex5-big      # full evaluation
+    gemstone headline --core A15                         # exec-time errors
+    gemstone lmbench --machine gem5-ex5-little           # Fig. 4 sweep
+    gemstone power-model --core A15                      # Section V model
+    gemstone bp-fix                                      # Section VII swing
+
+All commands are offline and deterministic; ``--instructions`` trades
+fidelity for speed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.pipeline import GemStone, GemStoneConfig
+from repro.core.report import (
+    render_dvfs_figure,
+    render_event_ratio_table,
+    render_pmc_correlation_figure,
+    render_power_energy_figure,
+    render_power_model_summary,
+    render_workload_characterisation,
+    render_workload_mpe_figure,
+    text_table,
+)
+from repro.sim.machine import machine_by_name
+from repro.workloads.microbench import memory_latency_sweep
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--core", choices=("A7", "A15"), default="A15")
+    parser.add_argument(
+        "--instructions",
+        type=int,
+        default=60_000,
+        help="trace length per workload (lower = faster, coarser)",
+    )
+    parser.add_argument("--model", default=None, help="gem5 machine name")
+    parser.add_argument("--out", default=None, help="write output to a file")
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for on-disk simulation-result caching",
+    )
+
+
+def _gemstone(args: argparse.Namespace) -> GemStone:
+    return GemStone(
+        GemStoneConfig(
+            core=args.core,
+            gem5_machine=args.model,
+            trace_instructions=args.instructions,
+            cache_dir=getattr(args, "cache_dir", None),
+        )
+    )
+
+
+def _emit(text: str, out: str | None) -> None:
+    if out:
+        with open(out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {out}")
+    else:
+        print(text)
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Print or write the full GemStone evaluation report."""
+    _emit(_gemstone(args).report(), args.out)
+    return 0
+
+
+def cmd_headline(args: argparse.Namespace) -> int:
+    """Print the execution-time MAPE/MPE table per OPP."""
+    gs = _gemstone(args)
+    dataset = gs.dataset
+    rows = [
+        [f"{f / 1e6:.0f} MHz", dataset.time_mape(f), dataset.time_mpe(f)]
+        for f in dataset.frequencies
+    ]
+    rows.append(["ALL", dataset.time_mape(), dataset.time_mpe()])
+    _emit(
+        text_table(
+            ["frequency", "time MAPE %", "time MPE %"],
+            rows,
+            title=f"{dataset.gem5_model} vs hardware {args.core}",
+        ),
+        args.out,
+    )
+    return 0
+
+
+def cmd_lmbench(args: argparse.Namespace) -> int:
+    """Print the Fig. 4 memory-latency sweep for one machine."""
+    machine = machine_by_name(args.machine)
+    points = memory_latency_sweep(machine, stride_b=args.stride)
+    rows = [[f"{p.size_kb} KiB", p.ns_per_access] for p in points]
+    _emit(
+        text_table(
+            ["array size", "ns / access"],
+            rows,
+            title=f"lat_mem_rd (stride {args.stride}) on {machine.name}",
+        ),
+        args.out,
+    )
+    return 0
+
+
+def cmd_power_model(args: argparse.Namespace) -> int:
+    """Build and summarise the Section V power model."""
+    gs = _gemstone(args)
+    model = gs.build_power_model(restrained=not args.unrestricted)
+    lines = [render_power_model_summary(model)]
+    if args.equations:
+        lines.append("")
+        lines.append(model.gem5_equations())
+    _emit("\n".join(lines), args.out)
+    return 0
+
+
+def cmd_bp_fix(args: argparse.Namespace) -> int:
+    """Compare the pre- and post-BP-fix models (Section VII)."""
+    buggy = _gemstone(args)
+    fixed = buggy.with_machine("gem5-ex5-big-fixed")
+    rows = []
+    for label, gs in (("pre-fix", buggy), ("post-fix", fixed)):
+        dataset = gs.dataset
+        rows.append([label, dataset.gem5_model, dataset.time_mape(), dataset.time_mpe()])
+    _emit(
+        text_table(
+            ["model", "machine", "time MAPE %", "time MPE %"],
+            rows,
+            title="Section VII: effect of the branch-predictor bug fix",
+        ),
+        args.out,
+    )
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    """Regenerate a single paper figure as text."""
+    gs = _gemstone(args)
+    renderers = {
+        "fig3": lambda: render_workload_mpe_figure(gs.workload_clusters),
+        "fig5": lambda: render_pmc_correlation_figure(gs.pmc_correlation),
+        "fig6": lambda: render_event_ratio_table(gs.event_comparison),
+        "fig7": lambda: render_power_energy_figure(gs.power_energy),
+        "fig8": lambda: render_dvfs_figure(gs.dvfs),
+        "characterisation": lambda: render_workload_characterisation(
+            gs.dataset, gs.config.analysis_freq_hz
+        ),
+    }
+    _emit(renderers[args.figure](), args.out)
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    """Export datasets as CSV or the fitted power model as JSON."""
+    from repro.core.model_io import (
+        power_dataset_to_csv,
+        save_power_model,
+        validation_to_csv,
+    )
+
+    gs = _gemstone(args)
+    if args.what == "validation-csv":
+        _emit(validation_to_csv(gs.dataset).rstrip("\n"), args.out)
+    elif args.what == "power-csv":
+        _emit(power_dataset_to_csv(gs.power_dataset).rstrip("\n"), args.out)
+    else:  # power-model
+        if not args.out:
+            raise SystemExit("--out FILE required for power-model export")
+        save_power_model(gs.power_model, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_runtime_power(args: argparse.Namespace) -> int:
+    """Print the per-window run-time power trace of one workload."""
+    from repro.core.runtime_power import (
+        compile_equations,
+        mean_power,
+        runtime_power_trace,
+        trace_energy,
+    )
+    from repro.workloads.suites import workload_by_name
+
+    gs = _gemstone(args)
+    equations = compile_equations(gs.power_model.gem5_equations())
+    profile = workload_by_name(args.workload)
+    freq = args.freq_mhz * 1e6
+    samples = runtime_power_trace(
+        gs.gem5, profile, freq, equations, n_windows=args.windows
+    )
+    rows = [
+        [f"{s.start_seconds:.3f}s", f"{s.duration_seconds:.3f}s", s.power_w]
+        for s in samples
+    ]
+    lines = [
+        text_table(
+            ["window start", "duration", "power (W)"],
+            rows,
+            title=(
+                f"Run-time power of {profile.name} on {gs.gem5.machine.name} "
+                f"@ {args.freq_mhz:.0f} MHz"
+            ),
+        ),
+        f"mean power {mean_power(samples):.3f} W, "
+        f"energy {trace_energy(samples):.2f} J",
+    ]
+    _emit("\n".join(lines), args.out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the gemstone argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="gemstone",
+        description="GemStone: validate gem5 CPU models against reference hardware",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("report", help="full evaluation report")
+    _add_common(p)
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("headline", help="execution-time MAPE/MPE table")
+    _add_common(p)
+    p.set_defaults(func=cmd_headline)
+
+    p = sub.add_parser("lmbench", help="memory-latency sweep (Fig. 4)")
+    p.add_argument("--machine", default="gem5-ex5-big")
+    p.add_argument("--stride", type=int, default=256)
+    p.add_argument("--out", default=None)
+    p.set_defaults(func=cmd_lmbench)
+
+    p = sub.add_parser("power-model", help="build the Section V power model")
+    _add_common(p)
+    p.add_argument("--unrestricted", action="store_true",
+                   help="allow events without reliable gem5 equivalents")
+    p.add_argument("--equations", action="store_true",
+                   help="also print gem5 runtime power equations")
+    p.set_defaults(func=cmd_power_model)
+
+    p = sub.add_parser("bp-fix", help="pre/post BP-fix comparison (Section VII)")
+    _add_common(p)
+    p.set_defaults(func=cmd_bp_fix)
+
+    p = sub.add_parser("figure", help="regenerate one paper figure as text")
+    p.add_argument(
+        "figure",
+        choices=("fig3", "fig5", "fig6", "fig7", "fig8", "characterisation"),
+    )
+    _add_common(p)
+    p.set_defaults(func=cmd_figure)
+
+    p = sub.add_parser("export", help="export datasets or the fitted power model")
+    p.add_argument(
+        "what", choices=("validation-csv", "power-csv", "power-model")
+    )
+    _add_common(p)
+    p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser(
+        "runtime-power",
+        help="per-window run-time power of one workload (method 2, Fig. 2)",
+    )
+    p.add_argument("--workload", default="mi-sha")
+    p.add_argument("--freq-mhz", type=float, default=1000.0)
+    p.add_argument("--windows", type=int, default=8)
+    _add_common(p)
+    p.set_defaults(func=cmd_runtime_power)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

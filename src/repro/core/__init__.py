@@ -1,0 +1,25 @@
+"""GemStone core: the paper's contribution.
+
+This package implements the methodology of Sections IV-VI and the GemStone
+tool that automates it:
+
+* :mod:`repro.core.stats` — the statistical machinery (metrics, OLS,
+  hierarchical clustering, correlation, stepwise regression).
+* :mod:`repro.core.validation` — Experiment collation and execution-time
+  error analysis (Fig. 3, the headline MPE/MAPE numbers).
+* :mod:`repro.core.error_id` — source-of-error identification through
+  cluster/correlation analysis of HW PMCs and gem5 events (Figs. 3, 5;
+  Sections IV-B/C/D).
+* :mod:`repro.core.event_compare` — matched-event comparison (Fig. 6).
+* :mod:`repro.core.power_model` — Powmon-style empirical power modelling
+  optimised for gem5 events (Section V).
+* :mod:`repro.core.energy` — power/energy error and DVFS scaling analysis
+  (Figs. 7, 8; Section VI).
+* :mod:`repro.core.pipeline` — the :class:`~repro.core.pipeline.GemStone`
+  facade orchestrating characterise -> simulate -> analyse -> report.
+* :mod:`repro.core.report` — text/CSV rendering of every table and figure.
+"""
+
+from repro.core.pipeline import GemStone, GemStoneConfig
+
+__all__ = ["GemStone", "GemStoneConfig"]

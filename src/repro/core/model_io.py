@@ -1,0 +1,201 @@
+"""Serialisation of power models and datasets.
+
+The paper's artefact release ships the fitted model coefficients, the full
+datasets, and machine-readable results ("Software, models, datasets and full
+results are made available").  This module provides that surface:
+
+* :func:`save_power_model` / :func:`load_power_model` — JSON round-trip of a
+  fitted :class:`~repro.core.power_model.PowerModel`, coefficients included,
+  so models can be published and re-applied without the training data (the
+  "published model coefficients" workflow of Section V).
+* :func:`power_dataset_to_csv` / :func:`power_dataset_from_csv` — the
+  Experiment-3/4 observations.
+* :func:`validation_to_csv` — the paired execution-time observations behind
+  Fig. 3 and the headline tables.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.power_model import (
+    EventTerm,
+    PowerModel,
+    PowerModelQuality,
+    PowerObservation,
+)
+from repro.core.stats.ols import OlsResult
+from repro.core.validation import ValidationDataset
+
+FORMAT_VERSION = 1
+
+
+def _ols_to_dict(model: OlsResult) -> dict:
+    return {
+        "names": list(model.names),
+        "intercept": model.intercept,
+        "coefficients": [float(c) for c in model.coefficients],
+        "std_errors": [float(s) for s in model.std_errors],
+        "t_values": [float(t) for t in model.t_values],
+        "p_values": [float(p) for p in model.p_values],
+        "r2": model.r2,
+        "adjusted_r2": model.adjusted_r2,
+        "ser": model.ser,
+        "n_observations": model.n_observations,
+    }
+
+
+def _ols_from_dict(data: dict) -> OlsResult:
+    return OlsResult(
+        names=tuple(data["names"]),
+        intercept=float(data["intercept"]),
+        coefficients=np.asarray(data["coefficients"], dtype=float),
+        std_errors=np.asarray(data["std_errors"], dtype=float),
+        t_values=np.asarray(data["t_values"], dtype=float),
+        p_values=np.asarray(data["p_values"], dtype=float),
+        r2=float(data["r2"]),
+        adjusted_r2=float(data["adjusted_r2"]),
+        ser=float(data["ser"]),
+        n_observations=int(data["n_observations"]),
+    )
+
+
+def power_model_to_dict(model: PowerModel) -> dict:
+    """A JSON-serialisable description of a fitted power model."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "kind": "gemstone-power-model",
+        "core": model.core,
+        "terms": [
+            {"positive": t.positive, "negative": t.negative} for t in model.terms
+        ],
+        "per_opp": {str(key): _ols_to_dict(fit) for key, fit in model.per_opp.items()},
+    }
+    if model.quality is not None:
+        quality = model.quality
+        payload["quality"] = {
+            "mape": quality.mape,
+            "mpe": quality.mpe,
+            "ser": quality.ser,
+            "adjusted_r2": quality.adjusted_r2,
+            "mean_vif": quality.mean_vif,
+            "max_ape": quality.max_ape,
+            "worst_observation": quality.worst_observation,
+            "n_observations": quality.n_observations,
+        }
+    return payload
+
+
+def power_model_from_dict(data: dict) -> PowerModel:
+    """Inverse of :func:`power_model_to_dict`.
+
+    Raises:
+        ValueError: For unknown payload kinds or format versions.
+    """
+    if data.get("kind") != "gemstone-power-model":
+        raise ValueError(f"not a power-model payload: kind={data.get('kind')!r}")
+    if data.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported format version {data.get('format_version')!r}"
+        )
+    terms = tuple(
+        EventTerm(int(t["positive"]),
+                  None if t["negative"] is None else int(t["negative"]))
+        for t in data["terms"]
+    )
+    per_opp = {int(key): _ols_from_dict(fit) for key, fit in data["per_opp"].items()}
+    model = PowerModel(core=data["core"], terms=terms, per_opp=per_opp)
+    if "quality" in data:
+        model.quality = PowerModelQuality(**data["quality"])
+    return model
+
+
+def save_power_model(model: PowerModel, path: str) -> None:
+    """Write a fitted model (with coefficients and quality) to JSON."""
+    with open(path, "w") as handle:
+        json.dump(power_model_to_dict(model), handle, indent=2)
+
+
+def load_power_model(path: str) -> PowerModel:
+    """Load a model saved by :func:`save_power_model`."""
+    with open(path) as handle:
+        return power_model_from_dict(json.load(handle))
+
+
+# --------------------------------------------------------------------- CSVs
+def power_dataset_to_csv(observations: Sequence[PowerObservation]) -> str:
+    """Render Experiment-3/4 observations as CSV text.
+
+    Columns: workload, freq_hz, voltage, threads, power_w, then one column
+    per PMC event present in every observation (``event_0xNN``).
+    """
+    if not observations:
+        raise ValueError("no observations")
+    events = sorted(set.intersection(*(set(o.rates) for o in observations)))
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        ["workload", "freq_hz", "voltage", "threads", "power_w"]
+        + [f"event_0x{e:02X}" for e in events]
+    )
+    for obs in observations:
+        writer.writerow(
+            [obs.workload, f"{obs.freq_hz:.0f}", f"{obs.voltage:.4f}",
+             obs.threads, f"{obs.power_w:.6f}"]
+            + [f"{obs.rates[e]:.6g}" for e in events]
+        )
+    return buffer.getvalue()
+
+
+def power_dataset_from_csv(text: str) -> list[PowerObservation]:
+    """Parse CSV produced by :func:`power_dataset_to_csv`.
+
+    Raises:
+        ValueError: On missing required columns.
+    """
+    reader = csv.DictReader(io.StringIO(text))
+    required = {"workload", "freq_hz", "voltage", "threads", "power_w"}
+    if reader.fieldnames is None or not required <= set(reader.fieldnames):
+        raise ValueError(f"CSV must contain columns {sorted(required)}")
+    event_columns = [
+        name for name in reader.fieldnames if name.startswith("event_0x")
+    ]
+    observations = []
+    for row in reader:
+        rates = {
+            int(name.removeprefix("event_0x"), 16): float(row[name])
+            for name in event_columns
+        }
+        observations.append(
+            PowerObservation(
+                workload=row["workload"],
+                freq_hz=float(row["freq_hz"]),
+                voltage=float(row["voltage"]),
+                rates=rates,
+                power_w=float(row["power_w"]),
+                threads=int(row["threads"]),
+            )
+        )
+    return observations
+
+
+def validation_to_csv(dataset: ValidationDataset) -> str:
+    """The paired time observations as CSV (workload, freq, hw, gem5, PE)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        ["workload", "suite", "threads", "freq_hz",
+         "hw_time_s", "gem5_time_s", "time_percentage_error"]
+    )
+    for run in dataset.runs:
+        writer.writerow(
+            [run.workload, run.suite, run.threads, f"{run.freq_hz:.0f}",
+             f"{run.hw_time:.6f}", f"{run.gem5_time:.6f}",
+             f"{run.time_percentage_error:.3f}"]
+        )
+    return buffer.getvalue()

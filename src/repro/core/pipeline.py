@@ -1,0 +1,295 @@
+"""The GemStone facade: characterise -> simulate -> analyse -> report.
+
+``GemStone`` wires the whole paper together for one CPU cluster: it owns the
+hardware platform and gem5 simulation, collates the validation dataset,
+and lazily computes each analysis product (workload clusters, correlation
+analyses, stepwise regressions, event comparison, power model, power/energy
+comparison, DVFS scaling).  Everything is memoised, so a full report costs
+one simulation pass per (workload, machine).
+
+>>> gs = GemStone(GemStoneConfig(core="A15"))
+>>> gs.dataset.time_mpe(1.0e9)   # headline execution-time MPE at 1 GHz
+>>> print(gs.report())           # the full text report
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.energy import (
+    BigLittleComparison,
+    DvfsScaling,
+    PowerEnergyComparison,
+    big_little_scaling,
+    compare_power_energy,
+    dvfs_scaling,
+)
+from repro.core.error_id import (
+    ErrorRegression,
+    WorkloadClusterAnalysis,
+    cluster_workloads,
+    error_regression,
+    gem5_error_correlation,
+    pmc_error_correlation,
+)
+from repro.core.event_compare import EventComparison, compare_events
+from repro.core.power_model import (
+    PowerModel,
+    PowerModelApplication,
+    PowerModelBuilder,
+    PowerObservation,
+    collect_power_dataset,
+    restraint_pool_gem5,
+)
+from repro.core.stats.correlate import CorrelationResult
+from repro.core.validation import ValidationDataset, collect_validation_dataset
+from repro.sim.dvfs import experiment_frequencies
+from repro.sim.gem5 import Gem5Simulation
+from repro.sim.machine import (
+    MachineConfig,
+    gem5_ex5_big,
+    gem5_ex5_little,
+    machine_by_name,
+)
+from repro.sim.platform import HardwarePlatform
+from repro.workloads.profile import WorkloadProfile
+from repro.workloads.suites import power_modelling_workloads, validation_workloads
+
+
+@dataclass(frozen=True)
+class GemStoneConfig:
+    """Configuration of one GemStone evaluation run.
+
+    Attributes:
+        core: CPU cluster to validate (``"A7"`` or ``"A15"``).
+        gem5_machine: gem5 model config (or its name); defaults to the
+            pre-fix ``ex5_big`` / ``ex5_LITTLE`` model for the chosen core.
+        workloads: Validation workloads (Experiment 1); defaults to the
+            paper's 45-workload set.
+        power_workloads: Power-model training workloads (Experiments 3/4);
+            defaults to the full 65-workload set.
+        frequencies: DVFS sweep; defaults to the paper's per-cluster sweep.
+        analysis_freq_hz: Frequency for the single-frequency analyses
+            (Figs. 3, 5, 6 are shown at 1 GHz in the paper).
+        trace_instructions: Trace length per workload.
+        n_workload_clusters: Flat clusters for the workload HCA.
+        power_model_terms: Maximum events in the power model.
+        gem5_restrained_power_model: Restrict power-model event selection to
+            events with reliable gem5 equivalents (Section V's final model).
+    """
+
+    core: str = "A15"
+    gem5_machine: str | MachineConfig | None = None
+    workloads: tuple[WorkloadProfile, ...] | None = None
+    power_workloads: tuple[WorkloadProfile, ...] | None = None
+    frequencies: tuple[float, ...] | None = None
+    analysis_freq_hz: float = 1.0e9
+    trace_instructions: int = 60_000
+    n_workload_clusters: int = 16
+    power_model_terms: int = 7
+    gem5_restrained_power_model: bool = True
+    cache_dir: str | None = None
+
+    def resolve_machine(self) -> MachineConfig:
+        """The gem5 model config this run validates."""
+        machine = self.gem5_machine
+        if machine is None:
+            return gem5_ex5_big() if self.core == "A15" else gem5_ex5_little()
+        if isinstance(machine, str):
+            return machine_by_name(machine)
+        return machine
+
+    def resolve_workloads(self) -> tuple[WorkloadProfile, ...]:
+        if self.workloads is not None:
+            return self.workloads
+        return tuple(validation_workloads())
+
+    def resolve_power_workloads(self) -> tuple[WorkloadProfile, ...]:
+        if self.power_workloads is not None:
+            return self.power_workloads
+        return tuple(power_modelling_workloads())
+
+    def resolve_frequencies(self) -> tuple[float, ...]:
+        if self.frequencies is not None:
+            return self.frequencies
+        return tuple(experiment_frequencies(self.core))
+
+
+class GemStone:
+    """One GemStone evaluation of a gem5 model against reference hardware."""
+
+    def __init__(self, config: GemStoneConfig | None = None):
+        self.config = config if config is not None else GemStoneConfig()
+        machine = self.config.resolve_machine()
+        if machine.core != self.config.core:
+            raise ValueError(
+                f"gem5 model {machine.name} models a {machine.core}, "
+                f"but the config targets the {self.config.core}"
+            )
+        self.platform = HardwarePlatform(
+            self.config.core,
+            trace_instructions=self.config.trace_instructions,
+            cache_dir=self.config.cache_dir,
+        )
+        self.gem5 = Gem5Simulation(
+            machine,
+            trace_instructions=self.config.trace_instructions,
+            cache_dir=self.config.cache_dir,
+        )
+        self._dataset: ValidationDataset | None = None
+        self._power_dataset: list[PowerObservation] | None = None
+        self._workload_clusters: WorkloadClusterAnalysis | None = None
+        self._pmc_correlation: CorrelationResult | None = None
+        self._gem5_correlation: CorrelationResult | None = None
+        self._regressions: dict[str, ErrorRegression] = {}
+        self._event_comparison: EventComparison | None = None
+        self._power_model: PowerModel | None = None
+        self._application: PowerModelApplication | None = None
+        self._power_energy: PowerEnergyComparison | None = None
+        self._dvfs: DvfsScaling | None = None
+
+    # -------------------------------------------------------------- datasets
+    @property
+    def dataset(self) -> ValidationDataset:
+        """The paired HW/gem5 validation dataset (collected on first use)."""
+        if self._dataset is None:
+            self._dataset = collect_validation_dataset(
+                self.platform,
+                self.gem5,
+                self.config.resolve_workloads(),
+                self.config.resolve_frequencies(),
+            )
+        return self._dataset
+
+    @property
+    def power_dataset(self) -> list[PowerObservation]:
+        """Power-characterisation observations over the 65-workload set."""
+        if self._power_dataset is None:
+            self._power_dataset = collect_power_dataset(
+                self.platform,
+                self.config.resolve_power_workloads(),
+                self.config.resolve_frequencies(),
+            )
+        return self._power_dataset
+
+    # -------------------------------------------------------------- analyses
+    @property
+    def workload_clusters(self) -> WorkloadClusterAnalysis:
+        """Fig. 3: workload HCA with per-cluster execution-time errors."""
+        if self._workload_clusters is None:
+            self._workload_clusters = cluster_workloads(
+                self.dataset,
+                self.config.analysis_freq_hz,
+                self.config.n_workload_clusters,
+            )
+        return self._workload_clusters
+
+    @property
+    def pmc_correlation(self) -> CorrelationResult:
+        """Fig. 5: HW PMC rates correlated with the time error."""
+        if self._pmc_correlation is None:
+            self._pmc_correlation = pmc_error_correlation(
+                self.dataset, self.config.analysis_freq_hz
+            )
+        return self._pmc_correlation
+
+    @property
+    def gem5_correlation(self) -> CorrelationResult:
+        """Section IV-C: gem5 statistics correlated with the time error."""
+        if self._gem5_correlation is None:
+            self._gem5_correlation = gem5_error_correlation(
+                self.dataset, self.config.analysis_freq_hz
+            )
+        return self._gem5_correlation
+
+    def regression(self, source: str = "hw") -> ErrorRegression:
+        """Section IV-D: stepwise regression of the error (hw or gem5)."""
+        if source not in self._regressions:
+            self._regressions[source] = error_regression(
+                self.dataset, self.config.analysis_freq_hz, source=source
+            )
+        return self._regressions[source]
+
+    @property
+    def event_comparison(self) -> EventComparison:
+        """Fig. 6: matched-event ratios and BP accuracy."""
+        if self._event_comparison is None:
+            self._event_comparison = compare_events(
+                self.dataset,
+                self.config.analysis_freq_hz,
+                self.workload_clusters,
+            )
+        return self._event_comparison
+
+    # ------------------------------------------------------------- power side
+    def build_power_model(
+        self, restrained: bool | None = None, max_terms: int | None = None
+    ) -> PowerModel:
+        """Build a fresh power model (Section V), bypassing the cache."""
+        if restrained is None:
+            restrained = self.config.gem5_restrained_power_model
+        builder = PowerModelBuilder(
+            self.config.core,
+            excluded_events=restraint_pool_gem5(self.config.core) if restrained else frozenset(),
+            max_terms=max_terms or self.config.power_model_terms,
+        )
+        return builder.fit(self.power_dataset)
+
+    @property
+    def power_model(self) -> PowerModel:
+        """The gem5-compatible power model (cached)."""
+        if self._power_model is None:
+            self._power_model = self.build_power_model()
+        return self._power_model
+
+    @property
+    def application(self) -> PowerModelApplication:
+        """The Fig. 2 application tool bound to the cached power model."""
+        if self._application is None:
+            self._application = PowerModelApplication(
+                self.power_model, self.platform.opps
+            )
+        return self._application
+
+    @property
+    def power_energy(self) -> PowerEnergyComparison:
+        """Fig. 7: power/energy error of the gem5-driven estimates."""
+        if self._power_energy is None:
+            self._power_energy = compare_power_energy(
+                self.dataset, self.application, self.workload_clusters
+            )
+        return self._power_energy
+
+    @property
+    def dvfs(self) -> DvfsScaling:
+        """Fig. 8: DVFS scaling, hardware vs model."""
+        if self._dvfs is None:
+            self._dvfs = dvfs_scaling(
+                self.dataset, self.application, self.workload_clusters
+            )
+        return self._dvfs
+
+    # ------------------------------------------------------------------ misc
+    def with_machine(self, machine: MachineConfig | str) -> "GemStone":
+        """A new GemStone run validating a different gem5 model.
+
+        The Section VII use-case: re-run the identical evaluation after a
+        simulator change (e.g. the BP fix) and compare reports.
+        """
+        return GemStone(replace(self.config, gem5_machine=machine))
+
+    def compare_with_little(self, little: "GemStone") -> BigLittleComparison:
+        """Cross-cluster big.LITTLE scaling against an A7 GemStone run.
+
+        Raises:
+            ValueError: If ``little`` is not an A7 run or self not A15.
+        """
+        if self.config.core != "A15" or little.config.core != "A7":
+            raise ValueError("call as a15_gemstone.compare_with_little(a7_gemstone)")
+        return big_little_scaling(little.dataset, self.dataset)
+
+    def report(self) -> str:
+        """The full text report covering every table and figure."""
+        from repro.core.report import render_full_report
+
+        return render_full_report(self)

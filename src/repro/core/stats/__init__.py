@@ -1,0 +1,35 @@
+"""Statistical machinery used by every GemStone analysis stage."""
+
+from repro.core.stats.cluster import ClusterResult, Dendrogram, hierarchical_clustering
+from repro.core.stats.correlate import CorrelationResult, correlate_with_error
+from repro.core.stats.metrics import (
+    adjusted_r_squared,
+    mae,
+    mape,
+    mpe,
+    percentage_errors,
+    r_squared,
+    standard_error_of_regression,
+)
+from repro.core.stats.ols import OlsResult, fit_ols, variance_inflation_factors
+from repro.core.stats.stepwise import StepwiseResult, forward_stepwise
+
+__all__ = [
+    "ClusterResult",
+    "Dendrogram",
+    "hierarchical_clustering",
+    "CorrelationResult",
+    "correlate_with_error",
+    "adjusted_r_squared",
+    "mae",
+    "mape",
+    "mpe",
+    "percentage_errors",
+    "r_squared",
+    "standard_error_of_regression",
+    "OlsResult",
+    "fit_ols",
+    "variance_inflation_factors",
+    "StepwiseResult",
+    "forward_stepwise",
+]

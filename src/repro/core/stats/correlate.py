@@ -1,0 +1,151 @@
+"""Correlation of event rates with model error (Fig. 5 machinery).
+
+Section IV-B computes, for every HW PMC event, the Pearson correlation of the
+event's *rate* across workloads with the execution-time MPE, then overlays
+the HCA event clusters so that groups of co-varying events can be read as one
+signal ("Cluster 1, containing memory-barrier and exclusive events, has the
+largest positive correlation").  Section IV-C repeats this for gem5 events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.stats.cluster import ClusterResult, hierarchical_clustering
+
+
+def pearson(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation; 0.0 for degenerate (constant) inputs."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch {x.shape} vs {y.shape}")
+    if x.size < 2:
+        raise ValueError("need at least two observations")
+    xc = x - x.mean()
+    yc = y - y.mean()
+    denom = float(np.sqrt((xc**2).sum() * (yc**2).sum()))
+    if denom == 0.0:
+        return 0.0
+    return float(np.clip((xc @ yc) / denom, -1.0, 1.0))
+
+
+@dataclass(frozen=True)
+class CorrelationResult:
+    """Per-event correlation with error, plus the event clustering.
+
+    Attributes:
+        event_names: Events in input order.
+        correlations: Pearson r of each event's rate with the error.
+        clusters: HCA of the events (correlation distance), so co-varying
+            events carry the same label — the Fig. 5 annotation.
+    """
+
+    event_names: tuple[str, ...]
+    correlations: tuple[float, ...]
+    clusters: ClusterResult
+
+    def correlation_of(self, name: str) -> float:
+        """Correlation of one named event.
+
+        Raises:
+            KeyError: For unknown events.
+        """
+        try:
+            index = self.event_names.index(name)
+        except ValueError as exc:
+            raise KeyError(f"unknown event {name!r}") from exc
+        return self.correlations[index]
+
+    def sorted_events(self, descending: bool = True) -> list[tuple[str, float, int]]:
+        """(event, correlation, cluster) sorted by correlation."""
+        rows = [
+            (name, corr, self.clusters.labels[i])
+            for i, (name, corr) in enumerate(zip(self.event_names, self.correlations))
+        ]
+        return sorted(rows, key=lambda r: r[1], reverse=descending)
+
+    def cluster_summary(self) -> dict[int, dict[str, float]]:
+        """Per-cluster mean/min/max correlation and size."""
+        summary: dict[int, dict[str, float]] = {}
+        for cluster in range(1, self.clusters.n_clusters + 1):
+            values = [
+                corr
+                for corr, label in zip(self.correlations, self.clusters.labels)
+                if label == cluster
+            ]
+            if not values:
+                continue
+            summary[cluster] = {
+                "size": float(len(values)),
+                "mean": float(np.mean(values)),
+                "min": float(np.min(values)),
+                "max": float(np.max(values)),
+            }
+        return summary
+
+    def strongest(self, n: int = 10) -> list[tuple[str, float, int]]:
+        """The ``n`` events with the largest |correlation|."""
+        rows = self.sorted_events()
+        return sorted(rows, key=lambda r: abs(r[1]), reverse=True)[:n]
+
+
+def correlate_with_error(
+    rates: np.ndarray,
+    errors: np.ndarray,
+    event_names: list[str] | tuple[str, ...],
+    n_event_clusters: int = 12,
+    min_abs_correlation: float = 0.0,
+) -> CorrelationResult:
+    """Correlate event rates with per-workload error and cluster the events.
+
+    Args:
+        rates: ``(n_workloads, n_events)`` matrix of event rates.
+        errors: Per-workload error (e.g. execution-time MPE), length
+            ``n_workloads``.
+        event_names: Column names.
+        n_event_clusters: Flat clusters to cut from the event HCA.
+        min_abs_correlation: Drop events below this |r| before clustering —
+            Section IV-C keeps only gem5 events with |r| > 0.3.
+
+    Raises:
+        ValueError: On shape mismatches or when the filter leaves no events.
+    """
+    rates = np.asarray(rates, dtype=float)
+    errors = np.asarray(errors, dtype=float)
+    if rates.ndim != 2:
+        raise ValueError("rates must be 2-D (workloads x events)")
+    if rates.shape[0] != errors.size:
+        raise ValueError(
+            f"{rates.shape[0]} workloads in rates but {errors.size} errors"
+        )
+    if rates.shape[1] != len(event_names):
+        raise ValueError(
+            f"{rates.shape[1]} rate columns but {len(event_names)} names"
+        )
+
+    correlations = np.array(
+        [pearson(rates[:, j], errors) for j in range(rates.shape[1])]
+    )
+    keep = np.abs(correlations) >= min_abs_correlation
+    if not keep.any():
+        raise ValueError(
+            f"no events with |correlation| >= {min_abs_correlation}"
+        )
+    kept_names = tuple(name for name, k in zip(event_names, keep) if k)
+    kept_rates = rates[:, keep]
+    kept_corr = correlations[keep]
+
+    clusters = hierarchical_clustering(
+        kept_rates.T,
+        list(kept_names),
+        n_clusters=min(n_event_clusters, len(kept_names)),
+        metric="correlation",
+    )
+    return CorrelationResult(
+        event_names=kept_names,
+        correlations=tuple(float(c) for c in kept_corr),
+        clusters=clusters,
+    )

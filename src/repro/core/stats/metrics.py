@@ -1,0 +1,95 @@
+"""Error and goodness-of-fit metrics, with the paper's sign conventions.
+
+The paper's percentage error of an estimate against a reference is
+``(reference - estimate) / reference``:
+
+* execution time — a *negative* MPE means the model **overestimates**
+  execution time (underestimates performance), as in "the Cortex-A15 model
+  significantly overestimates execution time (MPE at 1 GHz of -51 %)";
+* power/energy — a negative MPE likewise means overestimation by the model.
+
+MAPE is the mean of absolute percentage errors; MPE keeps the sign and can
+cancel across workloads, which is why the paper reports both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_arrays(reference, estimate) -> tuple[np.ndarray, np.ndarray]:
+    ref = np.asarray(reference, dtype=float)
+    est = np.asarray(estimate, dtype=float)
+    if ref.shape != est.shape:
+        raise ValueError(f"shape mismatch: reference {ref.shape} vs estimate {est.shape}")
+    if ref.size == 0:
+        raise ValueError("empty inputs")
+    return ref, est
+
+
+def percentage_errors(reference, estimate) -> np.ndarray:
+    """Signed percentage errors ``(reference - estimate) / reference * 100``.
+
+    Raises:
+        ValueError: If shapes differ, inputs are empty, or any reference
+            value is zero (a percentage error is undefined there).
+    """
+    ref, est = _as_arrays(reference, estimate)
+    if np.any(ref == 0):
+        raise ValueError("reference contains zeros; percentage error undefined")
+    return (ref - est) / ref * 100.0
+
+
+def mpe(reference, estimate) -> float:
+    """Mean Percentage Error (signed, in percent)."""
+    return float(percentage_errors(reference, estimate).mean())
+
+
+def mape(reference, estimate) -> float:
+    """Mean Absolute Percentage Error (in percent)."""
+    return float(np.abs(percentage_errors(reference, estimate)).mean())
+
+
+def mae(reference, estimate) -> float:
+    """Mean absolute error in the native unit."""
+    ref, est = _as_arrays(reference, estimate)
+    return float(np.abs(ref - est).mean())
+
+
+def r_squared(observed, predicted) -> float:
+    """Coefficient of determination of predictions against observations."""
+    obs, pred = _as_arrays(observed, predicted)
+    ss_res = float(((obs - pred) ** 2).sum())
+    ss_tot = float(((obs - obs.mean()) ** 2).sum())
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def adjusted_r_squared(observed, predicted, n_predictors: int) -> float:
+    """R^2 penalised for the number of predictors (paper's Adjusted R^2).
+
+    Raises:
+        ValueError: When there are not enough observations to adjust.
+    """
+    obs = np.asarray(observed, dtype=float)
+    n = obs.size
+    if n - n_predictors - 1 <= 0:
+        raise ValueError(
+            f"adjusted R^2 needs n > p + 1 (n={n}, p={n_predictors})"
+        )
+    r2 = r_squared(observed, predicted)
+    return 1.0 - (1.0 - r2) * (n - 1) / (n - n_predictors - 1)
+
+
+def standard_error_of_regression(observed, predicted, n_predictors: int) -> float:
+    """The SER (residual standard error) the paper quotes in watts.
+
+    Raises:
+        ValueError: When degrees of freedom are non-positive.
+    """
+    obs, pred = _as_arrays(observed, predicted)
+    dof = obs.size - n_predictors - 1
+    if dof <= 0:
+        raise ValueError(f"non-positive degrees of freedom ({dof})")
+    return float(np.sqrt(((obs - pred) ** 2).sum() / dof))

@@ -1,0 +1,152 @@
+"""Forward-selection stepwise regression (Sections IV-D and V).
+
+Two stopping/selection policies from the paper are supported:
+
+* **p-value rule** (error regression, Section IV-D): add the candidate that
+  maximises R^2; stop when any term's p-value rises above 0.05 ("a common
+  rule of thumb is that terms with p-values above 0.05 are not statistically
+  significant").
+* **adjusted-R^2 with VIF restraint** (power-model event selection,
+  Section V): add the candidate that maximises adjusted R^2, reject
+  candidates that push the mean VIF past a limit, stop when no candidate
+  improves adjusted R^2 or the event budget is reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.stats.ols import OlsResult, fit_ols, variance_inflation_factors
+
+
+@dataclass(frozen=True)
+class StepwiseStep:
+    """Record of one accepted selection step."""
+
+    added: str
+    r2: float
+    adjusted_r2: float
+    max_p_value: float
+
+
+@dataclass(frozen=True)
+class StepwiseResult:
+    """Outcome of a forward selection.
+
+    Attributes:
+        selected: Names of the chosen regressors, in selection order.
+        model: Final fitted OLS model.
+        steps: Per-step audit trail (what was added, fit quality after).
+        mean_vif: Mean VIF of the final design (nan for single-regressor
+            models, where VIF is undefined).
+    """
+
+    selected: tuple[str, ...]
+    model: OlsResult
+    steps: tuple[StepwiseStep, ...]
+    mean_vif: float
+
+
+def forward_stepwise(
+    candidates: dict[str, np.ndarray],
+    y: np.ndarray,
+    max_terms: int = 10,
+    p_value_limit: float | None = 0.05,
+    use_adjusted_r2: bool = False,
+    vif_limit: float | None = None,
+    min_improvement: float = 1e-4,
+) -> StepwiseResult:
+    """Greedy forward selection over named candidate regressors.
+
+    Args:
+        candidates: Name -> regressor vector (all the same length as ``y``).
+            Both totals and rates may be offered, as the paper does.
+        y: Response vector.
+        max_terms: Maximum number of regressors to select.
+        p_value_limit: Stop *before* accepting a step that would leave any
+            term with a p-value above this limit (None disables the rule).
+        use_adjusted_r2: Score candidates by adjusted R^2 instead of R^2.
+        vif_limit: Reject candidates whose inclusion pushes the mean VIF of
+            the design past this value (None disables the restraint).
+        min_improvement: Minimum score improvement to keep going.
+
+    Raises:
+        ValueError: On empty candidates or length mismatches.
+    """
+    if not candidates:
+        raise ValueError("no candidate regressors")
+    y = np.asarray(y, dtype=float)
+    n = y.size
+    arrays: dict[str, np.ndarray] = {}
+    for name, vec in candidates.items():
+        arr = np.asarray(vec, dtype=float)
+        if arr.shape != (n,):
+            raise ValueError(f"candidate {name!r} has shape {arr.shape}, expected ({n},)")
+        if np.std(arr) > 0:  # constant regressors can never help
+            arrays[name] = arr
+    if not arrays:
+        raise ValueError("all candidate regressors are constant")
+
+    selected: list[str] = []
+    steps: list[StepwiseStep] = []
+    best_model: OlsResult | None = None
+    best_score = -np.inf
+
+    while len(selected) < max_terms:
+        best_candidate: str | None = None
+        candidate_model: OlsResult | None = None
+        candidate_score = best_score
+
+        for name, arr in arrays.items():
+            if name in selected:
+                continue
+            design = np.column_stack([arrays[s] for s in selected] + [arr])
+            if design.shape[0] <= design.shape[1] + 1:
+                continue
+            model = fit_ols(design, y, names=tuple(selected) + (name,))
+            score = model.adjusted_r2 if use_adjusted_r2 else model.r2
+            if score <= candidate_score + min_improvement:
+                continue
+            if p_value_limit is not None and model.max_p_value() > p_value_limit:
+                continue
+            if vif_limit is not None and len(selected) >= 1:
+                vifs = variance_inflation_factors(design)
+                if float(np.mean(vifs)) > vif_limit:
+                    continue
+            best_candidate = name
+            candidate_model = model
+            candidate_score = score
+
+        if best_candidate is None or candidate_model is None:
+            break
+        selected.append(best_candidate)
+        best_model = candidate_model
+        best_score = candidate_score
+        steps.append(
+            StepwiseStep(
+                added=best_candidate,
+                r2=candidate_model.r2,
+                adjusted_r2=candidate_model.adjusted_r2,
+                max_p_value=candidate_model.max_p_value(),
+            )
+        )
+
+    if best_model is None:
+        raise ValueError(
+            "stepwise selection accepted no regressor; relax the limits"
+        )
+
+    if len(selected) >= 2:
+        design = np.column_stack([arrays[s] for s in selected])
+        mean_vif = float(np.mean(variance_inflation_factors(design)))
+    else:
+        mean_vif = float("nan")
+
+    return StepwiseResult(
+        selected=tuple(selected),
+        model=best_model,
+        steps=tuple(steps),
+        mean_vif=mean_vif,
+    )

@@ -1,0 +1,225 @@
+"""Experiment collation and execution-time error analysis.
+
+Implements boxes (a)-(f) of the paper's Fig. 1: run the workloads on the
+hardware platform (Experiment 1) and on the gem5 model (Experiment 2) across
+the DVFS sweep, pair the observations, and compute the execution-time error
+statistics that headline Section IV:
+
+* per-workload signed percentage error (Fig. 3),
+* MPE/MAPE per frequency and aggregated,
+* matrices of HW PMC rates and gem5 statistic rates for the downstream
+  cluster/correlation/regression analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.stats.metrics import mape, mpe, percentage_errors
+from repro.sim.dvfs import experiment_frequencies
+from repro.sim.gem5 import Gem5Simulation, Gem5Stats
+from repro.sim.platform import HardwarePlatform, HwMeasurement
+from repro.workloads.profile import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class WorkloadRun:
+    """One paired (hardware, gem5) observation of a workload at one OPP."""
+
+    workload: str
+    suite: str
+    threads: int
+    freq_hz: float
+    hw: HwMeasurement
+    gem5: Gem5Stats
+
+    @property
+    def hw_time(self) -> float:
+        return self.hw.time_seconds
+
+    @property
+    def gem5_time(self) -> float:
+        return self.gem5.sim_seconds
+
+    @property
+    def time_percentage_error(self) -> float:
+        """Signed error, paper convention: negative = gem5 overestimates
+        execution time (underestimates performance)."""
+        return float(
+            percentage_errors([self.hw_time], [self.gem5_time])[0]
+        )
+
+
+@dataclass
+class ValidationDataset:
+    """All paired runs for one (core cluster, gem5 model) combination.
+
+    Attributes:
+        core: ``"A7"`` or ``"A15"``.
+        gem5_model: Name of the gem5 machine configuration validated.
+        runs: All paired observations, workload-major then frequency.
+        workloads: Workload names in catalog order.
+        frequencies: The DVFS sweep, in Hz.
+    """
+
+    core: str
+    gem5_model: str
+    runs: list[WorkloadRun]
+    workloads: tuple[str, ...]
+    frequencies: tuple[float, ...]
+    _index: dict[tuple[str, float], WorkloadRun] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self._index:
+            self._index = {(r.workload, r.freq_hz): r for r in self.runs}
+
+    def run(self, workload: str, freq_hz: float) -> WorkloadRun:
+        """Look up one paired run.
+
+        Raises:
+            KeyError: If the (workload, frequency) pair was not collected.
+        """
+        return self._index[(workload, freq_hz)]
+
+    def runs_at(self, freq_hz: float) -> list[WorkloadRun]:
+        """All runs at one frequency, in workload order."""
+        return [self._index[(w, freq_hz)] for w in self.workloads]
+
+    # ----------------------------------------------------------- error stats
+    def errors_at(self, freq_hz: float) -> np.ndarray:
+        """Per-workload signed time percentage errors at one frequency."""
+        return np.array([r.time_percentage_error for r in self.runs_at(freq_hz)])
+
+    def time_mpe(self, freq_hz: float | None = None) -> float:
+        """MPE of execution time at one frequency (or over the whole sweep)."""
+        runs = self.runs if freq_hz is None else self.runs_at(freq_hz)
+        return mpe([r.hw_time for r in runs], [r.gem5_time for r in runs])
+
+    def time_mape(self, freq_hz: float | None = None) -> float:
+        """MAPE of execution time at one frequency (or the whole sweep)."""
+        runs = self.runs if freq_hz is None else self.runs_at(freq_hz)
+        return mape([r.hw_time for r in runs], [r.gem5_time for r in runs])
+
+    def suite_time_stats(self, suite_prefixes: Sequence[str]) -> tuple[float, float]:
+        """(MAPE, MPE) restricted to workloads whose suite matches."""
+        runs = [r for r in self.runs if r.suite in suite_prefixes]
+        if not runs:
+            raise ValueError(f"no runs for suites {suite_prefixes}")
+        hw_times = [r.hw_time for r in runs]
+        gem5_times = [r.gem5_time for r in runs]
+        return mape(hw_times, gem5_times), mpe(hw_times, gem5_times)
+
+    # --------------------------------------------------------- data matrices
+    def pmc_rate_matrix(
+        self, freq_hz: float, events: Sequence[int] | None = None
+    ) -> tuple[np.ndarray, list[int]]:
+        """(workloads x events) matrix of HW PMC rates at one frequency.
+
+        Events default to every PMC present in all measurements, sorted by
+        event number.  Returns the matrix and the event-number column order.
+        """
+        runs = self.runs_at(freq_hz)
+        if events is None:
+            common: set[int] = set(runs[0].hw.pmc)
+            for run in runs[1:]:
+                common &= set(run.hw.pmc)
+            events = sorted(common)
+        events = list(events)
+        matrix = np.array(
+            [[run.hw.pmc[e] / run.hw_time for e in events] for run in runs]
+        )
+        return matrix, events
+
+    def pmc_total_matrix(
+        self, freq_hz: float, events: Sequence[int] | None = None
+    ) -> tuple[np.ndarray, list[int]]:
+        """(workloads x events) matrix of HW PMC totals at one frequency."""
+        runs = self.runs_at(freq_hz)
+        if events is None:
+            common: set[int] = set(runs[0].hw.pmc)
+            for run in runs[1:]:
+                common &= set(run.hw.pmc)
+            events = sorted(common)
+        events = list(events)
+        matrix = np.array([[run.hw.pmc[e] for e in events] for run in runs])
+        return matrix, events
+
+    def gem5_rate_matrix(
+        self, freq_hz: float, stats: Sequence[str] | None = None
+    ) -> tuple[np.ndarray, list[str]]:
+        """(workloads x stats) matrix of gem5 statistic rates."""
+        runs = self.runs_at(freq_hz)
+        if stats is None:
+            stats = sorted(runs[0].gem5.stats)
+        stats = list(stats)
+        matrix = np.array([[run.gem5.rate(s) for s in stats] for run in runs])
+        return matrix, stats
+
+
+ProgressCallback = Callable[[str, float, int, int], None]
+
+
+def collect_validation_dataset(
+    platform: HardwarePlatform,
+    gem5: Gem5Simulation,
+    workloads: Iterable[WorkloadProfile],
+    frequencies: Sequence[float] | None = None,
+    with_power: bool = True,
+    progress: ProgressCallback | None = None,
+) -> ValidationDataset:
+    """Run Experiments 1 and 2 and collate them (Fig. 1 boxes a, b, f).
+
+    Args:
+        platform: The hardware reference platform.
+        gem5: The gem5 model simulation to validate.
+        workloads: Workload profiles to run on both.
+        frequencies: DVFS sweep; defaults to the paper's per-cluster sweep.
+        with_power: Also capture power on the hardware (needed later by the
+            energy analysis; disable to speed up pure timing studies).
+        progress: Optional callback ``(workload, freq, i, total)``.
+
+    Raises:
+        ValueError: If the platform and model are different core types.
+    """
+    if platform.core != gem5.machine.core:
+        raise ValueError(
+            f"platform core {platform.core} != gem5 model core {gem5.machine.core}"
+        )
+    workload_list = list(workloads)
+    if not workload_list:
+        raise ValueError("no workloads given")
+    if frequencies is None:
+        frequencies = experiment_frequencies(platform.core)
+    frequencies = tuple(float(f) for f in frequencies)
+
+    runs: list[WorkloadRun] = []
+    total = len(workload_list) * len(frequencies)
+    done = 0
+    for profile in workload_list:
+        for freq in frequencies:
+            hw = platform.characterize(profile, freq, with_power=with_power)
+            model = gem5.run(profile, freq)
+            runs.append(
+                WorkloadRun(
+                    workload=profile.name,
+                    suite=profile.suite,
+                    threads=profile.threads,
+                    freq_hz=freq,
+                    hw=hw,
+                    gem5=model,
+                )
+            )
+            done += 1
+            if progress is not None:
+                progress(profile.name, freq, done, total)
+
+    return ValidationDataset(
+        core=platform.core,
+        gem5_model=gem5.machine.name,
+        runs=runs,
+        workloads=tuple(p.name for p in workload_list),
+        frequencies=frequencies,
+    )

@@ -1,0 +1,38 @@
+"""Event catalogs and cross-domain event matching.
+
+This subpackage defines the two statistic namespaces that GemStone mediates
+between:
+
+* :mod:`repro.events.armv7_pmu` — the ARMv7 / Cortex-A15 Performance
+  Monitoring Unit (PMU) event catalog, identified by hexadecimal event
+  numbers (``0x08`` = instructions retired, ``0x11`` = CPU cycles, ...).
+* :mod:`repro.events.gem5_stats` — the gem5 statistics namespace
+  (``system.cpu.branchPred.condIncorrect``, ``system.cpu.itb.misses``, ...).
+
+:mod:`repro.events.matching` holds the equations relating one to the other,
+including the deliberately imperfect matches documented in the paper
+(Section IV-E), e.g. gem5 counting VFP instructions as SIMD.
+"""
+
+from repro.events.armv7_pmu import (
+    PMU_EVENTS,
+    PmuEvent,
+    event_by_mnemonic,
+    event_name,
+    events_for_core,
+)
+from repro.events.gem5_stats import GEM5_STAT_GROUPS, Gem5StatCatalog
+from repro.events.matching import EventMatch, MatchQuality, default_event_matches
+
+__all__ = [
+    "PMU_EVENTS",
+    "PmuEvent",
+    "event_by_mnemonic",
+    "event_name",
+    "events_for_core",
+    "GEM5_STAT_GROUPS",
+    "Gem5StatCatalog",
+    "EventMatch",
+    "MatchQuality",
+    "default_event_matches",
+]

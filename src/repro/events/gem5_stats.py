@@ -1,0 +1,316 @@
+"""The gem5 statistics namespace.
+
+gem5 emits thousands of named statistics per simulation (``stats.txt``).  The
+paper's Section IV-C clusters these statistics against the execution-time
+error, so the reproduction needs a faithful namespace: stat names grouped by
+the emitting component (``itb``, ``itb_walker_cache``, ``branchPred``,
+``fetch``, ``iew``, ``commit``, ``icache``, ``dcache``, ``l2``, ``dtb``, ...).
+
+:class:`Gem5StatCatalog` enumerates the stats our :class:`~repro.sim.gem5.
+Gem5Simulation` produces, resolves short names to fully-qualified ones, and
+identifies the component group of any stat — the grouping is what lets the
+analysis say "the vast majority of Cluster A events were related to the ITLB".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Component groups and the statistics each emits.  Names are relative to the
+#: component prefix; fully-qualified names look like
+#: ``system.cpu.itb_walker_cache.ReadReq_hits``.
+GEM5_STAT_GROUPS: dict[str, tuple[str, ...]] = {
+    "itb": (
+        "accesses",
+        "hits",
+        "misses",
+        "flush_entries",
+        "inst_accesses",
+        "inst_hits",
+        "inst_misses",
+    ),
+    "itb_walker_cache": (
+        "ReadReq_accesses",
+        "ReadReq_hits",
+        "ReadReq_misses",
+        "ReadReq_miss_latency",
+        "overall_accesses",
+        "overall_hits",
+        "overall_misses",
+        "overall_miss_rate",
+        "tags.data_accesses",
+    ),
+    "dtb": (
+        "accesses",
+        "hits",
+        "misses",
+        "read_accesses",
+        "read_hits",
+        "read_misses",
+        "write_accesses",
+        "write_hits",
+        "write_misses",
+        "prefetch_faults",
+    ),
+    "dtb_walker_cache": (
+        "ReadReq_accesses",
+        "ReadReq_hits",
+        "ReadReq_misses",
+        "overall_accesses",
+        "overall_misses",
+    ),
+    "branchPred": (
+        "lookups",
+        "condPredicted",
+        "condIncorrect",
+        "BTBLookups",
+        "BTBHits",
+        "RASUsed",
+        "usedRAS",
+        "RASInCorrect",
+        "indirectLookups",
+        "indirectHits",
+        "indirectMisses",
+        "indirectMispredicted",
+    ),
+    "fetch": (
+        "Insts",
+        "Branches",
+        "predictedBranches",
+        "Cycles",
+        "SquashCycles",
+        "TlbCycles",
+        "TlbSquashes",
+        "BlockedCycles",
+        "MiscStallCycles",
+        "PendingTrapStallCycles",
+        "IcacheStallCycles",
+        "IcacheWaitRetryStallCycles",
+        "CacheLines",
+        "rate",
+    ),
+    "decode": (
+        "IdleCycles",
+        "BlockedCycles",
+        "RunCycles",
+        "SquashCycles",
+        "DecodedInsts",
+        "SquashedInsts",
+    ),
+    "rename": (
+        "SquashCycles",
+        "IdleCycles",
+        "BlockCycles",
+        "RenamedInsts",
+        "ROBFullEvents",
+        "IQFullEvents",
+        "LQFullEvents",
+        "SQFullEvents",
+    ),
+    "iew": (
+        "iewExecutedInsts",
+        "iewExecLoadInsts",
+        "iewExecSquashedInsts",
+        "exec_branches",
+        "exec_stores",
+        "exec_nop",
+        "exec_rate",
+        "iewIQFullEvents",
+        "iewLSQFullEvents",
+        "predictedTakenIncorrect",
+        "predictedNotTakenIncorrect",
+        "branchMispredicts",
+        "memOrderViolationEvents",
+        "lsqForwLoads",
+        "blockCycles",
+        "squashCycles",
+        "unblockCycles",
+    ),
+    "commit": (
+        "committedInsts",
+        "committedOps",
+        "branchMispredicts",
+        "branches",
+        "loads",
+        "membars",
+        "amos",
+        "refs",
+        "swp_count",
+        "commitNonSpecStalls",
+        "commitSquashedInsts",
+        "int_insts",
+        "fp_insts",
+        "vec_insts",
+        "function_calls",
+        "cyclesWithCommittedInsts",
+        "cyclesWithNoCommittedInsts",
+    ),
+    "icache": (
+        "ReadReq_accesses",
+        "ReadReq_hits",
+        "ReadReq_misses",
+        "ReadReq_miss_latency",
+        "ReadReq_miss_rate",
+        "overall_accesses",
+        "overall_hits",
+        "overall_misses",
+        "overall_miss_latency",
+        "overall_miss_rate",
+        "overall_mshr_misses",
+        "overall_mshr_hits",
+        "replacements",
+        "tags.data_accesses",
+    ),
+    "dcache": (
+        "ReadReq_accesses",
+        "ReadReq_hits",
+        "ReadReq_misses",
+        "ReadReq_miss_latency",
+        "WriteReq_accesses",
+        "WriteReq_hits",
+        "WriteReq_misses",
+        "WriteReq_miss_latency",
+        "overall_accesses",
+        "overall_hits",
+        "overall_misses",
+        "overall_miss_rate",
+        "overall_mshr_misses",
+        "overall_mshr_hits",
+        "writebacks",
+        "replacements",
+        "UncacheableLatency_cpu_data",
+        "blocked_cycles_no_mshrs",
+    ),
+    "l2": (
+        "ReadReq_accesses",
+        "ReadReq_hits",
+        "ReadReq_misses",
+        "ReadExReq_accesses",
+        "ReadExReq_hits",
+        "ReadExReq_misses",
+        "ReadSharedReq_accesses",
+        "ReadSharedReq_hits",
+        "WritebackDirty_accesses",
+        "WritebackClean_accesses",
+        "overall_accesses",
+        "overall_hits",
+        "overall_misses",
+        "overall_miss_rate",
+        "overall_miss_latency",
+        "overall_mshr_misses",
+        "overall_avg_miss_latency",
+        "writebacks",
+        "replacements",
+        "prefetcher.num_hwpf_issued",
+        "prefetcher.pfIssued",
+    ),
+    "mem_ctrls": (
+        "readReqs",
+        "writeReqs",
+        "totBusLat",
+        "avgRdQLen",
+        "avgWrQLen",
+        "bw_total",
+    ),
+    "cpu": (
+        "numCycles",
+        "idleCycles",
+        "committedInsts",
+        "committedOps",
+        "cpi",
+        "ipc",
+        "int_alu_accesses",
+        "fp_alu_accesses",
+        "num_mem_refs",
+        "num_load_insts",
+        "num_store_insts",
+        "num_branches_committed",
+        "quiesceCycles",
+    ),
+}
+
+#: Stats whose values are ratios/rates rather than counts.  These are kept as
+#: emitted and never divided by time again when rate-normalising.
+RATE_LIKE_STATS: frozenset[str] = frozenset(
+    {
+        "fetch.rate",
+        "iew.exec_rate",
+        "icache.ReadReq_miss_rate",
+        "icache.overall_miss_rate",
+        "dcache.overall_miss_rate",
+        "l2.overall_miss_rate",
+        "l2.overall_avg_miss_latency",
+        "itb_walker_cache.overall_miss_rate",
+        "mem_ctrls.avgRdQLen",
+        "mem_ctrls.avgWrQLen",
+        "mem_ctrls.bw_total",
+        "cpu.cpi",
+        "cpu.ipc",
+    }
+)
+
+#: Top-level simulation stats that sit outside any component group.
+GLOBAL_STATS: tuple[str, ...] = (
+    "sim_seconds",
+    "sim_ticks",
+    "sim_insts",
+    "sim_ops",
+    "host_seconds",
+)
+
+
+@dataclass(frozen=True)
+class Gem5StatCatalog:
+    """Enumerates and resolves gem5 stat names for one simulated system.
+
+    Attributes:
+        system: The system prefix used in fully-qualified names; gem5's
+            default is ``"system"``.
+        cpu: The CPU object name, e.g. ``"cpu"`` (``system.cpu.*``).
+    """
+
+    system: str = "system"
+    cpu: str = "cpu"
+
+    def qualify(self, short_name: str) -> str:
+        """Resolve ``"group.stat"`` to a fully-qualified gem5 stat name.
+
+        ``"sim_seconds"``-style global stats are returned unchanged; the
+        ``l2`` and ``mem_ctrls`` groups hang off the system, everything else
+        off the CPU — mirroring the gem5 object hierarchy.
+        """
+        if "." not in short_name or short_name in GLOBAL_STATS:
+            return short_name
+        group = short_name.split(".", 1)[0]
+        if group in ("l2", "mem_ctrls"):
+            return f"{self.system}.{short_name}"
+        return f"{self.system}.{self.cpu}.{short_name}"
+
+    def shorten(self, full_name: str) -> str:
+        """Inverse of :meth:`qualify` for names produced by this catalog."""
+        for prefix in (f"{self.system}.{self.cpu}.", f"{self.system}."):
+            if full_name.startswith(prefix):
+                return full_name[len(prefix):]
+        return full_name
+
+    def group_of(self, name: str) -> str:
+        """The component group of a stat (``"itb_walker_cache"``, ...).
+
+        Accepts either short or fully-qualified names.  Global stats map to
+        ``"sim"``.
+        """
+        short = self.shorten(name)
+        if short in GLOBAL_STATS or "." not in short:
+            return "sim"
+        return short.split(".", 1)[0]
+
+    def all_short_names(self) -> list[str]:
+        """Every stat name this catalog defines, in stable order."""
+        names: list[str] = list(GLOBAL_STATS)
+        for group, stats in GEM5_STAT_GROUPS.items():
+            names.extend(f"{group}.{stat}" for stat in stats)
+        return names
+
+    def is_rate_like(self, name: str) -> bool:
+        """True when the stat is already a ratio and must not be rated again."""
+        return self.shorten(name) in RATE_LIKE_STATS

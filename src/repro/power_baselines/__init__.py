@@ -1,0 +1,5 @@
+"""Baseline power models GemStone's empirical models are compared against."""
+
+from repro.power_baselines.mcpat_like import McPatLikeModel
+
+__all__ = ["McPatLikeModel"]

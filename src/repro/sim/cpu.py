@@ -1,0 +1,582 @@
+"""The shared trace-driven CPU simulator.
+
+Both the hardware reference platform and the gem5-style model run workloads
+through this simulator; only the :class:`~repro.sim.machine.MachineConfig`
+differs.  The simulator replays a block-structured
+:class:`~repro.workloads.trace.SyntheticTrace` against concrete cache, TLB
+and branch-predictor state and produces:
+
+* micro-architectural event counts under *neutral* names (translated into
+  ARMv7 PMU events by the platform layer and into gem5 statistics by the
+  gem5 layer), and
+* a frequency-analytic timing breakdown: core-clock cycles plus an exposure-
+  weighted count of DRAM-latency events, so execution time at any DVFS
+  operating point is derived without re-simulation (event counts on real
+  hardware are frequency-invariant in the same way).
+
+Wrong-path modelling is the part the paper's error analysis hinges on: after
+every misprediction the front end fetches down the wrong path, probing the
+ITLB and L1I with addresses that are frequently cold.  With the buggy gem5
+predictor this happens an order of magnitude more often, producing the
+walker-cache traffic of the paper's gem5-event Cluster A and the associated
+fetch stalls.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+from repro.sim.machine import MachineConfig
+from repro.uarch.branch import IndirectPredictor, ReturnAddressStack, make_predictor
+from repro.uarch.cache import SetAssociativeCache, StridePrefetcher
+from repro.uarch.tlb import TlbHierarchy
+from repro.workloads.trace import (
+    CACHE_LINE_BYTES,
+    KIND_INDEX,
+    KIND_NAMES,
+    PAGE_BYTES,
+    BranchClass,
+    SyntheticTrace,
+)
+
+_LCG_MULT = 1103515245
+_LCG_ADD = 12345
+_LCG_MASK = 0x7FFFFFFF
+
+_KIND_LOAD = KIND_INDEX["load"]
+_KIND_STORE = KIND_INDEX["store"]
+_KIND_LDREX = KIND_INDEX["ldrex"]
+_KIND_STREX = KIND_INDEX["strex"]
+
+
+@dataclass
+class SimResult:
+    """Outcome of simulating one trace on one machine (one core's work).
+
+    Attributes:
+        machine: The machine configuration simulated.
+        trace_name: Workload name.
+        threads: Thread count of the workload; counts are per core, and
+            :meth:`time_seconds` applies the synchronisation slowdown.
+        counts: Neutral event counts for one pass over the trace.
+        core_cycles: Cycles accrued in the core clock domain.
+        dram_stall_weight: Exposure-weighted DRAM-latency event count; the
+            DRAM contribution to execution time is
+            ``dram_stall_weight * dram_latency_ns`` at any frequency.
+        components: Named core-cycle contributions (base, branch, icache,
+            itlb, dcache, dtlb, sync, ...), for error attribution.
+    """
+
+    machine: MachineConfig
+    trace_name: str
+    threads: int
+    counts: dict[str, float]
+    core_cycles: float
+    dram_stall_weight: float
+    components: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def sync_factor(self) -> float:
+        """Multiplicative execution-time overhead of running multi-threaded."""
+        return 1.0 + self.machine.sync_slowdown_per_thread * (self.threads - 1)
+
+    def time_seconds(self, freq_hz: float) -> float:
+        """Execution time of one trace pass at the given core frequency."""
+        if freq_hz <= 0:
+            raise ValueError("frequency must be positive")
+        dram_seconds = self.dram_stall_weight * self.machine.dram_latency_ns * 1e-9
+        return (self.core_cycles / freq_hz + dram_seconds) * self.sync_factor
+
+    def cycles(self, freq_hz: float) -> float:
+        """Active CPU cycles at the given frequency (PMU event 0x11)."""
+        return self.time_seconds(freq_hz) * freq_hz
+
+    def cpi(self, freq_hz: float) -> float:
+        """Cycles per committed instruction at the given frequency."""
+        instructions = self.counts.get("instructions", 0.0)
+        return self.cycles(freq_hz) / instructions if instructions else 0.0
+
+    def branch_predictor_accuracy(self) -> float:
+        """Fraction of dynamic branches predicted correctly."""
+        branches = self.counts.get("branches", 0.0)
+        if not branches:
+            return 1.0
+        return 1.0 - self.counts.get("branch_mispredicts", 0.0) / branches
+
+
+class CpuSimulator:
+    """Reusable simulator bound to one machine configuration."""
+
+    def __init__(self, machine: MachineConfig):
+        self.machine = machine
+
+    def run(self, trace: SyntheticTrace) -> SimResult:
+        """Simulate one trace pass; state is rebuilt per run (cold start)."""
+        return _simulate(trace, self.machine)
+
+
+def simulate(trace: SyntheticTrace, machine: MachineConfig) -> SimResult:
+    """Simulate ``trace`` on ``machine``; see :class:`SimResult`."""
+    return _simulate(trace, machine)
+
+
+def _simulate(trace: SyntheticTrace, machine: MachineConfig) -> SimResult:
+    l1i = SetAssociativeCache(
+        "l1i", machine.l1i.size_bytes, machine.l1i.line_bytes, machine.l1i.assoc
+    )
+    l1d = SetAssociativeCache(
+        "l1d",
+        machine.l1d.size_bytes,
+        machine.l1d.line_bytes,
+        machine.l1d.assoc,
+        write_streaming=machine.l1d.write_streaming,
+    )
+    l2 = SetAssociativeCache(
+        "l2", machine.l2.size_bytes, machine.l2.line_bytes, machine.l2.assoc
+    )
+    l2_prefetcher = StridePrefetcher(l2, machine.l2.prefetch_degree)
+    tlb = TlbHierarchy(machine.tlb)
+    predictor = make_predictor(
+        machine.predictor, machine.predictor_table_bits, machine.predictor_history_bits
+    )
+    ras = ReturnAddressStack()
+    shadow_stack: list[int] = []
+    indirect = IndirectPredictor()
+
+    _prewarm(trace, l1i, l1d, l2, tlb)
+
+    # --- local bindings for the hot loop -------------------------------------
+    blocks = trace.blocks
+    block_seq = trace.block_seq.tolist()
+    taken_seq = trace.taken_seq.tolist()
+    target_seq = trace.indirect_target_seq.tolist()
+    mem_lines = (trace.mem_addrs // CACHE_LINE_BYTES).tolist()
+    mem_pages = (trace.mem_addrs // PAGE_BYTES).tolist()
+    mem_kind_per_block = [
+        tuple(slot.kind for slot in block.mem_slots) for block in blocks
+    ]
+    code_pages = sorted({page for block in blocks for page in block.pages})
+    n_code_pages = len(code_pages)
+
+    # Deterministic LCG for the model's stochastic decisions (wrong-path
+    # targets, RAS/indirect pollution); seeded per (trace, machine).
+    lcg = (trace.seed ^ (zlib.crc32(machine.name.encode()) & _LCG_MASK)) or 1
+
+    # Counters.
+    branch_mispredicts = 0
+    cond_branches = 0
+    cond_mispredicts = 0
+    returns = 0
+    calls = 0
+    indirect_branches = 0
+    indirect_mispredicts = 0
+    wrongpath_instructions = 0
+    itlb_wrongpath_misses = 0
+    l1i_fetch_accesses = 0
+    dram_reads = 0.0
+    dram_writes = 0.0
+
+    # Timing accumulators (core cycles) and DRAM exposure weight.
+    stall_branch = 0.0
+    stall_icache = 0.0
+    stall_itlb = 0.0
+    stall_dcache = 0.0
+    stall_dtlb = 0.0
+    dram_weight = 0.0
+
+    l2_lat = machine.l2.latency
+    l2tlb_lat = machine.tlb.l2_latency
+    walk_cycles = machine.tlb.walk_cycles
+    mem_overlap = machine.mem_overlap
+    store_exposure = machine.store_miss_exposure
+    dram_exposure = 1.0 - machine.dram_overlap
+    mispredict_penalty = machine.mispredict_penalty
+    wrongpath_fetch = machine.wrongpath_fetch
+    far_fraction = machine.wrongpath_far_fraction
+    ras_corruption = machine.ras_corruption
+    indirect_corruption = machine.indirect_corruption
+
+    pending_indirect_corrupt = False
+    last_ipage = -1
+    last_iline = -1
+    mem_cursor = 0
+
+    for seq_index, block_id in enumerate(block_seq):
+        block = blocks[block_id]
+
+        # ---------------- instruction side ----------------
+        for page in block.pages:
+            if page == last_ipage:
+                continue
+            last_ipage = page
+            result = tlb.translate_inst(page)
+            if not result.l1_hit:
+                stall_itlb += l2tlb_lat
+                if result.walked:
+                    stall_itlb += walk_cycles
+                    hit, _, _ = l2.access(page * (PAGE_BYTES // CACHE_LINE_BYTES))
+                    if not hit:
+                        dram_reads += 1
+                        dram_weight += 0.5
+        for line in block.lines:
+            if line == last_iline:
+                continue
+            last_iline = line
+            l1i_fetch_accesses += 1
+            hit, _, _ = l1i.access(line)
+            if not hit:
+                stall_icache += l2_lat * 0.8
+                l2_hit, wrote_back, _ = l2.access(line)
+                if wrote_back:
+                    dram_writes += 1
+                if not l2_hit:
+                    dram_reads += 1
+                    dram_weight += 0.9
+                    l2_prefetcher.train(line)
+
+        # ---------------- data side ----------------
+        n_mem = block.n_mem
+        if n_mem:
+            kinds = mem_kind_per_block[block_id]
+            for slot_index in range(n_mem):
+                kind = kinds[slot_index]
+                line = mem_lines[mem_cursor]
+                page = mem_pages[mem_cursor]
+                mem_cursor += 1
+                is_write = kind == _KIND_STORE or kind == _KIND_STREX
+
+                result = tlb.translate_data(page)
+                if not result.l1_hit:
+                    stall_dtlb += l2tlb_lat * (1.0 - mem_overlap)
+                    if result.walked:
+                        stall_dtlb += walk_cycles * (1.0 - 0.5 * mem_overlap)
+                        hit, _, _ = l2.access(page * (PAGE_BYTES // CACHE_LINE_BYTES))
+                        if not hit:
+                            dram_reads += 1
+                            dram_weight += 0.4
+
+                hit, wrote_back, allocated = l1d.access(line, is_write)
+                if wrote_back:
+                    # L1D dirty victim written back into the L2.
+                    l2_hit, l2_wb, _ = l2.access(line ^ 0x1, True)
+                    if l2_wb:
+                        dram_writes += 1
+                if not hit:
+                    if not allocated and is_write:
+                        # Streaming store: write around L1D straight to L2.
+                        # Cheaper than a write-allocate round trip, but the
+                        # store stream still consumes L2/DRAM write
+                        # bandwidth.
+                        stall_dcache += l2_lat * 0.05
+                        l2_hit, l2_wb, _ = l2.access(line, True)
+                        if l2_wb:
+                            dram_writes += 1
+                        if not l2_hit:
+                            dram_writes += 1
+                            dram_weight += 0.12
+                        continue
+                    if is_write:
+                        stall_dcache += l2_lat * store_exposure
+                    else:
+                        stall_dcache += l2_lat * (1.0 - mem_overlap)
+                    l2_hit, l2_wb, _ = l2.access(line, is_write)
+                    if l2_wb:
+                        dram_writes += 1
+                    if not l2_hit:
+                        dram_reads += 1
+                        dram_weight += (
+                            store_exposure * 0.5 if is_write else dram_exposure
+                        )
+                        l2_prefetcher.train(line)
+
+        # ---------------- branch at block end ----------------
+        branch_class = block.branch_class
+        taken = bool(taken_seq[seq_index])
+        mispredicted = False
+        if branch_class <= BranchClass.RANDOM:  # conditional classes
+            cond_branches += 1
+            pc = block.addr
+            backward = block.branch_backward
+            prediction = predictor.predict(pc, backward)
+            predictor.update(pc, taken, backward)
+            if prediction != taken:
+                cond_mispredicts += 1
+                mispredicted = True
+        elif branch_class == BranchClass.CALL:
+            calls += 1
+            ras.push(block.addr)
+            shadow_stack.append(block.addr)
+            if len(shadow_stack) > 64:
+                shadow_stack.pop(0)
+        elif branch_class == BranchClass.RETURN:
+            returns += 1
+            expected = shadow_stack.pop() if shadow_stack else -1
+            if not ras.pop(expected):
+                mispredicted = True
+        else:  # INDIRECT
+            indirect_branches += 1
+            correct = indirect.predict_and_update(block.addr, target_seq[seq_index])
+            if pending_indirect_corrupt:
+                correct = False
+                pending_indirect_corrupt = False
+            if not correct:
+                indirect_mispredicts += 1
+                mispredicted = True
+
+        if mispredicted:
+            branch_mispredicts += 1
+            stall_branch += mispredict_penalty
+            wrongpath_instructions += wrongpath_fetch
+
+            # Wrong-path fetch: pick a target page and probe the front end.
+            lcg = (lcg * _LCG_MULT + _LCG_ADD) & _LCG_MASK
+            uniform = lcg / _LCG_MASK
+            if uniform < far_fraction and n_code_pages > 1:
+                lcg = (lcg * _LCG_MULT + _LCG_ADD) & _LCG_MASK
+                wp_page = code_pages[lcg % n_code_pages] + 1 + (lcg % 7)
+            else:
+                wp_page = block.pages[-1] + 1
+
+            if not tlb.probe_inst(wp_page):
+                # Squashed translation: walker/L2-TLB traffic, no L1 fill.
+                itlb_wrongpath_misses += 1
+                wp_l2_hit = tlb.l2_itlb.lookup(wp_page)
+                stall_itlb += l2tlb_lat
+                if not wp_l2_hit:
+                    stall_itlb += walk_cycles * 0.5
+            wp_line = wp_page * (PAGE_BYTES // CACHE_LINE_BYTES) + (lcg % 8)
+            l1i_fetch_accesses += 1
+            wp_hit, _, _ = l1i.access(wp_line)
+            if not wp_hit:
+                l2_hit, _, _ = l2.access(wp_line)
+                if not l2_hit:
+                    dram_reads += 1
+
+            lcg = (lcg * _LCG_MULT + _LCG_ADD) & _LCG_MASK
+            if lcg / _LCG_MASK < ras_corruption:
+                ras.corrupt()
+            lcg = (lcg * _LCG_MULT + _LCG_ADD) & _LCG_MASK
+            if lcg / _LCG_MASK < indirect_corruption:
+                pending_indirect_corrupt = True
+
+    return _finalise(
+        trace,
+        machine,
+        l1i=l1i,
+        l1d=l1d,
+        l2=l2,
+        tlb=tlb,
+        ras=ras,
+        indirect=indirect,
+        branch_mispredicts=branch_mispredicts,
+        cond_branches=cond_branches,
+        cond_mispredicts=cond_mispredicts,
+        returns=returns,
+        calls=calls,
+        indirect_branches=indirect_branches,
+        indirect_mispredicts=indirect_mispredicts,
+        wrongpath_instructions=wrongpath_instructions,
+        itlb_wrongpath_misses=itlb_wrongpath_misses,
+        l1i_fetch_accesses=l1i_fetch_accesses,
+        dram_reads=dram_reads,
+        dram_writes=dram_writes,
+        stalls={
+            "branch": stall_branch,
+            "icache": stall_icache,
+            "itlb": stall_itlb,
+            "dcache": stall_dcache,
+            "dtlb": stall_dtlb,
+        },
+        dram_weight=dram_weight,
+    )
+
+
+def _prewarm(
+    trace: SyntheticTrace,
+    l1i: SetAssociativeCache,
+    l1d: SetAssociativeCache,
+    l2: SetAssociativeCache,
+    tlb: TlbHierarchy,
+) -> None:
+    """Establish steady-state cache/TLB residency before measurement.
+
+    The traces are short relative to the multi-second runs they represent;
+    without pre-warming, cold misses on large footprints would swamp the
+    steady-state behaviour the paper measures over >=30 s windows.  Code
+    lines/pages and a capacity-bounded, evenly-sampled subset of each data
+    stream's lines/pages are inserted silently (no counters).
+    """
+    lines_per_page = PAGE_BYTES // CACHE_LINE_BYTES
+    line_bytes = CACHE_LINE_BYTES
+
+    # Instruction side: hot code is L2-resident; the L1I and the TLBs keep
+    # whatever fits (LRU retains the most recently inserted).
+    code_lines = sorted({line for block in trace.blocks for line in block.lines})
+    code_pages = sorted({page for block in trace.blocks for page in block.pages})
+    for line in code_lines:
+        l2.fill(line)
+        l1i.fill(line)
+    for page in code_pages:
+        tlb.l2_itlb.fill(page)
+        tlb.itlb.fill(page)
+
+    # Data side: streams that fit in the L2 are warmed completely (they are
+    # L2-resident in steady state); oversized streams get an evenly-sampled
+    # subset so pathological spans cannot make pre-warming slower than
+    # simulation itself.
+    l2_capacity_lines = l2.size_bytes // line_bytes
+    warm_budget = 2 * l2_capacity_lines
+    for stream in trace.streams:
+        span_lines = max(1, stream.span // line_bytes)
+        if span_lines <= l2_capacity_lines and span_lines <= warm_budget:
+            step = 1
+        else:
+            step = max(1, span_lines // max(min(warm_budget, l2_capacity_lines), 1))
+        warm_budget = max(warm_budget - span_lines // step, 256)
+        base_line = stream.base // line_bytes
+        for offset in range(0, span_lines, step):
+            line = base_line + offset
+            l2.fill(line)
+            if offset % (step * 4) == 0:
+                l1d.fill(line)
+        span_pages = max(1, stream.span // PAGE_BYTES)
+        page_step = max(1, span_pages // 1024)
+        base_page = stream.base // PAGE_BYTES
+        for offset in range(0, span_pages, page_step):
+            tlb.l2_dtlb.fill(base_page + offset)
+            tlb.dtlb.fill(base_page + offset)
+
+
+def _finalise(
+    trace: SyntheticTrace,
+    machine: MachineConfig,
+    *,
+    l1i: SetAssociativeCache,
+    l1d: SetAssociativeCache,
+    l2: SetAssociativeCache,
+    tlb: TlbHierarchy,
+    ras: ReturnAddressStack,
+    indirect: IndirectPredictor,
+    branch_mispredicts: int,
+    cond_branches: int,
+    cond_mispredicts: int,
+    returns: int,
+    calls: int,
+    indirect_branches: int,
+    indirect_mispredicts: int,
+    wrongpath_instructions: int,
+    itlb_wrongpath_misses: int,
+    l1i_fetch_accesses: int,
+    dram_reads: float,
+    dram_writes: float,
+    stalls: dict[str, float],
+    dram_weight: float,
+) -> SimResult:
+    totals = trace.totals
+    n_instrs = trace.n_instrs
+    profile = trace.profile
+
+    # Static unaligned slots weighted by block execution counts.
+    occurrences = trace.block_occurrences()
+    unaligned = 0
+    for block in trace.blocks:
+        n_unaligned = sum(1 for slot in block.mem_slots if slot.unaligned)
+        if n_unaligned:
+            unaligned += n_unaligned * int(occurrences[block.index])
+
+    # Base pipeline cycles.
+    effective_width = min(float(machine.issue_width), profile.ilp)
+    if not machine.out_of_order:
+        effective_width *= machine.inorder_efficiency
+    base_cycles = n_instrs / max(effective_width, 0.1)
+
+    op_stalls = (
+        totals["div"] * machine.div_penalty
+        + totals["mul"] * machine.mul_penalty
+        + totals["fp"] * machine.fp_penalty
+        + totals["simd"] * machine.simd_penalty
+    )
+    sync_stalls = (
+        totals["barrier"] * machine.barrier_cycles
+        + totals["ldrex"] * machine.ldrex_cycles
+        + totals["strex"] * machine.strex_cycles
+    )
+    load_use = (
+        totals["load"] * max(machine.l1d.latency - 1, 0) * machine.load_use_exposure
+    )
+    misc_stalls = unaligned * machine.unaligned_penalty
+
+    components = {
+        "base": base_cycles,
+        "ops": op_stalls,
+        "load_use": load_use,
+        "sync": sync_stalls,
+        "misc": misc_stalls,
+        **stalls,
+    }
+    core_cycles = sum(components.values())
+
+    branches = int(trace.n_branches)
+    spec_inflation = 1.0 + 0.6 * wrongpath_instructions / max(n_instrs, 1)
+
+    counts: dict[str, float] = {
+        "instructions": float(n_instrs),
+        "branches": float(branches),
+        "cond_branches": float(cond_branches),
+        "branch_mispredicts": float(branch_mispredicts),
+        "cond_mispredicts": float(cond_mispredicts),
+        "returns": float(returns),
+        "calls": float(calls),
+        "indirect_branches": float(indirect_branches),
+        "indirect_mispredicts": float(indirect_mispredicts),
+        "ras_incorrect": float(ras.incorrect),
+        "spec_instructions": float(n_instrs) * spec_inflation,
+        "wrongpath_instructions": float(wrongpath_instructions),
+        "unaligned_accesses": float(unaligned),
+        # Instruction side.
+        "l1i_fetch_accesses": float(l1i_fetch_accesses),
+        "l1i_instr_accesses": float(n_instrs + wrongpath_instructions),
+        "l1i_misses": float(l1i.stats.read_misses),
+        "itlb_lookups": float(tlb.itlb.stats.lookups),
+        "itlb_misses": float(tlb.itlb.stats.misses),
+        "itlb_wrongpath_misses": float(itlb_wrongpath_misses),
+        "l2tlb_i_accesses": float(tlb.l2_itlb.stats.lookups),
+        "l2tlb_i_hits": float(tlb.l2_itlb.stats.hits),
+        "l2tlb_i_misses": float(tlb.l2_itlb.stats.misses),
+        "itlb_walks": float(tlb.walks_inst),
+        # Data side.
+        "dtlb_lookups": float(tlb.dtlb.stats.lookups),
+        "dtlb_misses": float(tlb.dtlb.stats.misses),
+        "l2tlb_d_accesses": float(tlb.l2_dtlb.stats.lookups),
+        "l2tlb_d_misses": float(tlb.l2_dtlb.stats.misses),
+        "dtlb_walks": float(tlb.walks_data),
+        "l1d_rd_accesses": float(l1d.stats.read_accesses),
+        "l1d_wr_accesses": float(l1d.stats.write_accesses),
+        "l1d_rd_misses": float(l1d.stats.read_misses),
+        "l1d_wr_misses": float(l1d.stats.write_misses),
+        "l1d_wr_refills": float(l1d.stats.write_refills),
+        "l1d_writebacks": float(l1d.stats.writebacks),
+        "l1d_streaming_stores": float(l1d.stats.streaming_stores),
+        # Shared L2 and memory.
+        "l2_rd_accesses": float(l2.stats.read_accesses),
+        "l2_wr_accesses": float(l2.stats.write_accesses),
+        "l2_rd_misses": float(l2.stats.read_misses),
+        "l2_wr_misses": float(l2.stats.write_misses),
+        "l2_writebacks": float(l2.stats.writebacks),
+        "l2_prefetches": float(l2.stats.prefetches_issued),
+        "dram_reads": float(dram_reads),
+        "dram_writes": float(dram_writes),
+    }
+    for kind in KIND_NAMES:
+        counts[f"inst_{kind}"] = float(totals[kind])
+
+    return SimResult(
+        machine=machine,
+        trace_name=trace.name,
+        threads=profile.threads,
+        counts=counts,
+        core_cycles=core_cycles,
+        dram_stall_weight=dram_weight,
+        components=components,
+    )

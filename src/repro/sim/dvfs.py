@@ -1,0 +1,115 @@
+"""DVFS operating points and voltage tables for the Exynos-5422 clusters.
+
+The paper sweeps 200/600/1000/1400 MHz on the Cortex-A7 and
+600/1000/1400/1800 MHz on the Cortex-A15 (2 GHz thermally throttles, so
+1.8 GHz is the ceiling used — Section III).  The voltage values follow the
+published Exynos-5422 ASV tables to within binning tolerance; the power
+model application tool takes its voltage from this lookup, which is what
+lets a power model be re-applied at a different voltage without re-running
+the simulation (Fig. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MHZ = 1_000_000.0
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A single DVFS operating performance point."""
+
+    freq_hz: float
+    voltage: float
+
+    @property
+    def freq_mhz(self) -> float:
+        return self.freq_hz / MHZ
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.freq_mhz:.0f} MHz @ {self.voltage:.4f} V"
+
+
+class OppTable:
+    """Ordered table of operating points for one CPU cluster."""
+
+    def __init__(self, core: str, points: list[OperatingPoint]):
+        if not points:
+            raise ValueError("an OPP table needs at least one point")
+        self.core = core
+        self.points = sorted(points, key=lambda p: p.freq_hz)
+        self._by_freq = {round(p.freq_hz): p for p in self.points}
+
+    def voltage(self, freq_hz: float) -> float:
+        """Voltage for a supported frequency.
+
+        Raises:
+            KeyError: If the frequency is not an exact table entry.
+        """
+        key = round(freq_hz)
+        if key not in self._by_freq:
+            supported = ", ".join(f"{p.freq_mhz:.0f}" for p in self.points)
+            raise KeyError(
+                f"{freq_hz / MHZ:.0f} MHz is not an OPP of the {self.core} "
+                f"(supported: {supported} MHz)"
+            )
+        return self._by_freq[key].voltage
+
+    def frequencies(self) -> list[float]:
+        """All supported frequencies in Hz, ascending."""
+        return [p.freq_hz for p in self.points]
+
+    @property
+    def min_freq(self) -> float:
+        return self.points[0].freq_hz
+
+    @property
+    def max_freq(self) -> float:
+        return self.points[-1].freq_hz
+
+
+#: Frequencies the paper's Experiment 1 sweeps per cluster.
+EXPERIMENT_FREQUENCIES_MHZ: dict[str, tuple[int, ...]] = {
+    "A7": (200, 600, 1000, 1400),
+    "A15": (600, 1000, 1400, 1800),
+}
+
+_A7_TABLE = [
+    OperatingPoint(200 * MHZ, 0.9125),
+    OperatingPoint(400 * MHZ, 0.9250),
+    OperatingPoint(600 * MHZ, 0.9500),
+    OperatingPoint(800 * MHZ, 1.0000),
+    OperatingPoint(1000 * MHZ, 1.0500),
+    OperatingPoint(1200 * MHZ, 1.1250),
+    OperatingPoint(1400 * MHZ, 1.2000),
+]
+
+_A15_TABLE = [
+    OperatingPoint(200 * MHZ, 0.9000),
+    OperatingPoint(400 * MHZ, 0.9125),
+    OperatingPoint(600 * MHZ, 0.9375),
+    OperatingPoint(800 * MHZ, 0.9750),
+    OperatingPoint(1000 * MHZ, 1.0125),
+    OperatingPoint(1200 * MHZ, 1.0625),
+    OperatingPoint(1400 * MHZ, 1.1250),
+    OperatingPoint(1600 * MHZ, 1.1875),
+    OperatingPoint(1800 * MHZ, 1.2625),
+    OperatingPoint(2000 * MHZ, 1.3625),
+]
+
+
+def opp_table_for(core: str) -> OppTable:
+    """The OPP table of one cluster (``"A7"`` or ``"A15"``)."""
+    if core == "A7":
+        return OppTable("A7", list(_A7_TABLE))
+    if core == "A15":
+        return OppTable("A15", list(_A15_TABLE))
+    raise ValueError(f"unknown core {core!r}; expected 'A7' or 'A15'")
+
+
+def experiment_frequencies(core: str) -> list[float]:
+    """The paper's sweep frequencies for one cluster, in Hz."""
+    if core not in EXPERIMENT_FREQUENCIES_MHZ:
+        raise ValueError(f"unknown core {core!r}")
+    return [mhz * MHZ for mhz in EXPERIMENT_FREQUENCIES_MHZ[core]]

@@ -1,0 +1,115 @@
+"""On-disk memoisation of simulation results.
+
+GemStone is rerun constantly — after every model adjustment, every simulator
+update (Section VII's workflow).  Simulation results depend only on the
+(trace, machine configuration) pair, both of which are fully deterministic,
+so they are safely memoised on disk: the cache key hashes the *entire*
+machine configuration (not just its name — ablation studies mutate configs
+in place) together with the trace identity.
+
+The hardware platform and the gem5 simulation both accept a ``cache_dir``;
+re-running an evaluation after a restart then costs seconds, not minutes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+
+from repro.sim.cpu import SimResult
+from repro.sim.machine import MachineConfig
+from repro.workloads.trace import SyntheticTrace
+
+#: Bump when SimResult's meaning changes; invalidates every cached entry.
+CACHE_SCHEMA_VERSION = 2
+
+
+def machine_fingerprint(machine: MachineConfig) -> str:
+    """Stable hash of every field of a machine configuration."""
+    payload = json.dumps(dataclasses.asdict(machine), sort_keys=True)
+    return hashlib.sha1(payload.encode()).hexdigest()
+
+
+def cache_key(trace: SyntheticTrace, machine: MachineConfig) -> str:
+    """Cache key for one (trace, machine) simulation."""
+    raw = "|".join(
+        [
+            f"v{CACHE_SCHEMA_VERSION}",
+            trace.name,
+            str(trace.seed),
+            str(trace.n_instrs),
+            machine_fingerprint(machine),
+        ]
+    )
+    return hashlib.sha1(raw.encode()).hexdigest()
+
+
+class SimResultCache:
+    """A directory of JSON-serialised :class:`SimResult` objects."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def get(
+        self, trace: SyntheticTrace, machine: MachineConfig
+    ) -> SimResult | None:
+        """Cached result for this simulation, or None.
+
+        Corrupt entries are treated as misses and removed.
+        """
+        path = self._path(cache_key(trace, machine))
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+            return SimResult(
+                machine=machine,
+                trace_name=data["trace_name"],
+                threads=int(data["threads"]),
+                counts={k: float(v) for k, v in data["counts"].items()},
+                core_cycles=float(data["core_cycles"]),
+                dram_stall_weight=float(data["dram_stall_weight"]),
+                components={k: float(v) for k, v in data["components"].items()},
+            )
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            os.remove(path)
+            return None
+
+    def put(
+        self, trace: SyntheticTrace, machine: MachineConfig, result: SimResult
+    ) -> None:
+        """Store one simulation result (atomic write)."""
+        path = self._path(cache_key(trace, machine))
+        payload = {
+            "trace_name": result.trace_name,
+            "threads": result.threads,
+            "counts": result.counts,
+            "core_cycles": result.core_cycles,
+            "dram_stall_weight": result.dram_stall_weight,
+            "components": result.components,
+        }
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        with open(tmp_path, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp_path, path)
+
+    def clear(self) -> int:
+        """Remove all cached entries; returns the number removed."""
+        removed = 0
+        for name in os.listdir(self.directory):
+            if name.endswith(".json"):
+                os.remove(os.path.join(self.directory, name))
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return sum(
+            1 for name in os.listdir(self.directory) if name.endswith(".json")
+        )

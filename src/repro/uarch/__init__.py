@@ -1,0 +1,40 @@
+"""Micro-architectural component models shared by both simulators.
+
+The reference "hardware" platform and the gem5-style model are built from the
+same component library — set-associative caches (:mod:`repro.uarch.cache`),
+TLB hierarchies (:mod:`repro.uarch.tlb`), branch predictors
+(:mod:`repro.uarch.branch`) — configured differently.  Every behavioural
+divergence between the two simulators is therefore expressed as a
+configuration difference, mirroring how the paper traces gem5's errors back
+to specification errors rather than to a fundamentally different machine.
+"""
+
+from repro.uarch.branch import (
+    BranchPredictor,
+    BimodalPredictor,
+    BuggyTournamentPredictor,
+    GsharePredictor,
+    IndirectPredictor,
+    ReturnAddressStack,
+    TournamentPredictor,
+    make_predictor,
+)
+from repro.uarch.cache import CacheStats, SetAssociativeCache, StridePrefetcher
+from repro.uarch.tlb import Tlb, TlbHierarchy, TlbHierarchyConfig
+
+__all__ = [
+    "BranchPredictor",
+    "BimodalPredictor",
+    "BuggyTournamentPredictor",
+    "GsharePredictor",
+    "IndirectPredictor",
+    "ReturnAddressStack",
+    "TournamentPredictor",
+    "make_predictor",
+    "CacheStats",
+    "SetAssociativeCache",
+    "StridePrefetcher",
+    "Tlb",
+    "TlbHierarchy",
+    "TlbHierarchyConfig",
+]

@@ -1,0 +1,34 @@
+"""Synthetic workload suites, trace compilation, and micro-benchmarks.
+
+The paper evaluates 65 workloads drawn from MiBench, ParMiBench, PARSEC
+(single- and four-threaded), LMBench, Roy Longbottom's collection, Dhrystone
+and Whetstone.  None of those binaries can run here, so each workload is
+described by a :class:`~repro.workloads.profile.WorkloadProfile` capturing the
+axes that matter to the paper's analysis — instruction mix, branch behaviour,
+code/data footprints, locality, synchronisation rates — and compiled by
+:mod:`repro.workloads.trace` into a deterministic ISA-level trace that both
+the reference "hardware" platform and the gem5-style model execute.
+"""
+
+from repro.workloads.profile import WorkloadProfile
+from repro.workloads.suites import (
+    POWER_SET,
+    VALIDATION_SET,
+    all_workloads,
+    power_modelling_workloads,
+    validation_workloads,
+    workload_by_name,
+)
+from repro.workloads.trace import SyntheticTrace, compile_trace
+
+__all__ = [
+    "WorkloadProfile",
+    "POWER_SET",
+    "VALIDATION_SET",
+    "all_workloads",
+    "power_modelling_workloads",
+    "validation_workloads",
+    "workload_by_name",
+    "SyntheticTrace",
+    "compile_trace",
+]

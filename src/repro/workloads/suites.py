@@ -1,0 +1,604 @@
+"""The 65-workload catalog used throughout the paper.
+
+Section III: "A set of 65 workloads from several benchmarking suites were
+used ... including MiBench, ParMiBench, LMBench, Roy Longbottom's PC
+Benchmark Collection, PARSEC, Dhrystone and Whetstone.  PARSEC workloads were
+run both with a single thread and four threads."
+
+The 45-workload *validation set* (Experiment 1: MiBench, ParMiBench, PARSEC
+x1/x4, Dhrystone, Whetstone) evaluates the gem5 models; the full 65-workload
+*power set* additionally includes LMBench and Longbottom workloads and trains
+the power models (Experiments 3 and 4).
+
+Each profile is hand-written to mimic the published character of the real
+benchmark: e.g. ``par-basicmath-rad2deg`` is a tiny, almost perfectly
+predictable hot loop — the paper's pathological Cluster-16 workload whose
+branch-predictor behaviour inverts between hardware and the buggy gem5 model.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.profile import WorkloadProfile
+
+
+def _p(name: str, suite: str, **kwargs: object) -> WorkloadProfile:
+    return WorkloadProfile(name=name, suite=suite, **kwargs)  # type: ignore[arg-type]
+
+
+def _mibench() -> list[WorkloadProfile]:
+    """MiBench: embedded single-threaded benchmarks (prefix ``mi-``)."""
+    return [
+        _p(
+            "mi-qsort", "mibench",
+            frac_load=0.24, frac_store=0.10, frac_branch=0.19,
+            loop_branch_frac=0.30, pattern_branch_frac=0.10,
+            biased_branch_frac=0.50, random_branch_frac=0.10,
+            data_kb=512, frac_seq=0.50, frac_stride=0.20, frac_rand=0.30,
+            code_kb=48, ilp=1.5, natural_seconds=4.0,
+            description="quick sort of strings; data-dependent compares",
+        ),
+        _p(
+            "mi-susan-smoothing", "mibench",
+            frac_load=0.28, frac_store=0.12, frac_branch=0.10,
+            frac_mul=0.04, loop_branch_frac=0.70, pattern_branch_frac=0.10,
+            biased_branch_frac=0.15, random_branch_frac=0.05,
+            loop_trip_mean=40, data_kb=768, frac_seq=0.80, frac_stride=0.15,
+            frac_rand=0.05, code_kb=36, ilp=2.4, natural_seconds=6.0,
+            description="image smoothing; regular nested loops over pixels",
+        ),
+        _p(
+            "mi-susan-edges", "mibench",
+            frac_load=0.26, frac_store=0.09, frac_branch=0.14,
+            frac_mul=0.05, loop_branch_frac=0.55, pattern_branch_frac=0.15,
+            biased_branch_frac=0.22, random_branch_frac=0.08,
+            loop_trip_mean=30, data_kb=768, frac_seq=0.70, frac_stride=0.20,
+            frac_rand=0.10, code_kb=40, ilp=2.2, natural_seconds=5.0,
+            description="edge detection; thresholded pixel loops",
+        ),
+        _p(
+            "mi-susan-corners", "mibench",
+            frac_load=0.25, frac_store=0.08, frac_branch=0.17,
+            frac_mul=0.05, loop_branch_frac=0.45, pattern_branch_frac=0.15,
+            biased_branch_frac=0.32, random_branch_frac=0.08,
+            loop_trip_mean=25, data_kb=768, frac_seq=0.65, frac_stride=0.20,
+            frac_rand=0.15, code_kb=40, ilp=2.0, natural_seconds=4.0,
+            description="corner detection; branchier thresholding",
+        ),
+        _p(
+            "mi-jpeg-encode", "mibench",
+            frac_load=0.24, frac_store=0.11, frac_branch=0.12,
+            frac_mul=0.08, frac_simd=0.02, loop_branch_frac=0.60,
+            pattern_branch_frac=0.15, biased_branch_frac=0.18,
+            random_branch_frac=0.07, loop_trip_mean=16, data_kb=1024,
+            frac_seq=0.60, frac_stride=0.30, frac_rand=0.10, code_kb=160,
+            n_functions=24, ilp=2.1, natural_seconds=5.0,
+            description="JPEG compression; DCT multiplies, table lookups",
+        ),
+        _p(
+            "mi-typeset", "mibench",
+            frac_load=0.25, frac_store=0.10, frac_branch=0.20,
+            loop_branch_frac=0.25, pattern_branch_frac=0.12,
+            biased_branch_frac=0.53, random_branch_frac=0.10,
+            indirect_frac=0.06, return_frac=0.10, loop_trip_mean=6,
+            data_kb=2048, frac_seq=0.50, frac_stride=0.20, frac_rand=0.30,
+            code_kb=320, n_functions=48, ilp=1.3, natural_seconds=6.0,
+            frac_unaligned=0.03,
+            description="HTML typesetting; huge code footprint, indirect calls",
+        ),
+        _p(
+            "mi-dijkstra", "mibench",
+            frac_load=0.30, frac_store=0.08, frac_branch=0.18,
+            loop_branch_frac=0.40, pattern_branch_frac=0.08,
+            biased_branch_frac=0.44, random_branch_frac=0.08,
+            data_kb=1536, frac_seq=0.45, frac_stride=0.20, frac_rand=0.35,
+            code_kb=24, ilp=1.1, natural_seconds=5.0,
+            description="shortest path; adjacency-matrix pointer chasing",
+        ),
+        _p(
+            "mi-patricia", "mibench",
+            frac_load=0.29, frac_store=0.07, frac_branch=0.21,
+            loop_branch_frac=0.22, pattern_branch_frac=0.08,
+            biased_branch_frac=0.60, random_branch_frac=0.10,
+            return_frac=0.12, loop_trip_mean=4, data_kb=1024,
+            frac_seq=0.40, frac_stride=0.20, frac_rand=0.40, code_kb=32,
+            ilp=1.0, natural_seconds=4.0,
+            description="Patricia trie; deep data-dependent branching",
+        ),
+        _p(
+            "mi-stringsearch", "mibench",
+            frac_load=0.27, frac_store=0.05, frac_branch=0.22,
+            loop_branch_frac=0.50, pattern_branch_frac=0.25,
+            biased_branch_frac=0.18, random_branch_frac=0.07,
+            loop_trip_mean=20, data_kb=128, frac_seq=0.85, frac_stride=0.10,
+            frac_rand=0.05, code_kb=12, ilp=1.8, natural_seconds=3.0,
+            frac_unaligned=0.05,
+            description="Boyer-Moore search; byte-scan loops",
+        ),
+        _p(
+            "mi-blowfish", "mibench",
+            frac_load=0.22, frac_store=0.09, frac_branch=0.08,
+            loop_branch_frac=0.75, pattern_branch_frac=0.05,
+            biased_branch_frac=0.15, random_branch_frac=0.05,
+            loop_trip_mean=16, data_kb=20, frac_seq=0.55, frac_stride=0.15,
+            frac_rand=0.30, code_kb=16, ilp=2.3, natural_seconds=5.0,
+            description="Blowfish cipher; S-box lookups, unrolled rounds",
+        ),
+        _p(
+            "mi-sha", "mibench",
+            frac_load=0.18, frac_store=0.07, frac_branch=0.07,
+            loop_branch_frac=0.80, pattern_branch_frac=0.05,
+            biased_branch_frac=0.10, random_branch_frac=0.05,
+            loop_trip_mean=20, data_kb=64, frac_seq=0.90, frac_stride=0.05,
+            frac_rand=0.05, code_kb=8, ilp=2.5, natural_seconds=5.0,
+            description="SHA-1 digest; rotate/xor heavy straight-line rounds",
+        ),
+        _p(
+            "mi-crc32", "mibench",
+            frac_load=0.30, frac_store=0.02, frac_branch=0.13,
+            loop_branch_frac=0.90, pattern_branch_frac=0.02,
+            biased_branch_frac=0.05, random_branch_frac=0.03,
+            loop_trip_mean=120, data_kb=256, frac_seq=0.85, frac_stride=0.05,
+            frac_rand=0.10, code_kb=4, n_functions=2, ilp=1.9,
+            natural_seconds=4.0,
+            description="CRC32; tiny table-lookup loop over a buffer",
+        ),
+        _p(
+            "mi-fft", "mibench",
+            frac_load=0.24, frac_store=0.12, frac_branch=0.11,
+            frac_fp=0.22, frac_mul=0.03, loop_branch_frac=0.65,
+            pattern_branch_frac=0.12, biased_branch_frac=0.15,
+            random_branch_frac=0.08, loop_trip_mean=24, data_kb=512,
+            frac_seq=0.40, frac_stride=0.50, frac_rand=0.10, stride_b=128,
+            code_kb=20, ilp=1.9, natural_seconds=5.0,
+            description="radix-2 FFT; butterfly strides, VFP multiplies",
+        ),
+        _p(
+            "mi-basicmath", "mibench",
+            frac_load=0.14, frac_store=0.06, frac_branch=0.14,
+            frac_fp=0.24, frac_div=0.03, loop_branch_frac=0.70,
+            pattern_branch_frac=0.08, biased_branch_frac=0.15,
+            random_branch_frac=0.07, loop_trip_mean=50, data_kb=32,
+            frac_seq=0.80, frac_stride=0.10, frac_rand=0.10, code_kb=16,
+            ilp=1.4, natural_seconds=5.0,
+            description="cubic solver / angle conversions; VFP with divides",
+        ),
+        _p(
+            "mi-bitcount", "mibench",
+            frac_load=0.08, frac_store=0.02, frac_branch=0.16,
+            loop_branch_frac=0.85, pattern_branch_frac=0.04,
+            biased_branch_frac=0.07, random_branch_frac=0.04,
+            loop_trip_mean=80, data_kb=8, frac_seq=0.70, frac_stride=0.10,
+            frac_rand=0.20, code_kb=6, n_functions=4, ilp=2.0,
+            natural_seconds=4.0,
+            backward_loop_frac=0.45,
+            description="bit-count kernels; tight counted loops",
+        ),
+    ]
+
+
+def _parmibench() -> list[WorkloadProfile]:
+    """ParMiBench: parallel MiBench ports, 4 threads (prefix ``par-``)."""
+    sync = dict(frac_ldrex=0.010, frac_strex=0.010, frac_barrier=0.007, threads=4)
+    return [
+        _p(
+            "par-basicmath-rad2deg", "parmibench",
+            frac_load=0.10, frac_store=0.04, frac_branch=0.12,
+            frac_fp=0.20, loop_branch_frac=0.93, pattern_branch_frac=0.02,
+            biased_branch_frac=0.03, random_branch_frac=0.02,
+            loop_trip_mean=400, data_kb=8, frac_seq=0.90, frac_stride=0.05,
+            frac_rand=0.05, code_kb=4, n_functions=2, backward_loop_frac=1.0, ilp=1.05,
+            natural_seconds=4.0, threads=4,
+            description="radian-to-degree loop; ~perfectly predictable branches",
+        ),
+        _p(
+            "par-basicmath-deg2rad", "parmibench",
+            frac_load=0.10, frac_store=0.04, frac_branch=0.13,
+            frac_fp=0.21, loop_branch_frac=0.90, pattern_branch_frac=0.03,
+            biased_branch_frac=0.04, random_branch_frac=0.03,
+            loop_trip_mean=300, data_kb=8, frac_seq=0.90, frac_stride=0.05,
+            frac_rand=0.05, code_kb=4, n_functions=2, backward_loop_frac=0.85, ilp=1.05,
+            natural_seconds=4.0, threads=4,
+            description="degree-to-radian loop; sibling of rad2deg",
+        ),
+        _p(
+            "par-basicmath-cubic", "parmibench",
+            frac_load=0.13, frac_store=0.05, frac_branch=0.15,
+            frac_fp=0.25, frac_div=0.04, loop_branch_frac=0.65,
+            pattern_branch_frac=0.08, biased_branch_frac=0.18,
+            random_branch_frac=0.09, loop_trip_mean=30, data_kb=16,
+            frac_seq=0.85, frac_stride=0.05, frac_rand=0.10, code_kb=12,
+            ilp=1.3, natural_seconds=5.0, threads=4,
+            description="cubic equation solver; VFP divides",
+        ),
+        _p(
+            "par-bitcount", "parmibench",
+            frac_load=0.08, frac_store=0.02, frac_branch=0.17,
+            loop_branch_frac=0.84, pattern_branch_frac=0.04,
+            biased_branch_frac=0.08, random_branch_frac=0.04,
+            loop_trip_mean=70, data_kb=16, frac_seq=0.70, frac_stride=0.10,
+            frac_rand=0.20, code_kb=8, n_functions=4, ilp=2.0,
+            natural_seconds=4.0, **sync,
+            backward_loop_frac=0.45,
+            description="parallel bit counting; partitioned tight loops",
+        ),
+        _p(
+            "par-susan-smoothing", "parmibench",
+            frac_load=0.27, frac_store=0.11, frac_branch=0.10,
+            frac_mul=0.04, loop_branch_frac=0.68, pattern_branch_frac=0.10,
+            biased_branch_frac=0.16, random_branch_frac=0.06,
+            loop_trip_mean=40, data_kb=1024, frac_seq=0.78, frac_stride=0.15,
+            frac_rand=0.07, code_kb=40, ilp=2.3, natural_seconds=6.0, **sync,
+            description="parallel image smoothing; row-partitioned loops",
+        ),
+        _p(
+            "par-susan-edges", "parmibench",
+            frac_load=0.25, frac_store=0.09, frac_branch=0.14,
+            frac_mul=0.05, loop_branch_frac=0.52, pattern_branch_frac=0.15,
+            biased_branch_frac=0.23, random_branch_frac=0.10,
+            loop_trip_mean=28, data_kb=1024, frac_seq=0.70, frac_stride=0.18,
+            frac_rand=0.12, code_kb=44, ilp=2.1, natural_seconds=5.0, **sync,
+            description="parallel edge detection",
+        ),
+        _p(
+            "par-dijkstra", "parmibench",
+            frac_load=0.29, frac_store=0.08, frac_branch=0.18,
+            loop_branch_frac=0.38, pattern_branch_frac=0.08,
+            biased_branch_frac=0.46, random_branch_frac=0.08,
+            data_kb=2048, frac_seq=0.45, frac_stride=0.20, frac_rand=0.35,
+            code_kb=28, ilp=1.1, natural_seconds=6.0, **sync,
+            description="parallel shortest path; shared graph, locks",
+        ),
+        _p(
+            "par-patricia", "parmibench",
+            frac_load=0.28, frac_store=0.08, frac_branch=0.20,
+            loop_branch_frac=0.22, pattern_branch_frac=0.08,
+            biased_branch_frac=0.60, random_branch_frac=0.10,
+            return_frac=0.12, loop_trip_mean=4, data_kb=1536,
+            frac_seq=0.40, frac_stride=0.20, frac_rand=0.40, code_kb=36,
+            frac_ldrex=0.012, frac_strex=0.012, frac_barrier=0.008,
+            threads=4, ilp=1.0, natural_seconds=5.0,
+            description="parallel trie under a lock; highest sync rate",
+        ),
+        _p(
+            "par-sha", "parmibench",
+            frac_load=0.18, frac_store=0.07, frac_branch=0.07,
+            loop_branch_frac=0.78, pattern_branch_frac=0.06,
+            biased_branch_frac=0.11, random_branch_frac=0.05,
+            loop_trip_mean=20, data_kb=256, frac_seq=0.90, frac_stride=0.05,
+            frac_rand=0.05, code_kb=10, ilp=2.5, natural_seconds=5.0, **sync,
+            description="parallel SHA over independent chunks",
+        ),
+        _p(
+            "par-stringsearch", "parmibench",
+            frac_load=0.26, frac_store=0.05, frac_branch=0.21,
+            loop_branch_frac=0.48, pattern_branch_frac=0.25,
+            biased_branch_frac=0.19, random_branch_frac=0.08,
+            loop_trip_mean=18, data_kb=512, frac_seq=0.85, frac_stride=0.10,
+            frac_rand=0.05, code_kb=14, ilp=1.8, natural_seconds=4.0, **sync,
+            frac_unaligned=0.05,
+            description="parallel string search over partitioned text",
+        ),
+    ]
+
+
+def _parsec_base() -> list[WorkloadProfile]:
+    """PARSEC single-thread baselines (prefix ``parsec-``, suffixed ``-1``)."""
+    return [
+        _p(
+            "parsec-blackscholes-1", "parsec",
+            frac_load=0.20, frac_store=0.07, frac_branch=0.08,
+            frac_fp=0.30, frac_div=0.02, loop_branch_frac=0.75,
+            pattern_branch_frac=0.05, biased_branch_frac=0.15,
+            random_branch_frac=0.05, loop_trip_mean=60, data_kb=512,
+            frac_seq=0.85, frac_stride=0.10, frac_rand=0.05, code_kb=24,
+            ilp=2.6, natural_seconds=6.0,
+            description="option pricing; dense VFP arithmetic, regular loops",
+        ),
+        _p(
+            "parsec-bodytrack-1", "parsec",
+            frac_load=0.24, frac_store=0.09, frac_branch=0.15,
+            frac_fp=0.18, loop_branch_frac=0.45, pattern_branch_frac=0.12,
+            biased_branch_frac=0.35, random_branch_frac=0.08,
+            loop_trip_mean=15, data_kb=3072, frac_seq=0.55, frac_stride=0.25,
+            frac_rand=0.20, code_kb=220, n_functions=36, ilp=1.7,
+            natural_seconds=7.0,
+            description="body tracking; FP with data-dependent control",
+        ),
+        _p(
+            "parsec-canneal-1", "parsec",
+            frac_load=0.31, frac_store=0.09, frac_branch=0.16,
+            loop_branch_frac=0.30, pattern_branch_frac=0.05,
+            biased_branch_frac=0.55, random_branch_frac=0.10,
+            loop_trip_mean=8, data_kb=6144, frac_seq=0.40, frac_stride=0.20,
+            frac_rand=0.40, code_kb=96, n_functions=16, ilp=0.9,
+            natural_seconds=8.0,
+            description="simulated annealing; giant random working set",
+        ),
+        _p(
+            "parsec-dedup-1", "parsec",
+            frac_load=0.26, frac_store=0.12, frac_branch=0.14,
+            frac_mul=0.03, loop_branch_frac=0.50, pattern_branch_frac=0.08,
+            biased_branch_frac=0.34, random_branch_frac=0.08,
+            loop_trip_mean=24, data_kb=6144, frac_seq=0.65, frac_stride=0.10,
+            frac_rand=0.25, code_kb=180, n_functions=28, ilp=1.6,
+            natural_seconds=6.0,
+            frac_unaligned=0.04,
+            description="dedup pipeline; hashing over streams, hash tables",
+        ),
+        _p(
+            "parsec-ferret-1", "parsec",
+            frac_load=0.25, frac_store=0.09, frac_branch=0.16,
+            frac_fp=0.10, loop_branch_frac=0.38, pattern_branch_frac=0.10,
+            biased_branch_frac=0.44, random_branch_frac=0.08,
+            indirect_frac=0.04, return_frac=0.09, loop_trip_mean=10,
+            data_kb=4096, frac_seq=0.50, frac_stride=0.20, frac_rand=0.30,
+            code_kb=300, n_functions=48, ilp=1.4, natural_seconds=8.0,
+            description="image similarity search; large code, mixed control",
+        ),
+        _p(
+            "parsec-fluidanimate-1", "parsec",
+            frac_load=0.26, frac_store=0.11, frac_branch=0.11,
+            frac_fp=0.22, loop_branch_frac=0.60, pattern_branch_frac=0.08,
+            biased_branch_frac=0.22, random_branch_frac=0.10,
+            loop_trip_mean=20, data_kb=4096, frac_seq=0.40, frac_stride=0.45,
+            frac_rand=0.15, stride_b=96, code_kb=56, ilp=1.9,
+            natural_seconds=7.0,
+            description="SPH fluid simulation; strided particle grids",
+        ),
+        _p(
+            "parsec-freqmine-1", "parsec",
+            frac_load=0.28, frac_store=0.08, frac_branch=0.19,
+            loop_branch_frac=0.32, pattern_branch_frac=0.08,
+            biased_branch_frac=0.50, random_branch_frac=0.10,
+            return_frac=0.10, loop_trip_mean=7, data_kb=8192,
+            frac_seq=0.50, frac_stride=0.15, frac_rand=0.35, code_kb=140,
+            n_functions=24, ilp=1.2, natural_seconds=8.0,
+            description="frequent itemset mining; FP-tree pointer chasing",
+        ),
+        _p(
+            "parsec-streamcluster-1", "parsec",
+            frac_load=0.29, frac_store=0.07, frac_branch=0.10,
+            frac_fp=0.20, loop_branch_frac=0.70, pattern_branch_frac=0.05,
+            biased_branch_frac=0.18, random_branch_frac=0.07,
+            loop_trip_mean=50, data_kb=8192, frac_seq=0.85, frac_stride=0.10,
+            frac_rand=0.05, code_kb=28, ilp=1.8, natural_seconds=8.0,
+            description="online clustering; streaming distance computations",
+        ),
+        _p(
+            "parsec-swaptions-1", "parsec",
+            frac_load=0.19, frac_store=0.08, frac_branch=0.09,
+            frac_fp=0.28, frac_div=0.01, loop_branch_frac=0.70,
+            pattern_branch_frac=0.06, biased_branch_frac=0.17,
+            random_branch_frac=0.07, loop_trip_mean=35, data_kb=256,
+            frac_seq=0.75, frac_stride=0.20, frac_rand=0.05, code_kb=32,
+            ilp=2.4, natural_seconds=6.0,
+            description="HJM swaption pricing; Monte-Carlo VFP kernels",
+        ),
+    ]
+
+
+def _parsec() -> list[WorkloadProfile]:
+    """PARSEC run with one and with four threads, as in the paper."""
+    singles = _parsec_base()
+    return singles + [p.with_threads(4) for p in singles]
+
+
+def _classic() -> list[WorkloadProfile]:
+    """Dhrystone and Whetstone (suite ``classic``)."""
+    return [
+        _p(
+            "dhrystone", "classic",
+            frac_load=0.20, frac_store=0.10, frac_branch=0.17,
+            loop_branch_frac=0.55, pattern_branch_frac=0.10,
+            biased_branch_frac=0.30, random_branch_frac=0.05,
+            return_frac=0.10, loop_trip_mean=12, data_kb=12,
+            frac_seq=0.70, frac_stride=0.10, frac_rand=0.20, code_kb=10,
+            n_functions=8, ilp=2.2, natural_seconds=4.0,
+            description="Dhrystone 2.1; tiny footprint, predictable integer",
+        ),
+        _p(
+            "whetstone", "classic",
+            frac_load=0.15, frac_store=0.06, frac_branch=0.10,
+            frac_fp=0.34, frac_div=0.03, loop_branch_frac=0.80,
+            pattern_branch_frac=0.04, biased_branch_frac=0.11,
+            random_branch_frac=0.05, loop_trip_mean=100, data_kb=8,
+            frac_seq=0.85, frac_stride=0.10, frac_rand=0.05, code_kb=8,
+            n_functions=6, ilp=1.5, natural_seconds=4.0,
+            backward_loop_frac=0.60,
+            description="Whetstone; VFP-saturated counted loops",
+        ),
+    ]
+
+
+def _lmbench() -> list[WorkloadProfile]:
+    """LMBench micro-workloads (prefix ``lm-``); power set only."""
+    chase = dict(
+        frac_load=0.40, frac_store=0.02, frac_branch=0.12,
+        loop_branch_frac=0.88, pattern_branch_frac=0.02,
+        biased_branch_frac=0.06, random_branch_frac=0.04,
+        loop_trip_mean=200, frac_seq=0.02, frac_stride=0.03, frac_rand=0.95,
+        code_kb=4, n_functions=2, ilp=1.0, natural_seconds=4.0,
+    )
+    stream = dict(
+        frac_branch=0.08, loop_branch_frac=0.92, pattern_branch_frac=0.02,
+        biased_branch_frac=0.04, random_branch_frac=0.02,
+        loop_trip_mean=300, frac_seq=0.97, frac_stride=0.02, frac_rand=0.01,
+        code_kb=4, n_functions=2, natural_seconds=4.0,
+    )
+    return [
+        _p("lm-lat-mem-l1", "lmbench", data_kb=16, **chase,
+           description="lat_mem_rd inside L1D"),
+        _p("lm-lat-mem-l2", "lmbench", data_kb=1024, **chase,
+           description="lat_mem_rd inside L2"),
+        _p("lm-lat-mem-dram", "lmbench", data_kb=16384, **chase,
+           description="lat_mem_rd well past L2 (DRAM)"),
+        _p("lm-bw-mem-rd", "lmbench", frac_load=0.45, frac_store=0.02,
+           data_kb=8192, ilp=2.2, **stream, description="streaming read bandwidth"),
+        _p("lm-bw-mem-wr", "lmbench", frac_load=0.05, frac_store=0.42,
+           data_kb=8192, ilp=2.2, **stream, description="streaming write bandwidth"),
+        _p("lm-bw-mem-cp", "lmbench", frac_load=0.25, frac_store=0.25,
+           data_kb=8192, ilp=2.0, **stream, description="streaming copy bandwidth"),
+        _p(
+            "lm-ops-int", "lmbench",
+            frac_load=0.04, frac_store=0.02, frac_branch=0.10,
+            loop_branch_frac=0.92, pattern_branch_frac=0.02,
+            biased_branch_frac=0.04, random_branch_frac=0.02,
+            loop_trip_mean=500, data_kb=4, frac_seq=0.90, frac_stride=0.05,
+            frac_rand=0.05, code_kb=4, n_functions=2, ilp=1.0,
+            natural_seconds=3.0, description="integer op-latency chain",
+        ),
+        _p(
+            "lm-ops-fp", "lmbench",
+            frac_load=0.04, frac_store=0.02, frac_branch=0.10, frac_fp=0.55,
+            loop_branch_frac=0.92, pattern_branch_frac=0.02,
+            biased_branch_frac=0.04, random_branch_frac=0.02,
+            loop_trip_mean=500, data_kb=4, frac_seq=0.90, frac_stride=0.05,
+            frac_rand=0.05, code_kb=4, n_functions=2, ilp=1.0,
+            natural_seconds=3.0, description="VFP op-latency chain",
+        ),
+        _p(
+            "lm-ops-div", "lmbench",
+            frac_load=0.04, frac_store=0.02, frac_branch=0.10, frac_div=0.20,
+            loop_branch_frac=0.92, pattern_branch_frac=0.02,
+            biased_branch_frac=0.04, random_branch_frac=0.02,
+            loop_trip_mean=500, data_kb=4, frac_seq=0.90, frac_stride=0.05,
+            frac_rand=0.05, code_kb=4, n_functions=2, ilp=0.6,
+            natural_seconds=3.0, description="integer divide latency chain",
+        ),
+        _p(
+            "lm-stride-128", "lmbench",
+            frac_load=0.38, frac_store=0.02, frac_branch=0.10,
+            loop_branch_frac=0.90, pattern_branch_frac=0.02,
+            biased_branch_frac=0.05, random_branch_frac=0.03,
+            loop_trip_mean=250, data_kb=4096, frac_seq=0.05, frac_stride=0.90,
+            frac_rand=0.05, stride_b=128, code_kb=4, n_functions=2, ilp=1.4,
+            natural_seconds=4.0, description="fixed 128 B stride sweep",
+        ),
+    ]
+
+
+def _longbottom() -> list[WorkloadProfile]:
+    """Roy Longbottom's PC benchmark collection (prefix ``rl-``)."""
+    return [
+        _p(
+            "rl-linpack", "longbottom",
+            frac_load=0.26, frac_store=0.10, frac_branch=0.09,
+            frac_fp=0.26, frac_mul=0.02, loop_branch_frac=0.80,
+            pattern_branch_frac=0.04, biased_branch_frac=0.11,
+            random_branch_frac=0.05, loop_trip_mean=90, data_kb=2048,
+            frac_seq=0.70, frac_stride=0.25, frac_rand=0.05, code_kb=12,
+            ilp=2.2, natural_seconds=6.0, description="LINPACK DGEFA/DAXPY",
+        ),
+        _p(
+            "rl-livermore", "longbottom",
+            frac_load=0.25, frac_store=0.10, frac_branch=0.10,
+            frac_fp=0.24, loop_branch_frac=0.78, pattern_branch_frac=0.06,
+            biased_branch_frac=0.10, random_branch_frac=0.06,
+            loop_trip_mean=60, data_kb=1024, frac_seq=0.55, frac_stride=0.35,
+            frac_rand=0.10, code_kb=32, ilp=1.9, natural_seconds=6.0,
+            description="Livermore loops; mixed-stride FP kernels",
+        ),
+        _p(
+            "rl-memspeed", "longbottom",
+            frac_load=0.30, frac_store=0.15, frac_branch=0.08,
+            loop_branch_frac=0.90, pattern_branch_frac=0.02,
+            biased_branch_frac=0.05, random_branch_frac=0.03,
+            loop_trip_mean=300, data_kb=12288, frac_seq=0.95,
+            frac_stride=0.04, frac_rand=0.01, code_kb=4, n_functions=2,
+            ilp=2.0, natural_seconds=5.0, description="MemSpeed streaming",
+        ),
+        _p(
+            "rl-busspeed", "longbottom",
+            frac_load=0.38, frac_store=0.04, frac_branch=0.08,
+            loop_branch_frac=0.90, pattern_branch_frac=0.02,
+            biased_branch_frac=0.05, random_branch_frac=0.03,
+            loop_trip_mean=300, data_kb=16384, frac_seq=0.90,
+            frac_stride=0.08, frac_rand=0.02, code_kb=4, n_functions=2,
+            ilp=1.6, natural_seconds=5.0, description="BusSpeed burst reads",
+        ),
+        _p(
+            "rl-randmem", "longbottom",
+            frac_load=0.34, frac_store=0.08, frac_branch=0.12,
+            loop_branch_frac=0.75, pattern_branch_frac=0.04,
+            biased_branch_frac=0.13, random_branch_frac=0.08,
+            loop_trip_mean=100, data_kb=16384, frac_seq=0.05,
+            frac_stride=0.05, frac_rand=0.90, code_kb=6, n_functions=2,
+            ilp=1.0, natural_seconds=6.0, description="RandMem random access",
+        ),
+        _p(
+            "rl-nnet", "longbottom",
+            frac_load=0.24, frac_store=0.09, frac_branch=0.12,
+            frac_fp=0.22, loop_branch_frac=0.62, pattern_branch_frac=0.14,
+            biased_branch_frac=0.16, random_branch_frac=0.08,
+            loop_trip_mean=25, data_kb=512, frac_seq=0.60, frac_stride=0.30,
+            frac_rand=0.10, code_kb=20, ilp=1.8, natural_seconds=6.0,
+            description="neural-net benchmark; dot-product layers",
+        ),
+        _p(
+            "rl-int-arith", "longbottom",
+            frac_load=0.08, frac_store=0.03, frac_branch=0.10,
+            frac_mul=0.06, loop_branch_frac=0.88, pattern_branch_frac=0.03,
+            biased_branch_frac=0.06, random_branch_frac=0.03,
+            loop_trip_mean=200, data_kb=8, frac_seq=0.85, frac_stride=0.10,
+            frac_rand=0.05, code_kb=8, n_functions=4, ilp=2.4,
+            natural_seconds=4.0, description="integer arithmetic sweep",
+        ),
+        _p(
+            "rl-fp-arith", "longbottom",
+            frac_load=0.08, frac_store=0.03, frac_branch=0.09,
+            frac_fp=0.40, loop_branch_frac=0.88, pattern_branch_frac=0.03,
+            biased_branch_frac=0.06, random_branch_frac=0.03,
+            loop_trip_mean=200, data_kb=8, frac_seq=0.85, frac_stride=0.10,
+            frac_rand=0.05, code_kb=8, n_functions=4, ilp=2.0,
+            natural_seconds=4.0, description="VFP arithmetic sweep",
+        ),
+        _p(
+            "rl-mp-flops", "longbottom",
+            frac_load=0.10, frac_store=0.04, frac_branch=0.08,
+            frac_simd=0.38, loop_branch_frac=0.90, pattern_branch_frac=0.02,
+            biased_branch_frac=0.05, random_branch_frac=0.03,
+            loop_trip_mean=250, data_kb=64, frac_seq=0.90, frac_stride=0.05,
+            frac_rand=0.05, code_kb=8, n_functions=4, ilp=2.6,
+            natural_seconds=4.0, description="NEON peak-FLOPS kernels",
+        ),
+        _p(
+            "rl-cache-probe", "longbottom",
+            frac_load=0.36, frac_store=0.04, frac_branch=0.11,
+            loop_branch_frac=0.85, pattern_branch_frac=0.03,
+            biased_branch_frac=0.08, random_branch_frac=0.04,
+            loop_trip_mean=150, data_kb=3072, frac_seq=0.20, frac_stride=0.70,
+            frac_rand=0.10, stride_b=256, code_kb=6, n_functions=2, ilp=1.3,
+            natural_seconds=5.0, description="stride-256 cache probing",
+        ),
+    ]
+
+
+def validation_workloads() -> list[WorkloadProfile]:
+    """The 45-workload set of Experiment 1 (gem5 model validation)."""
+    return _mibench() + _parmibench() + _parsec() + _classic()
+
+
+def power_modelling_workloads() -> list[WorkloadProfile]:
+    """The full 65-workload set used to build the power models."""
+    return validation_workloads() + _lmbench() + _longbottom()
+
+
+def all_workloads() -> list[WorkloadProfile]:
+    """Alias for the full 65-workload catalog."""
+    return power_modelling_workloads()
+
+
+#: Name lists for quick membership checks.
+VALIDATION_SET: tuple[str, ...] = tuple(p.name for p in validation_workloads())
+POWER_SET: tuple[str, ...] = tuple(p.name for p in power_modelling_workloads())
+
+_BY_NAME: dict[str, WorkloadProfile] = {p.name: p for p in power_modelling_workloads()}
+
+
+def workload_by_name(name: str) -> WorkloadProfile:
+    """Look up a workload profile by its catalog name.
+
+    Raises:
+        KeyError: If the name is not in the 65-workload catalog.
+    """
+    return _BY_NAME[name]

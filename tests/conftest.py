@@ -1,0 +1,114 @@
+"""Shared fixtures: small, session-scoped datasets so tests stay fast.
+
+Simulation-heavy fixtures are session-scoped and deliberately tiny (short
+traces, a workload subset, two frequencies); unit tests for the statistical
+and component layers construct their own inputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import GemStone, GemStoneConfig
+from repro.core.validation import ValidationDataset, collect_validation_dataset
+from repro.sim.cpu import SimResult, simulate
+from repro.sim.gem5 import Gem5Simulation
+from repro.sim.machine import (
+    gem5_ex5_big,
+    gem5_ex5_big_fixed_bp,
+    gem5_ex5_little,
+    hardware_a7,
+    hardware_a15,
+)
+from repro.sim.platform import HardwarePlatform
+from repro.workloads.suites import validation_workloads, workload_by_name
+from repro.workloads.trace import SyntheticTrace, compile_trace
+
+TRACE_INSTRUCTIONS = 12_000
+SMALL_FREQS = (600e6, 1000e6)
+
+#: A diverse 12-workload subset: loop-dominated, branchy, memory-bound,
+#: FP-heavy, multi-threaded — enough texture for the statistical stages.
+SMALL_WORKLOADS = (
+    "par-basicmath-rad2deg",
+    "mi-bitcount",
+    "mi-qsort",
+    "mi-typeset",
+    "mi-sha",
+    "mi-fft",
+    "dhrystone",
+    "whetstone",
+    "parsec-canneal-1",
+    "parsec-canneal-4",
+    "parsec-blackscholes-1",
+    "parsec-streamcluster-4",
+    "lm-bw-mem-wr",
+)
+
+
+@pytest.fixture(scope="session")
+def small_profiles():
+    return tuple(workload_by_name(name) for name in SMALL_WORKLOADS)
+
+
+@pytest.fixture(scope="session")
+def rad2deg_trace() -> SyntheticTrace:
+    return compile_trace(workload_by_name("par-basicmath-rad2deg"), TRACE_INSTRUCTIONS)
+
+
+@pytest.fixture(scope="session")
+def qsort_trace() -> SyntheticTrace:
+    return compile_trace(workload_by_name("mi-qsort"), TRACE_INSTRUCTIONS)
+
+
+@pytest.fixture(scope="session")
+def canneal_trace() -> SyntheticTrace:
+    return compile_trace(workload_by_name("parsec-canneal-1"), TRACE_INSTRUCTIONS)
+
+
+@pytest.fixture(scope="session")
+def hw_a15_result(qsort_trace) -> SimResult:
+    return simulate(qsort_trace, hardware_a15())
+
+
+@pytest.fixture(scope="session")
+def gem5_a15_result(qsort_trace) -> SimResult:
+    return simulate(qsort_trace, gem5_ex5_big())
+
+
+@pytest.fixture(scope="session")
+def platform_a15() -> HardwarePlatform:
+    return HardwarePlatform("A15", trace_instructions=TRACE_INSTRUCTIONS)
+
+
+@pytest.fixture(scope="session")
+def platform_a7() -> HardwarePlatform:
+    return HardwarePlatform("A7", trace_instructions=TRACE_INSTRUCTIONS)
+
+
+@pytest.fixture(scope="session")
+def gem5_sim_a15() -> Gem5Simulation:
+    return Gem5Simulation(gem5_ex5_big(), trace_instructions=TRACE_INSTRUCTIONS)
+
+
+@pytest.fixture(scope="session")
+def small_dataset(platform_a15, gem5_sim_a15, small_profiles) -> ValidationDataset:
+    return collect_validation_dataset(
+        platform_a15, gem5_sim_a15, small_profiles, SMALL_FREQS
+    )
+
+
+@pytest.fixture(scope="session")
+def small_gemstone(small_profiles) -> GemStone:
+    """A full GemStone run on the small workload subset (A15, buggy model)."""
+    config = GemStoneConfig(
+        core="A15",
+        workloads=small_profiles,
+        power_workloads=small_profiles,
+        frequencies=SMALL_FREQS,
+        analysis_freq_hz=1000e6,
+        trace_instructions=TRACE_INSTRUCTIONS,
+        n_workload_clusters=6,
+        power_model_terms=5,
+    )
+    return GemStone(config)

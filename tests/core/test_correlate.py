@@ -1,0 +1,103 @@
+"""Tests for the event-vs-error correlation analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.stats.correlate import correlate_with_error, pearson
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        x = np.arange(10.0)
+        assert pearson(x, 2 * x + 1) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.arange(10.0)
+        assert pearson(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_input_is_zero(self):
+        assert pearson(np.ones(10), np.arange(10.0)) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson(np.ones(3), np.ones(4))
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            pearson(np.ones(1), np.ones(1))
+
+
+@pytest.fixture
+def synthetic_rates():
+    """30 workloads, 5 events: two co-varying drivers of the error, one
+    anti-driver, two noise events."""
+    rng = np.random.default_rng(6)
+    driver = rng.uniform(0, 1, 30)
+    rates = np.column_stack([
+        driver * 100,                               # ev_pos_a
+        driver * 55 + rng.normal(0, 0.5, 30),       # ev_pos_b (same cluster)
+        (1 - driver) * 80,                          # ev_neg
+        rng.uniform(0, 1, 30),                      # ev_noise1
+        rng.uniform(0, 1, 30),                      # ev_noise2
+    ])
+    errors = driver * 50 - 25
+    names = ["ev_pos_a", "ev_pos_b", "ev_neg", "ev_noise1", "ev_noise2"]
+    return rates, errors, names
+
+
+class TestCorrelateWithError:
+    def test_signs_identified(self, synthetic_rates):
+        rates, errors, names = synthetic_rates
+        result = correlate_with_error(rates, errors, names, n_event_clusters=3)
+        assert result.correlation_of("ev_pos_a") > 0.95
+        assert result.correlation_of("ev_neg") < -0.95
+        assert abs(result.correlation_of("ev_noise1")) < 0.5
+
+    def test_covarying_events_share_cluster(self, synthetic_rates):
+        rates, errors, names = synthetic_rates
+        result = correlate_with_error(rates, errors, names, n_event_clusters=3)
+        clusters = result.clusters
+        assert clusters.cluster_of("ev_pos_a") == clusters.cluster_of("ev_pos_b")
+
+    def test_min_abs_filter(self, synthetic_rates):
+        rates, errors, names = synthetic_rates
+        result = correlate_with_error(
+            rates, errors, names, min_abs_correlation=0.8
+        )
+        assert set(result.event_names) == {"ev_pos_a", "ev_pos_b", "ev_neg"}
+
+    def test_filter_leaving_nothing_raises(self, synthetic_rates):
+        rates, errors, names = synthetic_rates
+        with pytest.raises(ValueError):
+            correlate_with_error(rates, errors, names, min_abs_correlation=1.1)
+
+    def test_sorted_events(self, synthetic_rates):
+        rates, errors, names = synthetic_rates
+        result = correlate_with_error(rates, errors, names)
+        values = [corr for _, corr, _ in result.sorted_events()]
+        assert values == sorted(values, reverse=True)
+
+    def test_strongest(self, synthetic_rates):
+        rates, errors, names = synthetic_rates
+        strongest = correlate_with_error(rates, errors, names).strongest(2)
+        top_names = {name for name, _, _ in strongest}
+        assert "ev_noise1" not in top_names
+
+    def test_cluster_summary(self, synthetic_rates):
+        rates, errors, names = synthetic_rates
+        result = correlate_with_error(rates, errors, names, n_event_clusters=3)
+        summary = result.cluster_summary()
+        assert sum(int(v["size"]) for v in summary.values()) == len(names)
+        for v in summary.values():
+            assert v["min"] <= v["mean"] <= v["max"]
+
+    def test_unknown_event(self, synthetic_rates):
+        rates, errors, names = synthetic_rates
+        with pytest.raises(KeyError):
+            correlate_with_error(rates, errors, names).correlation_of("ev_x")
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            correlate_with_error(np.ones((4, 2)), np.ones(3), ["a", "b"])
+        with pytest.raises(ValueError):
+            correlate_with_error(np.ones((4, 2)), np.ones(4), ["a"])

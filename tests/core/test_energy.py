@@ -1,0 +1,120 @@
+"""Tests for the power/energy evaluation and DVFS scaling (Section VI)."""
+
+import pytest
+
+from repro.core.energy import big_little_scaling, compare_power_energy, dvfs_scaling
+from repro.core.error_id import cluster_workloads
+from repro.core.power_model import PowerModelApplication
+
+from tests.conftest import SMALL_FREQS
+
+FREQ = SMALL_FREQS[1]
+
+
+@pytest.fixture(scope="module")
+def clusters(small_gemstone):
+    return small_gemstone.workload_clusters
+
+
+@pytest.fixture(scope="module")
+def application(small_gemstone):
+    return small_gemstone.application
+
+
+@pytest.fixture(scope="module")
+def comparison(small_gemstone):
+    return small_gemstone.power_energy
+
+
+class TestPowerEnergyComparison:
+    def test_row_count(self, comparison, small_gemstone):
+        dataset = small_gemstone.dataset
+        assert len(comparison.rows) == len(dataset.workloads) * len(
+            dataset.frequencies
+        )
+
+    def test_power_error_much_smaller_than_energy_error(self, comparison):
+        """Section VI's central finding: the power error is small despite
+        large event errors, but energy inherits the time error."""
+        assert comparison.power_mape() < 25.0
+        assert comparison.energy_mape() > 2.0 * comparison.power_mape()
+
+    def test_energy_mpe_negative(self, comparison):
+        """The buggy model overestimates time => overestimates energy."""
+        assert comparison.energy_mpe() < -15.0
+
+    def test_cluster_table_structure(self, comparison):
+        table = comparison.cluster_table()
+        assert table
+        for row in table.values():
+            assert row["power_mape"] >= 0
+            assert row["energy_mape"] >= 0
+
+    def test_energy_error_varies_across_clusters(self, comparison):
+        """'The energy MAPE of each cluster varies significantly'."""
+        table = comparison.cluster_table()
+        energies = [row["energy_mape"] for row in table.values()]
+        assert max(energies) > 3 * min(energies)
+
+    def test_component_breakdown(self, comparison):
+        hw = comparison.mean_components("hw")
+        gem5 = comparison.mean_components("gem5")
+        assert set(hw) == set(gem5)
+        assert "intercept" in hw
+        assert hw["intercept"] > 0
+
+    def test_component_breakdown_unknown_source(self, comparison):
+        with pytest.raises(ValueError):
+            comparison.mean_components("sensor")
+
+    def test_row_ape_definitions(self, comparison):
+        row = comparison.rows[0]
+        assert row.power_ape == pytest.approx(
+            abs((row.hw_power_w - row.gem5_power_w) / row.hw_power_w) * 100
+        )
+
+
+class TestDvfsScaling:
+    @pytest.fixture(scope="class")
+    def scaling(self, small_gemstone):
+        return small_gemstone.dvfs
+
+    def test_base_frequency_rows_are_unity(self, scaling):
+        for row in scaling.at(scaling.base_freq_hz):
+            assert row.hw_speedup == pytest.approx(1.0)
+            assert row.hw_energy_ratio == pytest.approx(1.0)
+            assert row.gem5_speedup == pytest.approx(1.0)
+
+    def test_speedup_between_one_and_clock_ratio(self, scaling):
+        stats = scaling.speedup_stats(SMALL_FREQS[1], "hw")
+        clock_ratio = SMALL_FREQS[1] / SMALL_FREQS[0]
+        assert 1.0 < stats["mean"] <= clock_ratio + 1e-6
+        assert stats["min"] <= stats["mean"] <= stats["max"]
+
+    def test_model_speedup_range_narrower(self, scaling):
+        """Fig. 8: 'the model does not capture the workload diversity'."""
+        hw = scaling.speedup_stats(SMALL_FREQS[1], "hw")
+        gem5 = scaling.speedup_stats(SMALL_FREQS[1], "gem5")
+        assert (gem5["max"] - gem5["min"]) < (hw["max"] - hw["min"]) * 1.05
+
+    def test_energy_increases_with_frequency(self, scaling):
+        stats = scaling.energy_stats(SMALL_FREQS[1], "hw")
+        assert stats["mean"] > 1.0
+
+    def test_unknown_source(self, scaling):
+        with pytest.raises(ValueError):
+            scaling.speedup_stats(SMALL_FREQS[1], "sensor")
+
+    def test_missing_frequency(self, scaling):
+        with pytest.raises(ValueError):
+            scaling.speedup_stats(123.0, "hw")
+
+
+class TestBigLittle:
+    def test_requires_matching_workloads(self, small_dataset):
+        import dataclasses
+        other = dataclasses.replace(
+            small_dataset, workloads=("different",), runs=small_dataset.runs
+        )
+        with pytest.raises(ValueError):
+            big_little_scaling(other, small_dataset)

@@ -1,0 +1,141 @@
+"""Tests for the source-of-error identification analyses (Section IV)."""
+
+import numpy as np
+import pytest
+
+from repro.core.error_id import (
+    cluster_workloads,
+    error_regression,
+    gem5_error_correlation,
+    pmc_error_correlation,
+)
+from repro.events.armv7_pmu import event_name
+
+from tests.conftest import SMALL_FREQS, SMALL_WORKLOADS
+
+FREQ = SMALL_FREQS[1]
+
+
+@pytest.fixture(scope="module")
+def workload_clusters(small_dataset):
+    return cluster_workloads(small_dataset, FREQ, n_clusters=5)
+
+
+class TestWorkloadClustering:
+    def test_cluster_count(self, workload_clusters):
+        assert workload_clusters.clusters.n_clusters == 5
+
+    def test_errors_aligned_with_names(self, workload_clusters, small_dataset):
+        assert len(workload_clusters.errors) == len(SMALL_WORKLOADS)
+        np.testing.assert_allclose(
+            workload_clusters.errors, small_dataset.errors_at(FREQ)
+        )
+
+    def test_cluster_mpe_covers_all_clusters(self, workload_clusters):
+        table = workload_clusters.cluster_mpe()
+        assert set(table) == set(range(1, 6))
+
+    def test_cluster_mape_ge_abs_mpe(self, workload_clusters):
+        mpes = workload_clusters.cluster_mpe()
+        mapes = workload_clusters.cluster_mape()
+        for cluster in mpes:
+            assert mapes[cluster] >= abs(mpes[cluster]) - 1e-9
+
+    def test_extreme_workload_is_pathological(self, workload_clusters):
+        name, cluster, error = workload_clusters.extreme_workload()
+        assert name == "par-basicmath-rad2deg"
+        assert error < -100
+
+    def test_extreme_workload_cluster_carries_extreme_error(self, workload_clusters):
+        """Paper observation 3 at small scale: the extreme workload's
+        cluster has a markedly more negative mean error than the overall
+        mean (full isolation is asserted by the full-scale Fig. 3 bench)."""
+        _, cluster, _ = workload_clusters.extreme_workload()
+        cluster_mpe = workload_clusters.cluster_mpe()[cluster]
+        overall = float(np.mean(workload_clusters.errors))
+        assert cluster_mpe < overall
+
+    def test_ordered_rows_sorted_by_cluster(self, workload_clusters):
+        rows = workload_clusters.ordered_rows()
+        labels = [cluster for _, cluster, _ in rows]
+        assert labels == sorted(labels)
+        assert len(rows) == len(SMALL_WORKLOADS)
+
+
+class TestPmcCorrelation:
+    @pytest.fixture(scope="class")
+    def correlation(self, small_dataset):
+        return pmc_error_correlation(small_dataset, FREQ, n_event_clusters=8)
+
+    def test_all_events_have_correlations(self, correlation):
+        assert len(correlation.event_names) == len(correlation.correlations)
+        for value in correlation.correlations:
+            assert -1.0 <= value <= 1.0
+
+    def test_branch_rate_negatively_correlated(self, correlation):
+        """Section IV-B: branch/control-flow events have the largest
+        negative correlation with the error."""
+        assert correlation.correlation_of(event_name(0x76)) < -0.3
+
+    def test_sync_events_positively_correlated(self, correlation):
+        """Section IV-B Cluster 1: barriers/exclusives correlate positively
+        (the model's sync costs are too low)."""
+        assert correlation.correlation_of(event_name(0x7E)) > 0.1
+
+    def test_mispredict_correlation_smaller_than_branch_rate(self, correlation):
+        """'the rate of branch mispredictions (0x10) has a negative but
+        notably smaller (in magnitude) correlation'."""
+        mispredict = correlation.correlation_of(event_name(0x10))
+        branch_rate = correlation.correlation_of(event_name(0x76))
+        assert abs(mispredict) < abs(branch_rate)
+
+
+class TestGem5Correlation:
+    @pytest.fixture(scope="class")
+    def correlation(self, small_dataset):
+        return gem5_error_correlation(small_dataset, FREQ, min_abs_correlation=0.3)
+
+    def test_only_strong_correlations_kept(self, correlation):
+        for value in correlation.correlations:
+            assert abs(value) >= 0.3
+
+    def test_walker_cache_events_negative(self, correlation):
+        """Section IV-C Cluster A: itb walker-cache events are strongly
+        negatively correlated with the error."""
+        walker = [
+            corr
+            for name, corr in zip(correlation.event_names, correlation.correlations)
+            if "itb_walker_cache" in name and name.endswith("_accesses")
+        ]
+        assert walker, "walker-cache events missing from strong correlations"
+        assert max(walker) < -0.3
+
+    def test_walker_and_mispredicts_share_cluster(self, correlation):
+        """The BP->ITLB causal chain: walker traffic and branch mispredicts
+        co-vary, landing in the same event cluster."""
+        clusters = correlation.clusters
+        names = correlation.event_names
+        walker = next(n for n in names if "itb_walker_cache.ReadReq_accesses" in n)
+        mispredicts = next(n for n in names if "branchPred.condIncorrect" in n)
+        assert clusters.cluster_of(walker) == clusters.cluster_of(mispredicts)
+
+
+class TestErrorRegression:
+    def test_hw_regression_explains_error(self, small_dataset):
+        """Section IV-D: HW PMCs alone predict the gem5 error (R^2 0.97)."""
+        regression = error_regression(small_dataset, FREQ, source="hw")
+        assert regression.r2 > 0.85
+        assert 1 <= len(regression.selected) <= 10
+
+    def test_gem5_regression_explains_error(self, small_dataset):
+        regression = error_regression(small_dataset, FREQ, source="gem5")
+        assert regression.r2 > 0.9
+
+    def test_selection_trace_consistent(self, small_dataset):
+        regression = error_regression(small_dataset, FREQ, source="hw")
+        assert regression.best_predictor == regression.selected[0]
+        assert regression.adjusted_r2 <= regression.r2 + 1e-12
+
+    def test_unknown_source(self, small_dataset):
+        with pytest.raises(ValueError):
+            error_regression(small_dataset, FREQ, source="mcpat")

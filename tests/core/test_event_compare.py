@@ -1,0 +1,97 @@
+"""Tests for the matched-event comparison (Fig. 6)."""
+
+import pytest
+
+from repro.core.error_id import cluster_workloads
+from repro.core.event_compare import compare_events
+
+from tests.conftest import SMALL_FREQS
+
+FREQ = SMALL_FREQS[1]
+
+
+@pytest.fixture(scope="module")
+def comparison(small_dataset):
+    clusters = cluster_workloads(small_dataset, FREQ, n_clusters=5)
+    return compare_events(small_dataset, FREQ, clusters)
+
+
+class TestRatios:
+    def test_instructions_ratio_near_one(self, comparison):
+        """'a negligible difference in the total number of instructions
+        committed (0x08)'."""
+        assert comparison.ratio(0x08) == pytest.approx(1.0, abs=0.05)
+
+    def test_itlb_misses_underestimated(self, comparison):
+        """Fig. 6: significantly fewer ITLB refills in the model (0.06x)."""
+        assert comparison.ratio(0x02) < 0.5
+
+    def test_mispredicts_massively_overestimated(self, comparison):
+        """Fig. 6: 21x mean branch mispredictions."""
+        assert comparison.ratio(0x10) > 5.0
+
+    def test_predicted_branches_close(self, comparison):
+        """'The model has 1.1x predicted branches ... relatively
+        consistent between clusters'."""
+        assert 0.8 < comparison.ratio(0x12) < 1.6
+
+    def test_l1i_accesses_overestimated(self, comparison):
+        """'over 2x more L1I accesses in the model' (per-instr counting)."""
+        assert comparison.ratio(0x14) > 1.5
+
+    def test_writebacks_overestimated(self, comparison):
+        """Fig. 6: 19x L1D_WB (no write-streaming in the model); the
+        streaming-store workload drives the per-workload maximum."""
+        assert max(comparison.ratios[0x15].per_workload.values()) > 1.5
+
+    def test_vfp_misclassified_to_near_zero(self, comparison):
+        """Section V: VFP counted as SIMD -> 0x75 ratio collapses."""
+        assert comparison.ratio(0x75) < 0.2
+
+    def test_ratio_unknown_event(self, comparison):
+        with pytest.raises(KeyError):
+            comparison.ratio(0xEE)
+
+    def test_cluster_breakdown_present(self, comparison):
+        ratio = comparison.ratios[0x10]
+        assert ratio.cluster_ratios
+        assert ratio.per_workload
+
+    def test_mispredict_ratio_workload_dependent(self, comparison):
+        """Cluster 16's 1402x vs low single digits elsewhere."""
+        values = list(comparison.ratios[0x10].per_workload.values())
+        assert max(values) > 10 * min(values)
+
+    def test_mean_excludes_extreme_cluster(self, comparison):
+        assert comparison.excluded_cluster is not None
+
+
+class TestBpAccuracy:
+    def test_hw_much_better_than_model(self, comparison):
+        hw, gem5 = comparison.mean_bp_accuracy()
+        assert hw > 0.85
+        assert gem5 < hw - 0.15
+
+    def test_extreme_inversion(self, comparison):
+        """The workload with the lowest model accuracy has near-perfect
+        hardware accuracy (the paper's par-basicmath-rad2deg)."""
+        row = comparison.extreme_bp_workload()
+        assert row.gem5_accuracy < 0.3
+        assert row.hw_accuracy > 0.95
+
+    def test_row_per_workload(self, comparison, small_dataset):
+        assert len(comparison.bp_accuracy) == len(small_dataset.workloads)
+
+
+class TestValidationErrors:
+    def test_mismatched_clustering_rejected(self, small_dataset):
+        clusters = cluster_workloads(small_dataset, FREQ, n_clusters=5)
+        import dataclasses
+        broken = dataclasses.replace(
+            clusters,
+            clusters=dataclasses.replace(
+                clusters.clusters, item_names=("x",) * len(small_dataset.workloads)
+            ),
+        )
+        with pytest.raises(ValueError):
+            compare_events(small_dataset, FREQ, broken)

@@ -1,0 +1,93 @@
+"""Tests for the iterative model-improvement loop."""
+
+import pytest
+
+from repro.core.improvement import (
+    iterative_improvement,
+    standard_fixes,
+)
+from repro.sim.machine import gem5_ex5_big, hardware_a15
+from repro.workloads.suites import workload_by_name
+
+WORKLOADS = tuple(
+    workload_by_name(name)
+    for name in (
+        "par-basicmath-rad2deg", "mi-bitcount", "mi-sha", "mi-qsort",
+        "parsec-canneal-1", "dhrystone", "whetstone", "mi-fft",
+    )
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    hw = hardware_a15()
+    return iterative_improvement(
+        hw,
+        gem5_ex5_big(),
+        WORKLOADS,
+        standard_fixes(hw),
+        trace_instructions=10_000,
+    )
+
+
+class TestLoop:
+    def test_mape_monotonically_decreases(self, result):
+        mapes = [result.initial_mape] + [s.mape for s in result.steps]
+        assert all(b < a for a, b in zip(mapes, mapes[1:]))
+
+    def test_bp_fixed_first(self, result):
+        """The dominant error must be repaired first (Section IV-F)."""
+        assert result.steps
+        assert result.steps[0].applied == "branch predictor"
+
+    def test_substantial_overall_improvement(self, result):
+        assert result.final_mape < result.initial_mape * 0.5
+
+    def test_final_machine_differs_from_start(self, result):
+        assert result.final_machine.predictor == "tournament"
+
+    def test_audit_trail_renders(self, result):
+        text = result.summary()
+        assert "initial:" in text
+        assert "branch predictor" in text
+
+    def test_steps_unique(self, result):
+        names = [s.applied for s in result.steps]
+        assert len(names) == len(set(names))
+
+    def test_remaining_disjoint_from_applied(self, result):
+        applied = {s.applied for s in result.steps}
+        assert not applied & set(result.remaining)
+
+
+class TestValidation:
+    def test_empty_workloads_rejected(self):
+        hw = hardware_a15()
+        with pytest.raises(ValueError):
+            iterative_improvement(hw, gem5_ex5_big(), [], standard_fixes(hw))
+
+    def test_empty_fixes_rejected(self):
+        hw = hardware_a15()
+        with pytest.raises(ValueError):
+            iterative_improvement(hw, gem5_ex5_big(), WORKLOADS, {})
+
+    def test_max_rounds_respected(self):
+        hw = hardware_a15()
+        result = iterative_improvement(
+            hw, gem5_ex5_big(), WORKLOADS[:4], standard_fixes(hw),
+            trace_instructions=6_000, max_rounds=1,
+        )
+        assert len(result.steps) <= 1
+
+    def test_useless_fix_never_accepted(self):
+        hw = hardware_a15()
+        result = iterative_improvement(
+            hw,
+            gem5_ex5_big(),
+            WORKLOADS[:4],
+            {"no-op": lambda m: m},
+            trace_instructions=6_000,
+        )
+        assert not result.steps
+        assert result.remaining == ("no-op",)
+        assert result.final_mape == result.initial_mape

@@ -1,0 +1,102 @@
+"""Tests for the error metrics and their paper sign conventions."""
+
+import numpy as np
+import pytest
+
+from repro.core.stats.metrics import (
+    adjusted_r_squared,
+    mae,
+    mape,
+    mpe,
+    percentage_errors,
+    r_squared,
+    standard_error_of_regression,
+)
+
+
+class TestPercentageErrors:
+    def test_sign_convention(self):
+        """Estimate above reference (time overestimated) => negative."""
+        assert percentage_errors([10.0], [15.0])[0] == pytest.approx(-50.0)
+        assert percentage_errors([10.0], [5.0])[0] == pytest.approx(50.0)
+
+    def test_perfect_estimate(self):
+        assert percentage_errors([3.0, 7.0], [3.0, 7.0]).tolist() == [0.0, 0.0]
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError, match="zero"):
+            percentage_errors([0.0], [1.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            percentage_errors([1.0, 2.0], [1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentage_errors([], [])
+
+
+class TestMpeMape:
+    def test_mpe_cancels_mape_does_not(self):
+        reference = [10.0, 10.0]
+        estimate = [5.0, 15.0]  # +50 and -50
+        assert mpe(reference, estimate) == pytest.approx(0.0)
+        assert mape(reference, estimate) == pytest.approx(50.0)
+
+    def test_paper_headline_example(self):
+        """gem5 time 2x hardware => MPE -100 %."""
+        assert mpe([1.0], [2.0]) == pytest.approx(-100.0)
+
+    def test_mape_nonnegative(self):
+        rng = np.random.default_rng(0)
+        reference = rng.uniform(1, 10, 50)
+        estimate = rng.uniform(1, 10, 50)
+        assert mape(reference, estimate) >= 0
+        assert mape(reference, estimate) >= abs(mpe(reference, estimate))
+
+    def test_mae_in_native_units(self):
+        assert mae([1.0, 2.0], [2.0, 4.0]) == pytest.approx(1.5)
+
+
+class TestRSquared:
+    def test_perfect_fit(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, y) == 1.0
+
+    def test_mean_predictor_scores_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_worse_than_mean_is_negative(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, np.array([3.0, 2.0, 1.0])) < 0
+
+    def test_constant_observations(self):
+        assert r_squared([2.0, 2.0], [2.0, 2.0]) == 1.0
+        assert r_squared([2.0, 2.0], [1.0, 3.0]) == 0.0
+
+    def test_adjusted_penalises_predictors(self):
+        rng = np.random.default_rng(1)
+        y = rng.normal(size=30)
+        predicted = y + rng.normal(scale=0.1, size=30)
+        assert adjusted_r_squared(y, predicted, 5) < adjusted_r_squared(
+            y, predicted, 1
+        )
+
+    def test_adjusted_needs_dof(self):
+        with pytest.raises(ValueError):
+            adjusted_r_squared([1.0, 2.0], [1.0, 2.0], 5)
+
+
+class TestSer:
+    def test_known_value(self):
+        observed = np.array([1.0, 2.0, 3.0, 4.0])
+        predicted = observed + np.array([0.1, -0.1, 0.1, -0.1])
+        # SS_res = 4 * 0.01, dof = 4 - 1 - 1 = 2
+        assert standard_error_of_regression(observed, predicted, 1) == (
+            pytest.approx(np.sqrt(0.04 / 2))
+        )
+
+    def test_zero_dof_rejected(self):
+        with pytest.raises(ValueError):
+            standard_error_of_regression([1.0, 2.0], [1.0, 2.0], 1)

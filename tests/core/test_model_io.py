@@ -1,0 +1,122 @@
+"""Tests for power-model and dataset serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.core.model_io import (
+    load_power_model,
+    power_dataset_from_csv,
+    power_dataset_to_csv,
+    power_model_from_dict,
+    power_model_to_dict,
+    save_power_model,
+    validation_to_csv,
+)
+from repro.core.power_model import (
+    PowerModelApplication,
+    PowerModelBuilder,
+    collect_power_dataset,
+    restraint_pool_gem5,
+)
+
+from tests.conftest import SMALL_FREQS
+
+
+@pytest.fixture(scope="module")
+def observations(platform_a15, small_profiles):
+    return collect_power_dataset(platform_a15, small_profiles, SMALL_FREQS)
+
+
+@pytest.fixture(scope="module")
+def model(observations):
+    builder = PowerModelBuilder(
+        "A15", excluded_events=restraint_pool_gem5("A15"), max_terms=4
+    )
+    return builder.fit(observations)
+
+
+class TestModelRoundTrip:
+    def test_dict_round_trip_preserves_structure(self, model):
+        restored = power_model_from_dict(power_model_to_dict(model))
+        assert restored.core == model.core
+        assert restored.terms == model.terms
+        assert set(restored.per_opp) == set(model.per_opp)
+
+    def test_round_trip_predictions_identical(self, model, observations):
+        restored = power_model_from_dict(power_model_to_dict(model))
+        for obs in observations[:8]:
+            assert restored.predict(obs.rates, obs.freq_hz) == pytest.approx(
+                model.predict(obs.rates, obs.freq_hz)
+            )
+
+    def test_quality_preserved(self, model):
+        restored = power_model_from_dict(power_model_to_dict(model))
+        assert restored.quality.mape == pytest.approx(model.quality.mape)
+        assert restored.quality.worst_observation == model.quality.worst_observation
+
+    def test_file_round_trip(self, model, tmp_path):
+        path = str(tmp_path / "model.json")
+        save_power_model(model, path)
+        restored = load_power_model(path)
+        assert restored.terms == model.terms
+
+    def test_restored_model_usable_by_application(self, model, tmp_path,
+                                                  platform_a15, gem5_sim_a15,
+                                                  small_profiles):
+        path = str(tmp_path / "model.json")
+        save_power_model(model, path)
+        application = PowerModelApplication(load_power_model(path), platform_a15.opps)
+        stats = gem5_sim_a15.run(small_profiles[1], SMALL_FREQS[0])
+        assert application.apply_to_gem5(stats).power_w > 0
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            power_model_from_dict({"kind": "something-else"})
+
+    def test_wrong_version_rejected(self, model):
+        payload = power_model_to_dict(model)
+        payload["format_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            power_model_from_dict(payload)
+
+
+class TestPowerDatasetCsv:
+    def test_round_trip(self, observations):
+        text = power_dataset_to_csv(observations)
+        restored = power_dataset_from_csv(text)
+        assert len(restored) == len(observations)
+        first, orig = restored[0], observations[0]
+        assert first.workload == orig.workload
+        assert first.power_w == pytest.approx(orig.power_w, rel=1e-4)
+        assert first.rates[0x08] == pytest.approx(orig.rates[0x08], rel=1e-4)
+        assert first.threads == orig.threads
+
+    def test_header_includes_events(self, observations):
+        header = power_dataset_to_csv(observations).splitlines()[0]
+        assert "event_0x08" in header and "event_0x11" in header
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            power_dataset_to_csv([])
+
+    def test_bad_csv_rejected(self):
+        with pytest.raises(ValueError, match="columns"):
+            power_dataset_from_csv("a,b\n1,2\n")
+
+
+class TestValidationCsv:
+    def test_rows_and_columns(self, small_dataset):
+        text = validation_to_csv(small_dataset)
+        lines = text.strip().splitlines()
+        assert len(lines) == len(small_dataset.runs) + 1
+        assert lines[0].startswith("workload,suite,threads,freq_hz")
+
+    def test_percentage_errors_match(self, small_dataset):
+        import csv
+        import io
+
+        rows = list(csv.DictReader(io.StringIO(validation_to_csv(small_dataset))))
+        run = small_dataset.runs[0]
+        assert float(rows[0]["time_percentage_error"]) == pytest.approx(
+            run.time_percentage_error, abs=0.01
+        )

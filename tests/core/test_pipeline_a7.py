@@ -1,0 +1,70 @@
+"""A7-cluster pipeline tests (the ex5_LITTLE validation path)."""
+
+import pytest
+
+from repro.core.pipeline import GemStone, GemStoneConfig
+from repro.workloads.suites import workload_by_name
+
+from tests.conftest import SMALL_WORKLOADS
+
+A7_FREQS = (600e6, 1000e6)
+
+
+@pytest.fixture(scope="module")
+def gs_a7_small():
+    profiles = tuple(workload_by_name(n) for n in SMALL_WORKLOADS)
+    return GemStone(
+        GemStoneConfig(
+            core="A7",
+            workloads=profiles,
+            power_workloads=profiles,
+            frequencies=A7_FREQS,
+            analysis_freq_hz=1000e6,
+            trace_instructions=12_000,
+            n_workload_clusters=5,
+            power_model_terms=5,
+        )
+    )
+
+
+class TestA7Pipeline:
+    def test_uses_little_model(self, gs_a7_small):
+        assert gs_a7_small.gem5.machine.name == "gem5-ex5-little"
+        assert gs_a7_small.platform.machine.name == "hw-a7"
+
+    def test_errors_much_smaller_than_a15(self, gs_a7_small, small_gemstone):
+        """The A7 model is far more accurate (simple in-order CPU, no BP
+        bug) — the paper's consistent finding."""
+        a7_mape = gs_a7_small.dataset.time_mape(1000e6)
+        a15_mape = small_gemstone.dataset.time_mape(1000e6)
+        assert a7_mape < a15_mape / 2
+
+    def test_a7_mpe_not_strongly_negative(self, gs_a7_small):
+        """The A7 model tends to *underestimate* execution time."""
+        assert gs_a7_small.dataset.time_mpe(1000e6) > -10.0
+
+    def test_a7_power_model_quality(self, gs_a7_small):
+        quality = gs_a7_small.power_model.quality
+        assert quality.mape < 8.0
+        assert quality.ser < 0.05  # sub-watt cluster, small residual
+
+    def test_a7_power_model_events_are_a7_events(self, gs_a7_small):
+        """A7 models cannot use A15 implementation-defined events."""
+        from repro.events.armv7_pmu import events_for_core
+
+        available = {e.number for e in events_for_core("A7")}
+        for event in gs_a7_small.power_model.required_events():
+            assert event in available
+
+    def test_a7_bp_accuracy_comparable(self, gs_a7_small):
+        """No BP bug in ex5_LITTLE: model accuracy tracks hardware."""
+        hw_acc, gem5_acc = gs_a7_small.event_comparison.mean_bp_accuracy()
+        assert abs(hw_acc - gem5_acc) < 0.08
+
+    def test_a7_energy_error_moderate(self, gs_a7_small):
+        comparison = gs_a7_small.power_energy
+        assert comparison.energy_mape() < 35.0
+
+    def test_a7_report_renders(self, gs_a7_small):
+        report = gs_a7_small.report()
+        assert "gem5-ex5-little vs hw-a7" in report

@@ -1,0 +1,54 @@
+"""Tests for the text rendering helpers."""
+
+import pytest
+
+from repro.core.report import _fmt, hbar_chart, text_table
+
+
+class TestTextTable:
+    def test_alignment(self):
+        table = text_table(["name", "value"], [["a", 1.5], ["bbbb", 22.0]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert len({line.index("1.50") for line in lines if "1.50" in line}) == 1
+
+    def test_title(self):
+        assert text_table(["x"], [["y"]], title="T").splitlines()[0] == "T"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            text_table(["a", "b"], [["only-one"]])
+
+    def test_number_formatting(self):
+        assert _fmt(0.000123) == "0.000123"
+        assert _fmt(1234567.0) == "1.23e+06"
+        assert _fmt(3.14159) == "3.14"
+        assert _fmt(0) == "0"
+        assert _fmt("text") == "text"
+
+
+class TestHbarChart:
+    def test_positive_and_negative_bars(self):
+        chart = hbar_chart(["pos", "neg"], [50.0, -25.0])
+        lines = chart.splitlines()
+        assert "#" in lines[0] and "#" in lines[1]
+        # Positive bar extends right of the axis, negative left.
+        pos_line, neg_line = lines
+        assert pos_line.index("|") < pos_line.index("#")
+        assert neg_line.index("#") < neg_line.index("|")
+
+    def test_values_annotated(self):
+        chart = hbar_chart(["a"], [12.3])
+        assert "+12.3" in chart
+
+    def test_annotations_appended(self):
+        chart = hbar_chart(["a"], [1.0], annotations=["c7"])
+        assert "c7" in chart
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            hbar_chart(["a"], [1.0, 2.0])
+
+    def test_zero_values_ok(self):
+        chart = hbar_chart(["a", "b"], [0.0, 0.0])
+        assert "a" in chart

@@ -1,0 +1,97 @@
+"""Tests for the figure-level report renderers."""
+
+import pytest
+
+from repro.core.report import (
+    render_dendrogram,
+    render_dvfs_figure,
+    render_event_ratio_table,
+    render_pmc_correlation_figure,
+    render_power_energy_figure,
+    render_workload_characterisation,
+    render_workload_mpe_figure,
+)
+from repro.core.stats.cluster import hierarchical_clustering
+
+from tests.conftest import SMALL_FREQS
+
+
+class TestDendrogram:
+    @pytest.fixture
+    def clustering(self):
+        import numpy as np
+        rng = np.random.default_rng(0)
+        data = np.concatenate([
+            rng.normal(0, 0.1, size=(3, 2)),
+            rng.normal(5, 0.1, size=(3, 2)),
+        ])
+        names = [f"item{i}" for i in range(6)]
+        return hierarchical_clustering(data, names, n_clusters=2,
+                                       standardise=False)
+
+    def test_every_leaf_appears(self, clustering):
+        text = render_dendrogram(clustering.dendrogram, clustering.item_names)
+        for name in clustering.item_names:
+            assert name in text
+
+    def test_merge_heights_shown(self, clustering):
+        text = render_dendrogram(clustering.dendrogram, clustering.item_names)
+        assert "(h=" in text
+
+    def test_deeper_nodes_indented(self, clustering):
+        lines = render_dendrogram(
+            clustering.dendrogram, clustering.item_names
+        ).splitlines()
+        assert lines[0].startswith("+")      # root flush left
+        assert any(line.startswith("  ") for line in lines[1:])
+
+    def test_single_leaf(self):
+        from repro.core.stats.cluster import Dendrogram
+        text = render_dendrogram(Dendrogram(1, ()), ["only"])
+        assert "only" in text
+
+
+class TestWorkloadCharacterisation:
+    def test_renders_all_workloads(self, small_dataset):
+        text = render_workload_characterisation(small_dataset, SMALL_FREQS[1])
+        for workload in small_dataset.workloads:
+            assert workload in text
+
+    def test_columns_present(self, small_dataset):
+        header = render_workload_characterisation(
+            small_dataset, SMALL_FREQS[1]
+        ).splitlines()[1]
+        for column in ("IPC", "branch rate", "L1D miss", "BP acc"):
+            assert column in header
+
+    def test_values_in_range(self, small_dataset):
+        text = render_workload_characterisation(small_dataset, SMALL_FREQS[1])
+        # BP accuracy column values must parse and sit in [0, 1].
+        for line in text.splitlines()[3:]:
+            bp_acc = float(line.split()[-1])
+            assert 0.0 <= bp_acc <= 1.0
+
+
+class TestFigureRenderersOnRealData:
+    def test_fig3_renderer(self, small_gemstone):
+        text = render_workload_mpe_figure(small_gemstone.workload_clusters)
+        assert "MPE per workload" in text
+        assert "par-basicmath-rad2deg" in text
+
+    def test_fig5_renderer(self, small_gemstone):
+        text = render_pmc_correlation_figure(small_gemstone.pmc_correlation)
+        assert "Correlation of HW PMC rates" in text
+        assert "0x11 CPU_CYCLES" in text
+
+    def test_fig6_renderer(self, small_gemstone):
+        text = render_event_ratio_table(small_gemstone.event_comparison)
+        assert "gem5 events / HW PMC equivalents" in text
+        assert "0x10" in text
+
+    def test_fig7_renderer(self, small_gemstone):
+        text = render_power_energy_figure(small_gemstone.power_energy)
+        assert "power MAPE %" in text and "ALL" in text
+
+    def test_fig8_renderer(self, small_gemstone):
+        text = render_dvfs_figure(small_gemstone.dvfs)
+        assert "HW speedup" in text and "model speedup" in text

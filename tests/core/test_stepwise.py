@@ -1,0 +1,105 @@
+"""Tests for the forward-selection stepwise regression."""
+
+import numpy as np
+import pytest
+
+from repro.core.stats.stepwise import forward_stepwise
+
+
+@pytest.fixture
+def candidates():
+    """Two true drivers, one redundant copy, three noise regressors."""
+    rng = np.random.default_rng(13)
+    n = 80
+    a = rng.uniform(0, 10, n)
+    b = rng.uniform(0, 10, n)
+    y = 5.0 + 3.0 * a - 2.0 * b + rng.normal(0, 0.2, n)
+    pool = {
+        "a": a,
+        "b": b,
+        "a_copy": a + rng.normal(0, 0.01, n),
+        "noise1": rng.normal(size=n),
+        "noise2": rng.normal(size=n),
+        "noise3": rng.normal(size=n),
+    }
+    return pool, y
+
+
+class TestSelection:
+    def test_finds_true_drivers(self, candidates):
+        pool, y = candidates
+        result = forward_stepwise(pool, y, max_terms=4)
+        assert result.selected[0] in ("a", "a_copy")
+        assert "b" in result.selected
+
+    def test_noise_rejected_by_p_rule(self, candidates):
+        pool, y = candidates
+        result = forward_stepwise(pool, y, max_terms=6, p_value_limit=0.05)
+        for name in ("noise1", "noise2", "noise3"):
+            assert name not in result.selected
+
+    def test_r2_improves_monotonically(self, candidates):
+        pool, y = candidates
+        result = forward_stepwise(pool, y, max_terms=4)
+        r2s = [step.r2 for step in result.steps]
+        assert r2s == sorted(r2s)
+
+    def test_max_terms_respected(self, candidates):
+        pool, y = candidates
+        result = forward_stepwise(pool, y, max_terms=1, p_value_limit=None)
+        assert len(result.selected) == 1
+
+    def test_vif_limit_blocks_redundant_copy(self, candidates):
+        pool, y = candidates
+        result = forward_stepwise(
+            pool, y, max_terms=5, p_value_limit=None, vif_limit=5.0
+        )
+        # a and a_copy are nearly identical; the restraint admits only one.
+        assert not ({"a", "a_copy"} <= set(result.selected))
+
+    def test_adjusted_r2_mode(self, candidates):
+        pool, y = candidates
+        result = forward_stepwise(
+            pool, y, max_terms=6, p_value_limit=None, use_adjusted_r2=True
+        )
+        assert {"b"} <= set(result.selected)
+        assert result.model.adjusted_r2 > 0.99
+
+    def test_mean_vif_reported(self, candidates):
+        pool, y = candidates
+        result = forward_stepwise(pool, y, max_terms=3, p_value_limit=None)
+        if len(result.selected) >= 2:
+            assert result.mean_vif >= 1.0
+
+    def test_single_term_vif_is_nan(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 1, 30)
+        result = forward_stepwise({"x": x}, 2 * x, max_terms=1)
+        assert np.isnan(result.mean_vif)
+
+
+class TestValidation:
+    def test_empty_candidates(self):
+        with pytest.raises(ValueError):
+            forward_stepwise({}, np.ones(10))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            forward_stepwise({"x": np.ones(5)}, np.ones(6))
+
+    def test_constant_candidates_skipped(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 1, 30)
+        result = forward_stepwise(
+            {"const": np.ones(30), "x": x}, 3 * x, max_terms=2
+        )
+        assert result.selected == ("x",)
+
+    def test_all_constant_rejected(self):
+        with pytest.raises(ValueError, match="constant"):
+            forward_stepwise({"c": np.ones(10)}, np.ones(10))
+
+    def test_audit_trail_matches_selection(self, candidates):
+        pool, y = candidates
+        result = forward_stepwise(pool, y, max_terms=3)
+        assert tuple(s.added for s in result.steps) == result.selected

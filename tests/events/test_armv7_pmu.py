@@ -1,0 +1,103 @@
+"""Tests for the ARMv7 PMU event catalog."""
+
+import pytest
+
+from repro.events.armv7_pmu import (
+    PMU_EVENTS,
+    EventCategory,
+    PmuEvent,
+    event_by_mnemonic,
+    event_name,
+    events_for_core,
+    mnemonics,
+)
+
+
+class TestCatalogContents:
+    def test_architectural_events_present(self):
+        for number in (0x01, 0x02, 0x08, 0x10, 0x11, 0x12, 0x15, 0x16, 0x1B):
+            assert number in PMU_EVENTS
+
+    def test_paper_key_events_present(self):
+        # The events named throughout the paper's analysis.
+        for number in (0x43, 0x6C, 0x6D, 0x7E, 0x73, 0x75, 0x76, 0x78):
+            assert number in PMU_EVENTS
+
+    def test_inst_retired_is_0x08(self):
+        assert PMU_EVENTS[0x08].mnemonic == "INST_RETIRED"
+
+    def test_cpu_cycles_is_0x11(self):
+        assert PMU_EVENTS[0x11].mnemonic == "CPU_CYCLES"
+
+    def test_branch_mispredict_is_0x10(self):
+        assert PMU_EVENTS[0x10].mnemonic == "BR_MIS_PRED"
+
+    def test_mnemonics_unique(self):
+        names = [e.mnemonic for e in PMU_EVENTS.values()]
+        assert len(names) == len(set(names))
+
+    def test_numbers_match_keys(self):
+        for number, event in PMU_EVENTS.items():
+            assert event.number == number
+
+    def test_barrier_events_are_sync_category(self):
+        assert PMU_EVENTS[0x7E].category == EventCategory.SYNC
+        assert PMU_EVENTS[0x6C].category == EventCategory.SYNC
+
+    def test_speculative_flagging(self):
+        assert PMU_EVENTS[0x1B].speculative
+        assert PMU_EVENTS[0x76].speculative
+        assert not PMU_EVENTS[0x08].speculative
+
+    def test_catalog_covers_at_least_60_events(self):
+        # The paper captures 68; the catalog must be in that league.
+        assert len(PMU_EVENTS) >= 60
+
+
+class TestLookups:
+    def test_event_by_mnemonic(self):
+        assert event_by_mnemonic("INST_RETIRED").number == 0x08
+
+    def test_event_by_mnemonic_unknown(self):
+        with pytest.raises(KeyError):
+            event_by_mnemonic("NOT_AN_EVENT")
+
+    def test_event_name_known(self):
+        assert event_name(0x11) == "0x11 CPU_CYCLES"
+
+    def test_event_name_unknown_number(self):
+        assert event_name(0xEE) == "0xEE"
+
+    def test_mnemonics_order_preserved(self):
+        assert mnemonics([0x11, 0x08]) == ["CPU_CYCLES", "INST_RETIRED"]
+
+    def test_hex_id_format(self):
+        assert PMU_EVENTS[0x08].hex_id == "0x08"
+        assert PMU_EVENTS[0x7E].hex_id == "0x7E"
+
+
+class TestPerCoreAvailability:
+    def test_a15_has_implementation_defined_events(self):
+        numbers = {e.number for e in events_for_core("A15")}
+        assert 0x43 in numbers
+        assert 0x7E in numbers
+
+    def test_a7_lacks_implementation_defined_events(self):
+        numbers = {e.number for e in events_for_core("A7")}
+        assert 0x43 not in numbers
+        assert 0x6C not in numbers
+        assert 0x08 in numbers
+
+    def test_a7_subset_of_a15(self):
+        a7 = {e.number for e in events_for_core("A7")}
+        a15 = {e.number for e in events_for_core("A15")}
+        assert a7 <= a15
+
+    def test_events_sorted_by_number(self):
+        events = events_for_core("A15")
+        numbers = [e.number for e in events]
+        assert numbers == sorted(numbers)
+
+    def test_unknown_core_rejected(self):
+        with pytest.raises(ValueError):
+            events_for_core("M4")

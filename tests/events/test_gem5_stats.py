@@ -1,0 +1,113 @@
+"""Tests for the gem5 statistics namespace."""
+
+import pytest
+
+from repro.events.gem5_stats import (
+    GEM5_STAT_GROUPS,
+    GLOBAL_STATS,
+    RATE_LIKE_STATS,
+    Gem5StatCatalog,
+)
+
+
+@pytest.fixture
+def catalog():
+    return Gem5StatCatalog()
+
+
+class TestGroups:
+    def test_paper_components_present(self):
+        # Section IV-C names these component groups explicitly.
+        for group in ("itb", "itb_walker_cache", "dtb", "branchPred",
+                      "fetch", "iew", "commit", "icache", "dcache", "l2"):
+            assert group in GEM5_STAT_GROUPS
+
+    def test_walker_cache_has_read_req_stats(self):
+        assert "ReadReq_accesses" in GEM5_STAT_GROUPS["itb_walker_cache"]
+        assert "ReadReq_hits" in GEM5_STAT_GROUPS["itb_walker_cache"]
+
+    def test_paper_cited_stats_exist(self):
+        # Stats the paper cites by name in Sections IV-C and IV-D.
+        cited = [
+            ("iew", "exec_nop"),
+            ("fetch", "TlbCycles"),
+            ("iew", "predictedTakenIncorrect"),
+            ("fetch", "PendingTrapStallCycles"),
+            ("branchPred", "RASInCorrect"),
+            ("commit", "branchMispredicts"),
+            ("fetch", "predictedBranches"),
+            ("branchPred", "usedRAS"),
+            ("commit", "commitNonSpecStalls"),
+            ("branchPred", "indirectMisses"),
+            ("dtb", "prefetch_faults"),
+            ("dcache", "UncacheableLatency_cpu_data"),
+        ]
+        for group, stat in cited:
+            assert stat in GEM5_STAT_GROUPS[group], (group, stat)
+
+    def test_no_duplicate_stats_within_group(self):
+        for group, stats in GEM5_STAT_GROUPS.items():
+            assert len(stats) == len(set(stats)), group
+
+
+class TestQualify:
+    def test_cpu_stat(self, catalog):
+        assert catalog.qualify("commit.committedInsts") == (
+            "system.cpu.commit.committedInsts"
+        )
+
+    def test_l2_hangs_off_system(self, catalog):
+        assert catalog.qualify("l2.overall_misses") == "system.l2.overall_misses"
+
+    def test_mem_ctrls_hangs_off_system(self, catalog):
+        assert catalog.qualify("mem_ctrls.readReqs") == "system.mem_ctrls.readReqs"
+
+    def test_global_stat_unchanged(self, catalog):
+        assert catalog.qualify("sim_seconds") == "sim_seconds"
+
+    def test_roundtrip(self, catalog):
+        for name in catalog.all_short_names():
+            assert catalog.shorten(catalog.qualify(name)) == name
+
+    def test_custom_prefixes(self):
+        cat = Gem5StatCatalog(system="sys", cpu="cpu0")
+        assert cat.qualify("itb.misses") == "sys.cpu0.itb.misses"
+
+
+class TestGroupOf:
+    def test_group_of_short_name(self, catalog):
+        assert catalog.group_of("itb_walker_cache.ReadReq_hits") == "itb_walker_cache"
+
+    def test_group_of_full_name(self, catalog):
+        assert catalog.group_of("system.cpu.branchPred.condIncorrect") == "branchPred"
+
+    def test_group_of_global(self, catalog):
+        assert catalog.group_of("sim_seconds") == "sim"
+
+
+class TestRateLike:
+    def test_cpi_is_rate_like(self, catalog):
+        assert catalog.is_rate_like("cpu.cpi")
+
+    def test_counts_are_not_rate_like(self, catalog):
+        assert not catalog.is_rate_like("commit.committedInsts")
+
+    def test_rate_like_names_exist_in_groups(self):
+        all_names = set()
+        for group, stats in GEM5_STAT_GROUPS.items():
+            all_names.update(f"{group}.{s}" for s in stats)
+        assert RATE_LIKE_STATS <= all_names
+
+
+class TestAllShortNames:
+    def test_includes_globals(self, catalog):
+        names = catalog.all_short_names()
+        for g in GLOBAL_STATS:
+            assert g in names
+
+    def test_count_is_substantial(self, catalog):
+        # The emission layer produces every one of these.
+        assert len(catalog.all_short_names()) > 150
+
+    def test_stable_order(self, catalog):
+        assert catalog.all_short_names() == catalog.all_short_names()

@@ -1,0 +1,100 @@
+"""Tests for the gem5 <-> PMC event matching equations."""
+
+import pytest
+
+from repro.events.matching import (
+    UNAVAILABLE_IN_GEM5,
+    UNRELIABLE_IN_GEM5,
+    EventMatch,
+    MatchQuality,
+    default_event_matches,
+)
+
+
+@pytest.fixture
+def matches():
+    return default_event_matches()
+
+
+class TestEvaluate:
+    def test_single_term(self):
+        match = EventMatch(0x08, ((1.0, "commit.committedInsts"),))
+        assert match.evaluate({"commit.committedInsts": 100.0}) == 100.0
+
+    def test_sum_of_terms(self):
+        match = EventMatch(
+            0x19, ((1.0, "mem_ctrls.readReqs"), (1.0, "mem_ctrls.writeReqs"))
+        )
+        stats = {"mem_ctrls.readReqs": 30.0, "mem_ctrls.writeReqs": 12.0}
+        assert match.evaluate(stats) == 42.0
+
+    def test_difference_of_terms(self):
+        match = EventMatch(0x07, ((1.0, "commit.refs"), (-1.0, "commit.loads")))
+        assert match.evaluate({"commit.refs": 50.0, "commit.loads": 30.0}) == 20.0
+
+    def test_missing_stat_raises(self):
+        match = EventMatch(0x08, ((1.0, "commit.committedInsts"),))
+        with pytest.raises(KeyError):
+            match.evaluate({})
+
+
+class TestDescribe:
+    def test_simple_equation(self):
+        match = EventMatch(0x08, ((1.0, "commit.committedInsts"),))
+        assert match.describe() == "0x08 INST_RETIRED = commit.committedInsts"
+
+    def test_mnemonic_resolution(self):
+        match = EventMatch(0x10, ((1.0, "branchPred.condIncorrect"),))
+        assert match.mnemonic == "BR_MIS_PRED"
+
+
+class TestDefaultTable:
+    def test_core_events_matched(self, matches):
+        for event in (0x08, 0x11, 0x10, 0x12, 0x16, 0x1B, 0x43, 0x02):
+            assert event in matches
+
+    def test_instructions_match_is_exact(self, matches):
+        assert matches[0x08].quality == MatchQuality.EXACT
+
+    def test_itlb_match_is_approximate(self, matches):
+        # 64-entry model vs 32-entry hardware: explicitly approximate.
+        assert matches[0x02].quality == MatchQuality.APPROXIMATE
+
+    def test_vfp_match_is_misclassified(self, matches):
+        assert matches[0x75].quality == MatchQuality.MISCLASSIFIED
+
+    def test_writeback_match_flagged(self, matches):
+        # The paper measured >1000% MPE on 0x15.
+        assert matches[0x15].quality == MatchQuality.MISCLASSIFIED
+
+    def test_bus_access_sums_dram_requests(self, matches):
+        stats = {"mem_ctrls.readReqs": 5.0, "mem_ctrls.writeReqs": 3.0}
+        assert matches[0x19].evaluate(stats) == 8.0
+
+    def test_all_keys_match_event_numbers(self, matches):
+        for number, match in matches.items():
+            assert match.pmu_event == number
+
+
+class TestRestraintPools:
+    def test_unaligned_events_unavailable(self):
+        # Section V: unaligned accesses are not readily available in gem5.
+        assert 0x0F in UNAVAILABLE_IN_GEM5
+        assert 0x6A in UNAVAILABLE_IN_GEM5
+
+    def test_exclusives_unavailable(self):
+        assert 0x6C in UNAVAILABLE_IN_GEM5
+
+    def test_writebacks_unreliable(self):
+        assert 0x15 in UNRELIABLE_IN_GEM5
+
+    def test_vfp_unreliable(self):
+        assert 0x75 in UNRELIABLE_IN_GEM5
+
+    def test_0x43_stays_available(self):
+        # The paper's final model includes 0x43 despite its over-count.
+        assert 0x43 not in UNRELIABLE_IN_GEM5
+        assert 0x43 not in UNAVAILABLE_IN_GEM5
+
+    def test_pools_disjoint(self):
+        assert not (UNAVAILABLE_IN_GEM5 & UNRELIABLE_IN_GEM5)

@@ -1,0 +1,105 @@
+"""Tests for the McPAT-like analytical baseline."""
+
+import pytest
+
+from repro.power_baselines.mcpat_like import McPatLikeModel
+
+
+@pytest.fixture
+def model():
+    return McPatLikeModel("A15")
+
+
+def busy_rates(freq=1e9):
+    return {
+        "cycles": freq,
+        "instructions": 1.5e9,
+        "l1_accesses": 0.6e9,
+        "l2_accesses": 0.02e9,
+        "dram_accesses": 0.003e9,
+        "fp_ops": 0.1e9,
+    }
+
+
+class TestEstimate:
+    def test_positive_and_plausible(self, model):
+        power = model.estimate(busy_rates(), 1.0125, 1e9)
+        assert 0.3 < power < 5.0
+
+    def test_scales_with_voltage_squared_dynamic(self, model):
+        low = model.estimate(busy_rates(), 0.9, 1e9)
+        high = model.estimate(busy_rates(), 1.2, 1e9)
+        assert high > low * 1.5
+
+    def test_active_cores_increase_power(self, model):
+        assert model.estimate(busy_rates(), 1.0, 1e9, 4) > 2.5 * model.estimate(
+            busy_rates(), 1.0, 1e9, 1
+        )
+
+    def test_missing_rates_default_zero(self, model):
+        assert model.estimate({}, 1.0, 1e9) > 0  # leakage + idle clock tree
+
+    def test_invalid_core_count(self, model):
+        with pytest.raises(ValueError):
+            model.estimate(busy_rates(), 1.0, 1e9, 5)
+
+    def test_unknown_core(self):
+        with pytest.raises(ValueError):
+            McPatLikeModel("R5")
+
+    def test_a7_cheaper_than_a15(self):
+        a7 = McPatLikeModel("A7").estimate(busy_rates(), 1.0, 1e9)
+        a15 = McPatLikeModel("A15").estimate(busy_rates(), 1.0, 1e9)
+        assert a7 < a15 / 2
+
+
+class TestRateAdapter:
+    def test_adapts_neutral_counts(self):
+        counts = {
+            "instructions": 100.0,
+            "l1d_rd_accesses": 30.0,
+            "l1d_wr_accesses": 10.0,
+            "l1i_fetch_accesses": 20.0,
+            "l2_rd_accesses": 5.0,
+            "l2_wr_accesses": 1.0,
+            "dram_reads": 2.0,
+            "dram_writes": 1.0,
+            "inst_fp": 8.0,
+            "inst_simd": 2.0,
+        }
+        rates = McPatLikeModel.rates_from_counts(counts, 2.0, cycles=400.0)
+        assert rates["cycles"] == 200.0
+        assert rates["instructions"] == 50.0
+        assert rates["l1_accesses"] == 30.0
+        assert rates["fp_ops"] == 5.0
+
+    def test_invalid_time(self):
+        with pytest.raises(ValueError):
+            McPatLikeModel.rates_from_counts({}, 0.0, cycles=1.0)
+
+
+class TestAgainstGroundTruth:
+    def test_less_accurate_than_empirical_model(self, small_gemstone):
+        """The paper's core claim: empirical PMC models beat analytical
+        ones.  The unfitted McPAT-like baseline must show a clearly larger
+        MAPE against the silicon than the fitted Powmon-style model."""
+        import numpy as np
+        from repro.power_baselines.mcpat_like import McPatLikeModel
+
+        platform = small_gemstone.platform
+        model = McPatLikeModel("A15")
+        apes = []
+        for obs in small_gemstone.power_dataset:
+            rates = {
+                "cycles": obs.rates[0x11],
+                "instructions": obs.rates[0x08],
+                "l1_accesses": obs.rates[0x04] + obs.rates[0x14],
+                "l2_accesses": obs.rates[0x16],
+                "dram_accesses": obs.rates[0x19],
+                "fp_ops": obs.rates[0x75] + obs.rates[0x74],
+            }
+            predicted = model.estimate(rates, obs.voltage, obs.freq_hz, obs.threads)
+            apes.append(abs(obs.power_w - predicted) / obs.power_w * 100)
+        mcpat_mape = float(np.mean(apes))
+        empirical_mape = small_gemstone.power_model.quality.mape
+        assert mcpat_mape > 2.0 * empirical_mape

@@ -1,0 +1,94 @@
+"""Property-based tests for the CPU simulator (hypothesis)."""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.cpu import simulate
+from repro.sim.machine import hardware_a15
+from repro.workloads.suites import workload_by_name
+from repro.workloads.trace import compile_trace
+
+#: One shared small trace; properties vary the machine, not the program.
+_TRACE = compile_trace(workload_by_name("mi-fft"), 4_000)
+
+
+@st.composite
+def machines(draw):
+    base = hardware_a15()
+    return replace(
+        base,
+        mispredict_penalty=draw(st.floats(5.0, 30.0)),
+        dram_latency_ns=draw(st.floats(40.0, 200.0)),
+        mem_overlap=draw(st.floats(0.0, 0.9)),
+        dram_overlap=draw(st.floats(0.0, 0.9)),
+        barrier_cycles=draw(st.floats(5.0, 80.0)),
+        predictor=draw(st.sampled_from(["tournament", "buggy_tournament"])),
+        wrongpath_fetch=draw(st.integers(2, 16)),
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(machine=machines())
+def test_simulation_invariants_hold_for_any_machine(machine):
+    result = simulate(_TRACE, machine)
+    counts = result.counts
+
+    # Committed-path accounting never depends on the machine.
+    assert counts["instructions"] == _TRACE.n_instrs
+    assert counts["branches"] == _TRACE.n_branches
+    assert counts["dtlb_lookups"] == _TRACE.n_mem_ops
+
+    # Structural bounds.
+    assert 0 <= counts["branch_mispredicts"] <= counts["branches"]
+    assert counts["l1i_misses"] <= counts["l1i_fetch_accesses"]
+    assert counts["l2tlb_i_hits"] + counts["l2tlb_i_misses"] == pytest.approx(
+        counts["l2tlb_i_accesses"]
+    )
+    assert counts["spec_instructions"] >= counts["instructions"]
+
+    # Timing is positive and finite, and components account for it.
+    assert result.core_cycles > 0
+    assert result.dram_stall_weight >= 0
+    assert sum(result.components.values()) == pytest.approx(result.core_cycles)
+    assert result.time_seconds(1e9) > 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(machine=machines(), f1=st.floats(3e8, 2.5e9), f2=st.floats(3e8, 2.5e9))
+def test_time_monotone_in_frequency(machine, f1, f2):
+    result = simulate(_TRACE, machine)
+    low, high = sorted((f1, f2))
+    assert result.time_seconds(high) <= result.time_seconds(low) + 1e-15
+
+
+@settings(max_examples=15, deadline=None)
+@given(machine=machines())
+def test_speedup_bounded_by_clock_ratio(machine):
+    """Fixed-ns memory terms keep scaling sublinear (Fig. 8's physics)."""
+    result = simulate(_TRACE, machine)
+    speedup = result.time_seconds(0.6e9) / result.time_seconds(1.8e9)
+    assert 1.0 <= speedup <= 3.0 + 1e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(penalty=st.floats(5.0, 40.0))
+def test_higher_mispredict_penalty_never_speeds_up(penalty):
+    base = hardware_a15()
+    slow = replace(base, mispredict_penalty=penalty + 5.0)
+    fast = replace(base, mispredict_penalty=penalty)
+    assert simulate(_TRACE, slow).time_seconds(1e9) >= simulate(
+        _TRACE, fast
+    ).time_seconds(1e9)
+
+
+@settings(max_examples=10, deadline=None)
+@given(dram=st.floats(40.0, 200.0))
+def test_higher_dram_latency_never_speeds_up(dram):
+    base = hardware_a15()
+    slow = replace(base, dram_latency_ns=dram + 20.0)
+    fast = replace(base, dram_latency_ns=dram)
+    assert simulate(_TRACE, slow).time_seconds(1e9) >= simulate(
+        _TRACE, fast
+    ).time_seconds(1e9)

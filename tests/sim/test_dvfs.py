@@ -1,0 +1,70 @@
+"""Tests for OPP tables and the experiment frequency sweeps."""
+
+import pytest
+
+from repro.sim.dvfs import (
+    MHZ,
+    OperatingPoint,
+    OppTable,
+    experiment_frequencies,
+    opp_table_for,
+)
+
+
+class TestOppTables:
+    def test_a7_sweep_matches_paper(self):
+        assert [f / MHZ for f in experiment_frequencies("A7")] == [
+            200, 600, 1000, 1400
+        ]
+
+    def test_a15_sweep_matches_paper(self):
+        # 2 GHz throttles; 1.8 GHz is the ceiling used (Section III).
+        assert [f / MHZ for f in experiment_frequencies("A15")] == [
+            600, 1000, 1400, 1800
+        ]
+
+    def test_voltage_monotonic_in_frequency(self):
+        for core in ("A7", "A15"):
+            table = opp_table_for(core)
+            voltages = [p.voltage for p in table.points]
+            assert voltages == sorted(voltages)
+
+    def test_voltage_lookup(self):
+        assert opp_table_for("A15").voltage(1800 * MHZ) == pytest.approx(1.2625)
+
+    def test_voltage_unknown_frequency_raises(self):
+        with pytest.raises(KeyError, match="not an OPP"):
+            opp_table_for("A15").voltage(1234 * MHZ)
+
+    def test_experiment_frequencies_are_table_entries(self):
+        for core in ("A7", "A15"):
+            table = opp_table_for(core)
+            for freq in experiment_frequencies(core):
+                table.voltage(freq)  # must not raise
+
+    def test_min_max(self):
+        table = opp_table_for("A7")
+        assert table.min_freq == 200 * MHZ
+        assert table.max_freq == 1400 * MHZ
+
+    def test_unknown_core(self):
+        with pytest.raises(ValueError):
+            opp_table_for("M0")
+        with pytest.raises(ValueError):
+            experiment_frequencies("M0")
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            OppTable("X", [])
+
+    def test_points_sorted_on_construction(self):
+        table = OppTable("X", [
+            OperatingPoint(2e9, 1.2), OperatingPoint(1e9, 1.0),
+        ])
+        assert table.frequencies() == [1e9, 2e9]
+
+    def test_a15_2ghz_exists_but_unswept(self):
+        # The OPP exists (the board offers it); the experiment avoids it.
+        table = opp_table_for("A15")
+        assert 2000 * MHZ in table.frequencies()
+        assert 2000 * MHZ not in experiment_frequencies("A15")

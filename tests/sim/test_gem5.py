@@ -1,0 +1,117 @@
+"""Tests for the gem5-style simulation and its stats emission."""
+
+import pytest
+
+from repro.events.gem5_stats import Gem5StatCatalog
+from repro.sim.gem5 import Gem5Simulation
+from repro.sim.machine import gem5_ex5_big, gem5_ex5_little, hardware_a15
+from repro.workloads.suites import workload_by_name
+
+
+@pytest.fixture(scope="module")
+def stats(gem5_sim_a15):
+    return gem5_sim_a15.run(workload_by_name("mi-qsort"), 1000e6)
+
+
+class TestConstruction:
+    def test_hardware_config_rejected(self):
+        with pytest.raises(ValueError, match="gem5 model config"):
+            Gem5Simulation(hardware_a15())
+
+    def test_default_is_ex5_big(self):
+        assert Gem5Simulation().machine.name == "gem5-ex5-big"
+
+    def test_invalid_frequency(self, gem5_sim_a15):
+        with pytest.raises(ValueError):
+            gem5_sim_a15.run(workload_by_name("mi-sha"), -1.0)
+
+
+class TestStatsEmission:
+    def test_emits_full_catalog(self, stats):
+        expected = set(Gem5StatCatalog().all_short_names())
+        assert expected <= set(stats.stats)
+
+    def test_sim_seconds_positive(self, stats):
+        assert stats.sim_seconds > 0
+
+    def test_sim_ticks_are_picoseconds(self, stats):
+        assert stats.value("sim_ticks") == pytest.approx(stats.sim_seconds * 1e12)
+
+    def test_committed_instructions_consistent(self, stats):
+        assert stats.value("commit.committedInsts") == stats.value("sim_insts")
+        assert stats.value("cpu.committedInsts") == stats.value("sim_insts")
+
+    def test_cpi_ipc_reciprocal(self, stats):
+        assert stats.value("cpu.cpi") * stats.value("cpu.ipc") == pytest.approx(1.0)
+
+    def test_hit_miss_partitions(self, stats):
+        for prefix in ("icache", "dcache", "itb_walker_cache"):
+            total = stats.value(f"{prefix}.overall_accesses")
+            hits = stats.value(f"{prefix}.overall_hits")
+            misses = stats.value(f"{prefix}.overall_misses")
+            assert hits + misses == pytest.approx(total), prefix
+
+    def test_itb_misses_are_committed_path_only(self, stats):
+        # inst_misses additionally includes wrong-path traffic.
+        assert stats.value("itb.inst_misses") >= stats.value("itb.misses")
+
+    def test_rate_helper(self, stats):
+        assert stats.rate("commit.committedInsts") == pytest.approx(
+            stats.value("commit.committedInsts") / stats.sim_seconds
+        )
+
+    def test_rate_like_stats_not_divided(self, stats):
+        assert stats.rate("cpu.cpi") == stats.value("cpu.cpi")
+
+    def test_full_names_qualified(self, stats):
+        full = stats.full()
+        assert "system.cpu.commit.committedInsts" in full
+        assert "system.l2.overall_misses" in full
+        assert "sim_seconds" in full
+
+    def test_unknown_stat_raises(self, stats):
+        with pytest.raises(KeyError):
+            stats.value("cpu.nonexistent")
+
+
+class TestAccountingQuirks:
+    def test_l1i_counted_per_instruction(self, gem5_sim_a15, platform_a15):
+        """gem5's icache accesses track instructions, the paper's 2x story."""
+        profile = workload_by_name("mi-sha")
+        stats = gem5_sim_a15.run(profile, 1000e6)
+        assert stats.value("icache.overall_accesses") >= stats.value(
+            "commit.committedInsts"
+        )
+
+    def test_vfp_classified_as_simd(self, gem5_sim_a15):
+        """Section V: gem5 counts VFP under the SIMD stat."""
+        stats = gem5_sim_a15.run(workload_by_name("whetstone"), 1000e6)
+        assert stats.value("commit.vec_insts") > 10 * max(
+            stats.value("commit.fp_insts"), 1.0
+        )
+
+    def test_walker_cache_traffic_under_mispredicts(self, gem5_sim_a15):
+        loopy = gem5_sim_a15.run(workload_by_name("par-basicmath-rad2deg"), 1000e6)
+        assert loopy.value("itb_walker_cache.ReadReq_accesses") > 0
+        assert loopy.value("fetch.TlbSquashes") > 0
+
+    def test_multithreaded_stats_aggregate(self, gem5_sim_a15):
+        one = gem5_sim_a15.run(workload_by_name("parsec-canneal-1"), 1000e6)
+        four = gem5_sim_a15.run(workload_by_name("parsec-canneal-4"), 1000e6)
+        assert four.value("commit.committedInsts") > 3.0 * one.value(
+            "commit.committedInsts"
+        )
+
+
+class TestModelComparison:
+    def test_little_model_runs(self):
+        sim = Gem5Simulation(gem5_ex5_little(), trace_instructions=12_000)
+        stats = sim.run(workload_by_name("mi-sha"), 1000e6)
+        assert stats.machine_name == "gem5-ex5-little"
+        assert stats.sim_seconds > 0
+
+    def test_deterministic(self, gem5_sim_a15):
+        profile = workload_by_name("mi-fft")
+        a = gem5_sim_a15.run(profile, 1000e6)
+        b = gem5_sim_a15.run(profile, 1000e6)
+        assert a.stats == b.stats

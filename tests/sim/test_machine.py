@@ -1,0 +1,128 @@
+"""Tests for machine configurations: the encoded specification errors."""
+
+import pytest
+
+from repro.sim.machine import (
+    CacheGeometry,
+    gem5_ex5_big,
+    gem5_ex5_big_fixed_bp,
+    gem5_ex5_little,
+    hardware_a7,
+    hardware_a15,
+    machine_by_name,
+)
+
+
+class TestFactories:
+    def test_all_factories_resolve_by_name(self):
+        for name in ("hw-a15", "hw-a7", "gem5-ex5-big",
+                     "gem5-ex5-big-fixed", "gem5-ex5-little"):
+            machine = machine_by_name(name)
+            assert machine.name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            machine_by_name("gem5-ex5-huge")
+
+    def test_flavours(self):
+        assert hardware_a15().flavour == "hardware"
+        assert gem5_ex5_big().flavour == "gem5"
+
+    def test_cores(self):
+        assert hardware_a7().core == "A7"
+        assert gem5_ex5_little().core == "A7"
+        assert gem5_ex5_big().core == "A15"
+
+    def test_describe_mentions_key_facts(self):
+        text = gem5_ex5_big().describe()
+        assert "gem5" in text and "A15" in text
+
+
+class TestA15SpecificationErrors:
+    """Every Section IV-F divergence must be present in the config pair."""
+
+    def setup_method(self):
+        self.hw = hardware_a15()
+        self.gem5 = gem5_ex5_big()
+
+    def test_buggy_predictor(self):
+        assert self.hw.predictor == "tournament"
+        assert self.gem5.predictor == "buggy_tournament"
+
+    def test_itlb_32_vs_64(self):
+        assert self.hw.tlb.itlb_entries == 32
+        assert self.gem5.tlb.itlb_entries == 64
+
+    def test_unified_vs_split_l2_tlb(self):
+        assert self.hw.tlb.unified_l2
+        assert not self.gem5.tlb.unified_l2
+
+    def test_hw_l2_tlb_is_512_entry_4_way(self):
+        assert self.hw.tlb.l2_entries == 512
+        assert self.hw.tlb.l2_assoc == 4
+
+    def test_walker_cache_latency_higher(self):
+        assert self.gem5.tlb.l2_latency > self.hw.tlb.l2_latency
+
+    def test_dram_latency_too_low_in_model(self):
+        assert self.gem5.dram_latency_ns < self.hw.dram_latency_ns
+
+    def test_write_streaming_missing_in_model(self):
+        assert self.hw.l1d.write_streaming
+        assert not self.gem5.l1d.write_streaming
+
+    def test_prefetcher_over_aggressive_in_model(self):
+        assert self.gem5.l2.prefetch_degree > self.hw.l2.prefetch_degree
+
+    def test_sync_too_cheap_in_model(self):
+        assert self.gem5.barrier_cycles < self.hw.barrier_cycles
+        assert self.gem5.ldrex_cycles < self.hw.ldrex_cycles
+
+    def test_accounting_quirks(self):
+        assert self.gem5.l1i_access_per_instruction
+        assert self.gem5.vfp_counted_as_simd
+        assert not self.hw.l1i_access_per_instruction
+
+    def test_shared_truths(self):
+        # Parameters the model gets right must be identical.
+        assert self.hw.l1i.size_kb == self.gem5.l1i.size_kb == 32
+        assert self.hw.l2.size_kb == self.gem5.l2.size_kb == 2048
+        assert self.hw.issue_width == self.gem5.issue_width
+
+
+class TestBpFixVariant:
+    def test_only_predictor_related_fields_change(self):
+        buggy = gem5_ex5_big()
+        fixed = gem5_ex5_big_fixed_bp()
+        assert fixed.predictor == "tournament"
+        assert buggy.predictor == "buggy_tournament"
+        # Spec errors persist after the fix (Section VII: remaining errors).
+        assert fixed.dram_latency_ns == buggy.dram_latency_ns
+        assert fixed.tlb == buggy.tlb
+        assert fixed.l2 == buggy.l2
+
+
+class TestA7Pair:
+    def test_l2_latency_too_high_in_model(self):
+        # Fig. 4: "the Cortex-A7 L2 cache latency was too high".
+        assert gem5_ex5_little().l2.latency > hardware_a7().l2.latency
+
+    def test_dram_latency_too_low_in_model(self):
+        assert gem5_ex5_little().dram_latency_ns < hardware_a7().dram_latency_ns
+
+    def test_a7_is_in_order(self):
+        assert not hardware_a7().out_of_order
+        assert not gem5_ex5_little().out_of_order
+
+    def test_a7_bp_is_not_buggy(self):
+        # The BP bug was specific to the ex5_big model.
+        assert gem5_ex5_little().predictor == "tournament"
+
+
+class TestCacheGeometry:
+    def test_size_bytes(self):
+        assert CacheGeometry(32, 4, 4).size_bytes == 32 * 1024
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            CacheGeometry(32, 4, 4).size_kb = 64

@@ -1,0 +1,105 @@
+"""Tests for the silicon power process."""
+
+import pytest
+
+from repro.sim.power_ground_truth import CORES_PER_CLUSTER, PowerGroundTruth
+
+
+@pytest.fixture
+def a15():
+    return PowerGroundTruth("A15")
+
+
+@pytest.fixture
+def a7():
+    return PowerGroundTruth("A7")
+
+
+def busy_counts(n=1e9, time_s=1.0, freq=1e9):
+    return {
+        "cycles": freq * time_s,
+        "instructions": n * 1.5,
+        "l1d_rd_accesses": n * 0.25,
+        "l1d_wr_accesses": n * 0.08,
+        "l1i_fetch_accesses": n * 0.2,
+        "l2_rd_accesses": n * 0.01,
+        "l2_wr_accesses": n * 0.005,
+        "dram_reads": n * 0.002,
+        "dram_writes": n * 0.001,
+        "inst_fp": n * 0.1,
+        "inst_simd": 0.0,
+        "branch_mispredicts": n * 0.005,
+    }
+
+
+class TestStatic:
+    def test_increases_with_voltage(self, a15):
+        assert a15.static_power(1.3, 55.0) > a15.static_power(0.9, 55.0)
+
+    def test_increases_with_temperature(self, a15):
+        assert a15.static_power(1.0, 80.0) > a15.static_power(1.0, 40.0)
+
+    def test_a7_leaks_less_than_a15(self, a15, a7):
+        assert a7.static_power(1.0, 55.0) < a15.static_power(1.0, 55.0)
+
+    def test_never_negative(self, a15):
+        assert a15.static_power(0.9, -200.0) > 0
+
+
+class TestDynamic:
+    def test_scales_with_v_squared(self, a15):
+        counts = busy_counts()
+        low = a15.dynamic_power(counts, 1.0, 0.9, 1e9)
+        high = a15.dynamic_power(counts, 1.0, 1.2, 1e9)
+        assert high / low == pytest.approx((1.2 / 0.9) ** 2, rel=0.01)
+
+    def test_more_cores_more_power(self, a15):
+        counts = busy_counts()
+        assert a15.dynamic_power(counts, 1.0, 1.0, 1e9, 4) > 2.5 * a15.dynamic_power(
+            counts, 1.0, 1.0, 1e9, 1
+        )
+
+    def test_activity_increases_power(self, a15):
+        idle = {"cycles": 1e9}
+        assert a15.dynamic_power(busy_counts(), 1.0, 1.0, 1e9) > a15.dynamic_power(
+            idle, 1.0, 1.0, 1e9
+        )
+
+    def test_invalid_core_count(self, a15):
+        with pytest.raises(ValueError):
+            a15.dynamic_power(busy_counts(), 1.0, 1.0, 1e9, CORES_PER_CLUSTER + 1)
+
+    def test_invalid_time(self, a15):
+        with pytest.raises(ValueError):
+            a15.activity_rates(busy_counts(), 0.0)
+
+
+class TestClusterPower:
+    def test_realistic_envelope_a15(self, a15):
+        """One busy core at 1.8 GHz: around one to two watts."""
+        counts = busy_counts(n=1.8e9, freq=1.8e9)
+        power = a15.cluster_power(counts, 1.0, 1.2625, 1.8e9, 1, 60.0)
+        assert 0.8 < power < 3.0
+
+    def test_realistic_envelope_a7(self, a7):
+        counts = busy_counts(n=1.4e9, freq=1.4e9)
+        power = a7.cluster_power(counts, 1.0, 1.2, 1.4e9, 1, 50.0)
+        assert 0.08 < power < 0.8
+
+    def test_a15_cluster_4core_within_board_budget(self, a15):
+        counts = busy_counts(n=1.8e9, freq=1.8e9)
+        power = a15.cluster_power(counts, 1.0, 1.2625, 1.8e9, 4, 70.0)
+        assert power < 9.0  # the XU3's A15 cluster peak envelope
+
+    def test_unknown_core_rejected(self):
+        with pytest.raises(ValueError):
+            PowerGroundTruth("M7")
+
+    def test_near_linear_in_rates(self, a15):
+        """The Powmon fit depends on near-linearity: doubling activity must
+        roughly double the dynamic power (within the interaction term)."""
+        base = busy_counts()
+        double = {k: v * 2 for k, v in base.items()}
+        p1 = a15.dynamic_power(base, 1.0, 1.0, 1e9)
+        p2 = a15.dynamic_power(double, 1.0, 1.0, 1e9)
+        assert p2 / p1 == pytest.approx(2.0, rel=0.05)

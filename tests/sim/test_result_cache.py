@@ -1,0 +1,120 @@
+"""Tests for on-disk simulation-result caching."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.sim.cpu import simulate
+from repro.sim.gem5 import Gem5Simulation
+from repro.sim.machine import gem5_ex5_big, hardware_a15
+from repro.sim.platform import HardwarePlatform
+from repro.sim.result_cache import SimResultCache, cache_key, machine_fingerprint
+from repro.workloads.suites import workload_by_name
+from repro.workloads.trace import compile_trace
+
+
+@pytest.fixture
+def trace():
+    return compile_trace(workload_by_name("mi-sha"), 6_000)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return SimResultCache(str(tmp_path / "simcache"))
+
+
+class TestKeys:
+    def test_fingerprint_stable(self):
+        assert machine_fingerprint(hardware_a15()) == machine_fingerprint(
+            hardware_a15()
+        )
+
+    def test_fingerprint_sensitive_to_any_field(self):
+        base = hardware_a15()
+        tweaked = replace(base, dram_latency_ns=base.dram_latency_ns + 1.0)
+        assert machine_fingerprint(base) != machine_fingerprint(tweaked)
+
+    def test_key_distinguishes_machines(self, trace):
+        assert cache_key(trace, hardware_a15()) != cache_key(trace, gem5_ex5_big())
+
+    def test_key_distinguishes_traces(self, trace):
+        other = compile_trace(workload_by_name("mi-fft"), 6_000)
+        assert cache_key(trace, hardware_a15()) != cache_key(other, hardware_a15())
+
+
+class TestStoreAndLoad:
+    def test_miss_then_hit(self, cache, trace):
+        machine = hardware_a15()
+        assert cache.get(trace, machine) is None
+        result = simulate(trace, machine)
+        cache.put(trace, machine, result)
+        cached = cache.get(trace, machine)
+        assert cached is not None
+        assert cached.counts == result.counts
+        assert cached.core_cycles == pytest.approx(result.core_cycles)
+        assert cached.dram_stall_weight == pytest.approx(result.dram_stall_weight)
+
+    def test_cached_timing_identical(self, cache, trace):
+        machine = hardware_a15()
+        result = simulate(trace, machine)
+        cache.put(trace, machine, result)
+        cached = cache.get(trace, machine)
+        assert cached.time_seconds(1e9) == pytest.approx(result.time_seconds(1e9))
+        assert cached.sync_factor == result.sync_factor
+
+    def test_modified_config_misses(self, cache, trace):
+        machine = hardware_a15()
+        cache.put(trace, machine, simulate(trace, machine))
+        tweaked = replace(machine, mispredict_penalty=99.0)
+        assert cache.get(trace, tweaked) is None
+
+    def test_corrupt_entry_treated_as_miss(self, cache, trace):
+        machine = hardware_a15()
+        cache.put(trace, machine, simulate(trace, machine))
+        import os
+        path = cache._path(cache_key(trace, machine))
+        with open(path, "w") as handle:
+            handle.write("{not json")
+        assert cache.get(trace, machine) is None
+        assert not os.path.exists(path)
+
+    def test_len_and_clear(self, cache, trace):
+        machine = hardware_a15()
+        cache.put(trace, machine, simulate(trace, machine))
+        assert len(cache) == 1
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestIntegration:
+    def test_platform_uses_cache(self, tmp_path):
+        cache_dir = str(tmp_path / "platform-cache")
+        profile = workload_by_name("mi-sha")
+        first = HardwarePlatform("A15", trace_instructions=6_000,
+                                 cache_dir=cache_dir)
+        m1 = first.characterize(profile, 1000e6)
+        second = HardwarePlatform("A15", trace_instructions=6_000,
+                                  cache_dir=cache_dir)
+        m2 = second.characterize(profile, 1000e6)
+        assert m1.time_seconds == m2.time_seconds
+        assert m1.pmc == m2.pmc
+        assert len(SimResultCache(cache_dir)) >= 1
+
+    def test_gem5_uses_cache(self, tmp_path):
+        cache_dir = str(tmp_path / "gem5-cache")
+        profile = workload_by_name("mi-sha")
+        first = Gem5Simulation(trace_instructions=6_000, cache_dir=cache_dir)
+        s1 = first.run(profile, 1000e6)
+        second = Gem5Simulation(trace_instructions=6_000, cache_dir=cache_dir)
+        s2 = second.run(profile, 1000e6)
+        assert s1.stats == s2.stats
+
+    def test_cached_equals_uncached(self, tmp_path):
+        profile = workload_by_name("mi-fft")
+        cached = Gem5Simulation(trace_instructions=6_000,
+                                cache_dir=str(tmp_path / "c"))
+        cached.run(profile, 1000e6)               # populate
+        rerun = Gem5Simulation(trace_instructions=6_000,
+                               cache_dir=str(tmp_path / "c"))
+        plain = Gem5Simulation(trace_instructions=6_000)
+        assert rerun.run(profile, 1000e6).stats == plain.run(profile, 1000e6).stats

@@ -1,0 +1,42 @@
+"""Tests for the gemstone CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for command in ("report", "headline", "lmbench", "power-model", "bp-fix"):
+            args = parser.parse_args(
+                [command] if command == "lmbench" else [command, "--instructions", "8000"]
+            )
+            assert args.command == command
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_core_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["headline", "--core", "M4"])
+
+
+class TestExecution:
+    def test_lmbench_prints_table(self, capsys):
+        assert main(["lmbench", "--machine", "gem5-ex5-big"]) == 0
+        out = capsys.readouterr().out
+        assert "ns / access" in out
+        assert "gem5-ex5-big" in out
+
+    def test_lmbench_writes_file(self, tmp_path, capsys):
+        out_file = tmp_path / "lat.txt"
+        assert main(["lmbench", "--out", str(out_file)]) == 0
+        assert "ns / access" in out_file.read_text()
+
+    def test_headline_small(self, capsys):
+        assert main(["headline", "--instructions", "4000"]) == 0
+        out = capsys.readouterr().out
+        assert "time MAPE %" in out
+        assert "ALL" in out

@@ -1,0 +1,65 @@
+"""Tests for the extended CLI subcommands (figures, export, runtime power)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+ARGS = ["--instructions", "4000"]
+
+
+class TestFigureCommand:
+    @pytest.mark.parametrize("figure", ["fig3", "fig5", "characterisation"])
+    def test_figures_render(self, figure, capsys):
+        assert main(["figure", figure] + ARGS) == 0
+        out = capsys.readouterr().out
+        assert len(out.splitlines()) > 10
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"] + ARGS)
+
+
+class TestExportCommand:
+    def test_validation_csv(self, capsys):
+        assert main(["export", "validation-csv"] + ARGS) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("workload,suite,threads")
+        assert "par-basicmath-rad2deg" in out
+
+    def test_power_model_requires_out(self):
+        with pytest.raises(SystemExit):
+            main(["export", "power-model"] + ARGS)
+
+    def test_power_model_written(self, tmp_path, capsys):
+        path = tmp_path / "model.json"
+        assert main(["export", "power-model", "--out", str(path)] + ARGS) == 0
+        payload = json.loads(path.read_text())
+        assert payload["kind"] == "gemstone-power-model"
+        assert payload["core"] == "A15"
+
+
+class TestRuntimePowerCommand:
+    def test_trace_printed(self, capsys):
+        assert main(
+            ["runtime-power", "--workload", "mi-sha", "--windows", "4"] + ARGS
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Run-time power of mi-sha" in out
+        assert "mean power" in out
+        # header + separator + four window rows + summary
+        table_lines = [l for l in out.splitlines() if l.strip()]
+        assert len(table_lines) >= 7
+
+
+class TestCacheDirOption:
+    def test_headline_with_cache(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["headline", "--cache-dir", cache] + ARGS) == 0
+        first = capsys.readouterr().out
+        assert main(["headline", "--cache-dir", cache] + ARGS) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        import os
+        assert os.listdir(cache)

@@ -1,0 +1,126 @@
+"""Cross-module integration tests: the paper's claims end-to-end.
+
+These run on the shared small fixture (13 workloads, two OPPs) and assert
+the *relationships* between pipeline products that the paper's argument
+rests on — the things no single-module unit test can check.
+"""
+
+import numpy as np
+import pytest
+
+from tests.conftest import SMALL_FREQS
+
+FREQ = SMALL_FREQS[1]
+
+
+class TestEndToEndConsistency:
+    def test_dataset_times_match_simulators(self, small_gemstone):
+        """The collated dataset must agree with direct simulator queries."""
+        run = small_gemstone.dataset.run("mi-sha", FREQ)
+        from repro.workloads.suites import workload_by_name
+
+        profile = workload_by_name("mi-sha")
+        stats = small_gemstone.gem5.run(profile, FREQ)
+        assert run.gem5_time == pytest.approx(stats.sim_seconds)
+        measurement = small_gemstone.platform.characterize(profile, FREQ)
+        assert run.hw_time == pytest.approx(measurement.time_seconds)
+
+    def test_same_work_on_both_machines(self, small_gemstone):
+        """HW and gem5 must execute the identical amount of work — the
+        precondition for every comparison in the paper."""
+        for run in small_gemstone.dataset.runs_at(FREQ):
+            hw_insts = run.hw.pmc[0x08]
+            gem5_insts = run.gem5.value("commit.committedInsts")
+            assert gem5_insts == pytest.approx(hw_insts, rel=0.02), run.workload
+
+    def test_power_model_events_all_available_in_both_sources(self, small_gemstone):
+        """The Section V design constraint: every model event must be
+        measurable on HW and derivable from gem5 stats."""
+        model = small_gemstone.power_model
+        run = small_gemstone.dataset.runs_at(FREQ)[0]
+        for event in model.required_events():
+            assert event in run.hw.pmc
+        rates = small_gemstone.application.gem5_rates(run.gem5)
+        assert set(rates) == set(model.required_events())
+
+    def test_energy_equals_power_times_time(self, small_gemstone):
+        comparison = small_gemstone.power_energy
+        for row in comparison.rows[:10]:
+            run = small_gemstone.dataset.run(row.workload, row.freq_hz)
+            assert row.hw_energy_j == pytest.approx(
+                row.hw_power_w * run.hw_time
+            )
+            assert row.gem5_energy_j == pytest.approx(
+                row.gem5_power_w * run.gem5_time
+            )
+
+    def test_error_chain_bp_to_time(self, small_gemstone):
+        """Per workload: worse model BP accuracy (relative to HW) must
+        coincide with more-negative time error, the causal chain of
+        Section IV."""
+        comparison = small_gemstone.event_comparison
+        errors = {
+            r.workload: r.time_percentage_error
+            for r in small_gemstone.dataset.runs_at(FREQ)
+        }
+        accuracy_gap = {
+            row.workload: row.hw_accuracy - row.gem5_accuracy
+            for row in comparison.bp_accuracy
+        }
+        workloads = sorted(errors)
+        gap = np.array([accuracy_gap[w] for w in workloads])
+        err = np.array([errors[w] for w in workloads])
+        correlation = np.corrcoef(gap, err)[0, 1]
+        assert correlation < -0.6, (
+            f"BP damage must drive the time error (r={correlation:.2f})"
+        )
+
+    def test_report_numbers_match_dataset(self, small_gemstone):
+        """The rendered report quotes the same MAPE the dataset computes."""
+        report = small_gemstone.report()
+        mape = small_gemstone.dataset.time_mape(FREQ)
+        assert f"{mape:.2f}" in report
+
+    def test_determinism_across_pipeline_rebuild(self, small_profiles):
+        from repro.core.pipeline import GemStone, GemStoneConfig
+
+        def build():
+            gs = GemStone(
+                GemStoneConfig(
+                    core="A15",
+                    workloads=small_profiles[:6],
+                    power_workloads=small_profiles[:6],
+                    frequencies=SMALL_FREQS,
+                    trace_instructions=6_000,
+                    n_workload_clusters=3,
+                    power_model_terms=2,
+                )
+            )
+            return gs.dataset.time_mpe(FREQ), gs.power_model.quality.mape
+
+        assert build() == build()
+
+
+class TestSectionViiWorkflow:
+    def test_fixed_model_beats_buggy_on_every_loopy_workload(self, small_gemstone):
+        fixed = small_gemstone.with_machine("gem5-ex5-big-fixed")
+        buggy_errors = {
+            r.workload: abs(r.time_percentage_error)
+            for r in small_gemstone.dataset.runs_at(FREQ)
+        }
+        fixed_errors = {
+            r.workload: abs(r.time_percentage_error)
+            for r in fixed.dataset.runs_at(FREQ)
+        }
+        loopy = ("par-basicmath-rad2deg", "mi-bitcount")
+        for workload in loopy:
+            assert fixed_errors[workload] < buggy_errors[workload] / 2, workload
+
+    def test_hardware_side_unchanged_by_model_swap(self, small_gemstone):
+        """Swapping the gem5 model must not perturb the HW reference."""
+        fixed = small_gemstone.with_machine("gem5-ex5-big-fixed")
+        for run_a, run_b in zip(
+            small_gemstone.dataset.runs_at(FREQ), fixed.dataset.runs_at(FREQ)
+        ):
+            assert run_a.hw_time == run_b.hw_time
+            assert run_a.hw.pmc == run_b.hw.pmc

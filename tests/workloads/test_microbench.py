@@ -1,0 +1,93 @@
+"""Tests for the lmbench-style micro-benchmarks (Fig. 4 machinery)."""
+
+import pytest
+
+from repro.sim.machine import (
+    gem5_ex5_big,
+    gem5_ex5_little,
+    hardware_a7,
+    hardware_a15,
+)
+from repro.workloads.microbench import (
+    LatencyPoint,
+    memory_bandwidth,
+    memory_latency_sweep,
+    op_latency_table,
+)
+
+SIZES = (8, 16, 256, 1024, 8192)
+
+
+@pytest.fixture(scope="module")
+def hw_curve():
+    return memory_latency_sweep(hardware_a15(), sizes_kb=SIZES, n_instrs=15_000)
+
+
+@pytest.fixture(scope="module")
+def gem5_curve():
+    return memory_latency_sweep(gem5_ex5_big(), sizes_kb=SIZES, n_instrs=15_000)
+
+
+class TestLatencyCurve:
+    def test_monotone_with_size(self, hw_curve):
+        latencies = [p.ns_per_access for p in hw_curve]
+        assert latencies == sorted(latencies)
+
+    def test_l1_region_is_cheap(self, hw_curve):
+        l1 = hw_curve[0]
+        assert l1.size_kb == 8
+        assert l1.ns_per_access < 10.0
+
+    def test_dram_region_near_dram_latency(self, hw_curve):
+        dram = hw_curve[-1]
+        # Well past the 2 MiB L2: latency approaches the DRAM figure.
+        assert dram.ns_per_access > 60.0
+
+    def test_returns_latency_points(self, hw_curve):
+        assert all(isinstance(p, LatencyPoint) for p in hw_curve)
+
+
+class TestPaperFig4Findings:
+    def test_model_dram_latency_too_low(self, hw_curve, gem5_curve):
+        """Fig. 4: 'the DRAM memory latency was too low in the model'."""
+        assert gem5_curve[-1].ns_per_access < 0.85 * hw_curve[-1].ns_per_access
+
+    def test_l1_region_matches(self, hw_curve, gem5_curve):
+        """'the other measurements being very close'."""
+        assert gem5_curve[0].ns_per_access == pytest.approx(
+            hw_curve[0].ns_per_access, rel=0.15
+        )
+
+    def test_a7_model_l2_latency_too_high(self):
+        """'the Cortex-A7 L2 cache latency was too high'."""
+        hw = memory_latency_sweep(hardware_a7(), sizes_kb=(256,), n_instrs=10_000)
+        gem5 = memory_latency_sweep(
+            gem5_ex5_little(), sizes_kb=(256,), n_instrs=10_000
+        )
+        assert gem5[0].ns_per_access > 1.5 * hw[0].ns_per_access
+
+
+class TestOpLatency:
+    def test_divide_slowest(self):
+        table = op_latency_table(hardware_a7())
+        assert table["int_div"] > table["int_mul"] > 0
+
+    def test_l2_load_includes_l1(self):
+        table = op_latency_table(hardware_a15())
+        assert table["load_l2"] > table["load_l1"]
+
+    def test_a7_fp_exposed(self):
+        assert op_latency_table(hardware_a7())["fp_add"] > op_latency_table(
+            hardware_a15()
+        )["fp_add"]
+
+
+class TestBandwidth:
+    def test_positive_and_plausible(self):
+        bandwidth = memory_bandwidth(hardware_a15(), n_instrs=10_000)
+        assert 1e8 < bandwidth < 1e11  # 0.1-100 GB/s envelope
+
+    def test_scales_with_frequency(self):
+        low = memory_bandwidth(hardware_a15(), freq_hz=0.6e9, n_instrs=10_000)
+        high = memory_bandwidth(hardware_a15(), freq_hz=1.8e9, n_instrs=10_000)
+        assert high > low

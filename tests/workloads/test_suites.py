@@ -1,0 +1,119 @@
+"""Tests for the 65-workload catalog."""
+
+import pytest
+
+from repro.workloads.suites import (
+    POWER_SET,
+    VALIDATION_SET,
+    all_workloads,
+    power_modelling_workloads,
+    validation_workloads,
+    workload_by_name,
+)
+
+
+class TestCatalogShape:
+    def test_validation_set_has_45_workloads(self):
+        assert len(validation_workloads()) == 45
+
+    def test_power_set_has_65_workloads(self):
+        assert len(power_modelling_workloads()) == 65
+
+    def test_all_names_unique(self):
+        names = [w.name for w in power_modelling_workloads()]
+        assert len(names) == len(set(names))
+
+    def test_validation_subset_of_power_set(self):
+        assert set(VALIDATION_SET) <= set(POWER_SET)
+
+    def test_all_workloads_alias(self):
+        assert [w.name for w in all_workloads()] == list(POWER_SET)
+
+    def test_suites_present(self):
+        suites = {w.suite for w in power_modelling_workloads()}
+        assert suites == {
+            "mibench", "parmibench", "parsec", "lmbench", "longbottom", "classic"
+        }
+
+    def test_lmbench_and_longbottom_not_in_validation(self):
+        validation_suites = {w.suite for w in validation_workloads()}
+        assert "lmbench" not in validation_suites
+        assert "longbottom" not in validation_suites
+
+
+class TestNamingConventions:
+    def test_mibench_prefix(self):
+        for w in power_modelling_workloads():
+            if w.suite == "mibench":
+                assert w.name.startswith("mi-")
+
+    def test_parmibench_prefix(self):
+        for w in power_modelling_workloads():
+            if w.suite == "parmibench":
+                assert w.name.startswith("par-")
+
+    def test_parsec_prefix_and_thread_suffix(self):
+        for w in power_modelling_workloads():
+            if w.suite == "parsec":
+                assert w.name.startswith("parsec-")
+                assert w.name.endswith(("-1", "-4"))
+
+
+class TestParsecThreading:
+    def test_parsec_run_single_and_four_threaded(self):
+        parsec = [w for w in power_modelling_workloads() if w.suite == "parsec"]
+        singles = {w.name[:-2] for w in parsec if w.threads == 1}
+        quads = {w.name[:-2] for w in parsec if w.threads == 4}
+        assert singles == quads
+        assert len(parsec) == 2 * len(singles)
+
+    def test_four_threaded_have_sync_ops(self):
+        # The basicmath trio is data-parallel without locking; every other
+        # 4-thread workload synchronises through exclusives.
+        for w in power_modelling_workloads():
+            if w.threads == 4 and "basicmath" not in w.name:
+                assert w.frac_ldrex > 0, w.name
+
+    def test_parmibench_is_four_threaded(self):
+        for w in power_modelling_workloads():
+            if w.suite == "parmibench":
+                assert w.threads == 4, w.name
+
+
+class TestCharacteristics:
+    def test_rad2deg_is_pathologically_loopy(self):
+        w = workload_by_name("par-basicmath-rad2deg")
+        assert w.loop_branch_frac > 0.9
+        assert w.loop_trip_mean >= 200
+        assert w.effective_backward_loop_frac >= 0.9
+
+    def test_canneal_is_memory_heavy(self):
+        w = workload_by_name("parsec-canneal-1")
+        assert w.data_kb >= 4096
+
+    def test_whetstone_is_fp_heavy(self):
+        assert workload_by_name("whetstone").frac_fp > 0.25
+
+    def test_dhrystone_is_tiny_footprint(self):
+        w = workload_by_name("dhrystone")
+        assert w.code_kb <= 16 and w.data_kb <= 32
+
+    def test_typeset_has_big_code_and_indirects(self):
+        w = workload_by_name("mi-typeset")
+        assert w.code_kb >= 256
+        assert w.indirect_frac > 0.04
+
+    def test_lat_mem_chases_are_random_access(self):
+        for name in ("lm-lat-mem-l1", "lm-lat-mem-l2", "lm-lat-mem-dram"):
+            assert workload_by_name(name).frac_rand > 0.9
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            workload_by_name("spec2006-gcc")
+
+    def test_code_footprints_span_itlb_regimes(self):
+        # The ITLB divergence story needs workloads below 32 pages and
+        # workloads well above 32 pages of hot code.
+        pages = [w.code_pages for w in validation_workloads()]
+        assert min(pages) < 8
+        assert max(pages) > 48

@@ -1,0 +1,98 @@
+"""Property-based tests for the trace compiler (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.profile import WorkloadProfile
+from repro.workloads.trace import BranchClass, compile_trace
+
+
+@st.composite
+def profiles(draw):
+    """Random but valid workload profiles."""
+    frac_load = draw(st.floats(0.02, 0.3))
+    frac_store = draw(st.floats(0.01, 0.15))
+    frac_branch = draw(st.floats(0.05, 0.25))
+    frac_fp = draw(st.floats(0.0, 0.25))
+    loop = draw(st.floats(0.15, 0.9))
+    pattern = draw(st.floats(0.0, 1.0 - loop))
+    biased = draw(st.floats(0.0, 1.0 - loop - pattern))
+    random_frac = 1.0 - loop - pattern - biased
+    seq = draw(st.floats(0.1, 0.9))
+    stride = draw(st.floats(0.0, 1.0 - seq))
+    return WorkloadProfile(
+        name="hyp",
+        suite="hypothesis",
+        frac_load=frac_load,
+        frac_store=frac_store,
+        frac_branch=frac_branch,
+        frac_fp=frac_fp,
+        loop_branch_frac=loop,
+        pattern_branch_frac=pattern,
+        biased_branch_frac=biased,
+        random_branch_frac=random_frac,
+        loop_trip_mean=draw(st.floats(2.0, 200.0)),
+        n_functions=draw(st.integers(1, 24)),
+        code_kb=draw(st.floats(4.0, 256.0)),
+        data_kb=draw(st.floats(8.0, 4096.0)),
+        frac_seq=seq,
+        frac_stride=stride,
+        frac_rand=1.0 - seq - stride,
+        ilp=draw(st.floats(0.5, 3.0)),
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(profile=profiles(), seed=st.integers(0, 2**31 - 1))
+def test_compiled_trace_invariants(profile, seed):
+    """Every valid profile compiles to a self-consistent trace."""
+    trace = compile_trace(profile, 3_000, seed=seed)
+
+    # Instruction accounting is exact.
+    assert trace.n_instrs == sum(trace.totals.values())
+    assert trace.totals["branch"] == len(trace.block_seq)
+    assert trace.n_instrs >= 3_000
+
+    # Dynamic sequences are aligned.
+    assert len(trace.taken_seq) == len(trace.block_seq)
+    assert len(trace.indirect_target_seq) == len(trace.block_seq)
+
+    # Memory stream bookkeeping is exact.
+    expected_mem = sum(trace.blocks[b].n_mem for b in trace.block_seq.tolist())
+    assert len(trace.mem_addrs) == expected_mem
+
+    # Block indices are in range.
+    assert trace.block_seq.min() >= 0
+    assert trace.block_seq.max() < len(trace.blocks)
+
+    # Unconditional branch classes are always taken.
+    for seq_index, block_id in enumerate(trace.block_seq.tolist()):
+        cls = trace.blocks[block_id].branch_class
+        if cls in (BranchClass.CALL, BranchClass.RETURN, BranchClass.INDIRECT):
+            assert trace.taken_seq[seq_index] == 1
+
+
+@settings(max_examples=10, deadline=None)
+@given(profile=profiles())
+def test_compilation_is_deterministic(profile):
+    a = compile_trace(profile, 2_000, seed=7)
+    b = compile_trace(profile, 2_000, seed=7)
+    assert np.array_equal(a.block_seq, b.block_seq)
+    assert np.array_equal(a.taken_seq, b.taken_seq)
+    assert np.array_equal(a.mem_addrs, b.mem_addrs)
+    assert a.totals == b.totals
+
+
+@settings(max_examples=15, deadline=None)
+@given(profile=profiles())
+def test_mem_addresses_within_regions(profile):
+    """Data addresses stay inside the declared address-space regions."""
+    from repro.workloads.trace import DATA_BASE, LOCK_BASE
+
+    trace = compile_trace(profile, 2_000, seed=3)
+    if len(trace.mem_addrs) == 0:
+        return
+    addrs = trace.mem_addrs
+    data_top = LOCK_BASE + 4096
+    assert int(addrs.min()) >= DATA_BASE
+    assert int(addrs.max()) < data_top
