@@ -1,0 +1,17 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-smoke
+
+# Tier-1: the full unit/integration suite.
+test:
+	$(PYTHON) -m pytest -x -q
+
+# One tiny parallel collection end-to-end (pool + disk cache + dataset),
+# so executor regressions surface without the full benchmark suite.
+bench-smoke:
+	$(PYTHON) -m pytest -q -m bench_smoke tests/sim/test_executor.py
+
+# Full paper-figure benchmark suite, including the throughput benchmark.
+bench:
+	$(PYTHON) -m pytest -q -s benchmarks

@@ -47,15 +47,24 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="directory for on-disk simulation-result caching",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="simulation worker processes (0 = one per CPU core); "
+        "results are bit-identical at any setting",
+    )
 
 
 def _gemstone(args: argparse.Namespace) -> GemStone:
+    jobs = getattr(args, "jobs", 1)
     return GemStone(
         GemStoneConfig(
             core=args.core,
             gem5_machine=args.model,
             trace_instructions=args.instructions,
             cache_dir=getattr(args, "cache_dir", None),
+            jobs=None if jobs == 0 else jobs,
         )
     )
 

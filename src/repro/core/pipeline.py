@@ -76,6 +76,10 @@ class GemStoneConfig:
         power_model_terms: Maximum events in the power model.
         gem5_restrained_power_model: Restrict power-model event selection to
             events with reliable gem5 equivalents (Section V's final model).
+        jobs: Simulation worker processes.  ``1`` (the default) simulates
+            serially in-process; ``None`` uses every core; >1 fans the
+            (workload x machine) jobs across a process pool.  Results are
+            bit-identical regardless of the setting.
     """
 
     core: str = "A15"
@@ -89,6 +93,7 @@ class GemStoneConfig:
     power_model_terms: int = 7
     gem5_restrained_power_model: bool = True
     cache_dir: str | None = None
+    jobs: int | None = 1
 
     def resolve_machine(self) -> MachineConfig:
         """The gem5 model config this run validates."""
@@ -126,15 +131,25 @@ class GemStone:
                 f"gem5 model {machine.name} models a {machine.core}, "
                 f"but the config targets the {self.config.core}"
             )
+        from repro.sim.executor import SimExecutor
+
+        # One executor serves both engines: (workload x machine) jobs from
+        # the hardware platform and the gem5 model share its dedup, disk
+        # cache and telemetry, and dataset collection batches through it.
+        self.executor = SimExecutor(
+            jobs=self.config.jobs, cache_dir=self.config.cache_dir
+        )
         self.platform = HardwarePlatform(
             self.config.core,
             trace_instructions=self.config.trace_instructions,
             cache_dir=self.config.cache_dir,
+            executor=self.executor,
         )
         self.gem5 = Gem5Simulation(
             machine,
             trace_instructions=self.config.trace_instructions,
             cache_dir=self.config.cache_dir,
+            executor=self.executor,
         )
         self._dataset: ValidationDataset | None = None
         self._power_dataset: list[PowerObservation] | None = None

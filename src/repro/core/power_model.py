@@ -97,12 +97,28 @@ def collect_power_dataset(
     platform: HardwarePlatform,
     workloads: Iterable[WorkloadProfile],
     frequencies: Sequence[float] | None = None,
+    executor=None,
+    jobs: int | None = None,
 ) -> list[PowerObservation]:
-    """Run the power-characterisation experiments over workloads x OPPs."""
+    """Run the power-characterisation experiments over workloads x OPPs.
+
+    With an ``executor`` (or a ``jobs`` count, or an executor already
+    attached to the platform) every missing workload simulation is fanned
+    out in one up-front batch; the per-OPP characterisation loop then runs
+    entirely against memoised results.
+    """
     if frequencies is None:
         from repro.sim.dvfs import experiment_frequencies
 
         frequencies = experiment_frequencies(platform.core)
+    workloads = list(workloads)
+    from repro.core.validation import _resolve_executor
+
+    executor = _resolve_executor(executor, jobs, platform)
+    if executor is not None:
+        from repro.sim.executor import prime_engines
+
+        prime_engines(executor, (platform,), workloads)
     observations = []
     for profile in workloads:
         for freq in frequencies:

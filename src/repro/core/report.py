@@ -328,4 +328,31 @@ def render_full_report(gemstone) -> str:
     sections.append(render_power_energy_figure(gemstone.power_energy))
     sections.append(render_dvfs_figure(gemstone.dvfs))
 
+    executor = getattr(gemstone, "executor", None)
+    if executor is not None and executor.telemetry.jobs_submitted:
+        sections.append(render_sim_telemetry(executor.telemetry, executor.jobs))
+
     return "\n\n".join(sections)
+
+
+def render_sim_telemetry(telemetry, jobs: int) -> str:
+    """Simulation-executor telemetry: job accounting and stage wall-clock."""
+    rows = [
+        ["worker processes", jobs],
+        ["jobs submitted", telemetry.jobs_submitted],
+        ["deduplicated in-flight", telemetry.jobs_deduplicated],
+        ["disk cache hits", telemetry.cache_hits],
+        ["simulated", telemetry.jobs_run],
+        ["  on worker processes", telemetry.parallel_jobs_run],
+        ["serial fallbacks", telemetry.serial_fallbacks],
+        ["batches", telemetry.batches],
+        ["probe wall-clock (s)", telemetry.probe_seconds],
+        ["simulate wall-clock (s)", telemetry.simulate_seconds],
+        ["reap wall-clock (s)", telemetry.reap_seconds],
+        ["throughput (sims/s)", telemetry.throughput()],
+    ]
+    return text_table(
+        ["simulation executor", "value"],
+        rows,
+        title="Simulation executor telemetry",
+    )

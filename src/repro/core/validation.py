@@ -162,6 +162,26 @@ class ValidationDataset:
 ProgressCallback = Callable[[str, float, int, int], None]
 
 
+def _resolve_executor(executor, jobs: int | None, *engines):
+    """Pick the executor for a collection run.
+
+    Precedence: an explicit ``executor``; else a fresh one for an explicit
+    ``jobs`` count; else the first executor already attached to an engine
+    (so ``GemStone``-constructed engines batch automatically).
+    """
+    if executor is not None:
+        return executor
+    if jobs is not None:
+        from repro.sim.executor import SimExecutor
+
+        return SimExecutor(jobs=jobs)
+    for engine in engines:
+        attached = getattr(engine, "executor", None)
+        if attached is not None:
+            return attached
+    return None
+
+
 def collect_validation_dataset(
     platform: HardwarePlatform,
     gem5: Gem5Simulation,
@@ -169,6 +189,8 @@ def collect_validation_dataset(
     frequencies: Sequence[float] | None = None,
     with_power: bool = True,
     progress: ProgressCallback | None = None,
+    executor=None,
+    jobs: int | None = None,
 ) -> ValidationDataset:
     """Run Experiments 1 and 2 and collate them (Fig. 1 boxes a, b, f).
 
@@ -180,6 +202,12 @@ def collect_validation_dataset(
         with_power: Also capture power on the hardware (needed later by the
             energy analysis; disable to speed up pure timing studies).
         progress: Optional callback ``(workload, freq, i, total)``.
+        executor: Optional :class:`~repro.sim.executor.SimExecutor`; every
+            missing (workload x machine) simulation is submitted up front
+            in one batch instead of being computed lazily per run.
+        jobs: Shorthand for ``executor``: builds a ``SimExecutor(jobs=jobs)``
+            when no explicit executor is given.  ``jobs`` > 1 fans the batch
+            across worker processes; results are bit-identical either way.
 
     Raises:
         ValueError: If the platform and model are different core types.
@@ -194,6 +222,15 @@ def collect_validation_dataset(
     if frequencies is None:
         frequencies = experiment_frequencies(platform.core)
     frequencies = tuple(float(f) for f in frequencies)
+
+    executor = _resolve_executor(executor, jobs, platform, gem5)
+    if executor is not None:
+        from repro.sim.executor import prime_engines
+
+        # Frequencies only rescale a simulation's counts; the simulation
+        # itself is per-(workload, machine), so one up-front fan-out covers
+        # the whole sweep for both engines.
+        prime_engines(executor, (platform, gem5), workload_list)
 
     runs: list[WorkloadRun] = []
     total = len(workload_list) * len(frequencies)

@@ -10,10 +10,13 @@
 * :mod:`repro.sim.gem5` — the gem5-style simulation wrapper emitting stats in
   the gem5 namespace.
 * :mod:`repro.sim.power_ground_truth` — the "silicon" power process.
+* :mod:`repro.sim.executor` — parallel fan-out of independent simulation
+  jobs across worker processes, with dedup, disk caching and telemetry.
 """
 
 from repro.sim.cpu import CpuSimulator, SimResult, simulate
 from repro.sim.dvfs import OperatingPoint, OppTable, opp_table_for
+from repro.sim.executor import SimExecutor, SimTelemetry, prime_engines
 from repro.sim.gem5 import Gem5Simulation, Gem5Stats
 from repro.sim.machine import (
     CacheGeometry,
@@ -48,4 +51,7 @@ __all__ = [
     "HardwarePlatform",
     "HwMeasurement",
     "PowerGroundTruth",
+    "SimExecutor",
+    "SimTelemetry",
+    "prime_engines",
 ]

@@ -25,7 +25,10 @@ fetch stalls.
 from __future__ import annotations
 
 import zlib
+from collections import deque
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.sim.machine import MachineConfig
 from repro.uarch.branch import IndirectPredictor, ReturnAddressStack, make_predictor
@@ -33,7 +36,6 @@ from repro.uarch.cache import SetAssociativeCache, StridePrefetcher
 from repro.uarch.tlb import TlbHierarchy
 from repro.workloads.trace import (
     CACHE_LINE_BYTES,
-    KIND_INDEX,
     KIND_NAMES,
     PAGE_BYTES,
     BranchClass,
@@ -44,10 +46,12 @@ _LCG_MULT = 1103515245
 _LCG_ADD = 12345
 _LCG_MASK = 0x7FFFFFFF
 
-_KIND_LOAD = KIND_INDEX["load"]
-_KIND_STORE = KIND_INDEX["store"]
-_KIND_LDREX = KIND_INDEX["ldrex"]
-_KIND_STREX = KIND_INDEX["strex"]
+_CLS_RANDOM = int(BranchClass.RANDOM)
+_CLS_CALL = int(BranchClass.CALL)
+_CLS_RETURN = int(BranchClass.RETURN)
+
+#: Shadow (architectural) call-stack depth backing the RAS check.
+_SHADOW_STACK_DEPTH = 64
 
 
 @dataclass
@@ -141,23 +145,55 @@ def _simulate(trace: SyntheticTrace, machine: MachineConfig) -> SimResult:
         machine.predictor, machine.predictor_table_bits, machine.predictor_history_bits
     )
     ras = ReturnAddressStack()
-    shadow_stack: list[int] = []
+    shadow_stack: deque[int] = deque(maxlen=_SHADOW_STACK_DEPTH)
     indirect = IndirectPredictor()
 
     _prewarm(trace, l1i, l1d, l2, tlb)
 
     # --- local bindings for the hot loop -------------------------------------
+    # The per-block replay tables (flat parallel lists, no dataclass
+    # attribute access per dynamic block) are machine-independent and
+    # memoised on the trace: every trace is simulated on at least two
+    # machines, so the flattening cost is paid once.
     blocks = trace.blocks
-    block_seq = trace.block_seq.tolist()
-    taken_seq = trace.taken_seq.tolist()
-    target_seq = trace.indirect_target_seq.tolist()
-    mem_lines = (trace.mem_addrs // CACHE_LINE_BYTES).tolist()
-    mem_pages = (trace.mem_addrs // PAGE_BYTES).tolist()
-    mem_kind_per_block = [
-        tuple(slot.kind for slot in block.mem_slots) for block in blocks
-    ]
-    code_pages = sorted({page for block in blocks for page in block.pages})
+    tables = trace.replay_tables()
+    block_seq = tables.block_seq
+    taken_seq = tables.taken_seq
+    target_seq = tables.target_seq
+    mem_lines = tables.mem_lines
+    mem_pages = tables.mem_pages
+    block_pages = tables.block_pages
+    block_lines = tables.block_lines
+    page_tails = tables.page_tails
+    line_tails = tables.line_tails
+    block_last_page = tables.block_last_page
+    block_last_line = tables.block_last_line
+    block_addr = tables.block_addr
+    block_class = tables.block_class
+    block_backward = tables.block_backward
+    block_n_mem = tables.block_n_mem
+    wp_near_page = tables.wp_near_page
+    mem_write_per_block = tables.mem_write_per_block
+    code_pages = tables.code_pages
     n_code_pages = len(code_pages)
+
+    # Bound-method hoists: attribute resolution out of the hot loop.
+    translate_inst = tlb.translate_inst
+    translate_data = tlb.translate_data
+    probe_inst = tlb.probe_inst
+    l2_itlb_lookup = tlb.l2_itlb.lookup
+    l1i_access = l1i.access
+    l1d_access = l1d.access
+    l2_access = l2.access
+    prefetch_train = l2_prefetcher.train
+    predictor_predict = predictor.predict
+    predictor_update = predictor.update
+    ras_push = ras.push
+    ras_pop = ras.pop
+    ras_corrupt = ras.corrupt
+    shadow_push = shadow_stack.append
+    shadow_pop = shadow_stack.pop
+    indirect_predict = indirect.predict_and_update
 
     # Deterministic LCG for the model's stochastic decisions (wrong-path
     # targets, RAS/indirect pollution); seeded per (trace, machine).
@@ -196,70 +232,70 @@ def _simulate(trace: SyntheticTrace, machine: MachineConfig) -> SimResult:
     far_fraction = machine.wrongpath_far_fraction
     ras_corruption = machine.ras_corruption
     indirect_corruption = machine.indirect_corruption
+    lines_per_page = PAGE_BYTES // CACHE_LINE_BYTES
 
     pending_indirect_corrupt = False
     last_ipage = -1
     last_iline = -1
     mem_cursor = 0
 
-    for seq_index, block_id in enumerate(block_seq):
-        block = blocks[block_id]
-
+    for block_id, taken_raw, target in zip(block_seq, taken_seq, target_seq):
         # ---------------- instruction side ----------------
-        for page in block.pages:
-            if page == last_ipage:
-                continue
-            last_ipage = page
-            result = tlb.translate_inst(page)
+        pages = block_pages[block_id]
+        if pages[0] == last_ipage:
+            pages = page_tails[block_id]
+        last_ipage = block_last_page[block_id]
+        for page in pages:
+            result = translate_inst(page)
             if not result.l1_hit:
                 stall_itlb += l2tlb_lat
                 if result.walked:
                     stall_itlb += walk_cycles
-                    hit, _, _ = l2.access(page * (PAGE_BYTES // CACHE_LINE_BYTES))
+                    hit, _, _ = l2_access(page * lines_per_page)
                     if not hit:
                         dram_reads += 1
                         dram_weight += 0.5
-        for line in block.lines:
-            if line == last_iline:
-                continue
-            last_iline = line
+        lines = block_lines[block_id]
+        if lines[0] == last_iline:
+            lines = line_tails[block_id]
+        last_iline = block_last_line[block_id]
+        for line in lines:
             l1i_fetch_accesses += 1
-            hit, _, _ = l1i.access(line)
+            hit, _, _ = l1i_access(line)
             if not hit:
                 stall_icache += l2_lat * 0.8
-                l2_hit, wrote_back, _ = l2.access(line)
+                l2_hit, wrote_back, _ = l2_access(line)
                 if wrote_back:
                     dram_writes += 1
                 if not l2_hit:
                     dram_reads += 1
                     dram_weight += 0.9
-                    l2_prefetcher.train(line)
+                    prefetch_train(line)
 
         # ---------------- data side ----------------
-        n_mem = block.n_mem
+        n_mem = block_n_mem[block_id]
         if n_mem:
-            kinds = mem_kind_per_block[block_id]
+            writes = mem_write_per_block[block_id]
             for slot_index in range(n_mem):
-                kind = kinds[slot_index]
+                is_write = writes[slot_index]
                 line = mem_lines[mem_cursor]
                 page = mem_pages[mem_cursor]
                 mem_cursor += 1
-                is_write = kind == _KIND_STORE or kind == _KIND_STREX
 
-                result = tlb.translate_data(page)
+                result = translate_data(page)
                 if not result.l1_hit:
                     stall_dtlb += l2tlb_lat * (1.0 - mem_overlap)
                     if result.walked:
                         stall_dtlb += walk_cycles * (1.0 - 0.5 * mem_overlap)
-                        hit, _, _ = l2.access(page * (PAGE_BYTES // CACHE_LINE_BYTES))
+                        hit, _, _ = l2_access(page * lines_per_page)
                         if not hit:
                             dram_reads += 1
                             dram_weight += 0.4
 
-                hit, wrote_back, allocated = l1d.access(line, is_write)
+                hit, wrote_back, allocated = l1d_access(line, is_write)
                 if wrote_back:
                     # L1D dirty victim written back into the L2.
-                    l2_hit, l2_wb, _ = l2.access(line ^ 0x1, True)
+                    l2_hit, l2_wb, _ = l2_access(line ^ 0x1, True)
                     if l2_wb:
                         dram_writes += 1
                 if not hit:
@@ -269,7 +305,7 @@ def _simulate(trace: SyntheticTrace, machine: MachineConfig) -> SimResult:
                         # store stream still consumes L2/DRAM write
                         # bandwidth.
                         stall_dcache += l2_lat * 0.05
-                        l2_hit, l2_wb, _ = l2.access(line, True)
+                        l2_hit, l2_wb, _ = l2_access(line, True)
                         if l2_wb:
                             dram_writes += 1
                         if not l2_hit:
@@ -280,7 +316,7 @@ def _simulate(trace: SyntheticTrace, machine: MachineConfig) -> SimResult:
                         stall_dcache += l2_lat * store_exposure
                     else:
                         stall_dcache += l2_lat * (1.0 - mem_overlap)
-                    l2_hit, l2_wb, _ = l2.access(line, is_write)
+                    l2_hit, l2_wb, _ = l2_access(line, is_write)
                     if l2_wb:
                         dram_writes += 1
                     if not l2_hit:
@@ -288,35 +324,36 @@ def _simulate(trace: SyntheticTrace, machine: MachineConfig) -> SimResult:
                         dram_weight += (
                             store_exposure * 0.5 if is_write else dram_exposure
                         )
-                        l2_prefetcher.train(line)
+                        prefetch_train(line)
 
         # ---------------- branch at block end ----------------
-        branch_class = block.branch_class
-        taken = bool(taken_seq[seq_index])
+        branch_class = block_class[block_id]
         mispredicted = False
-        if branch_class <= BranchClass.RANDOM:  # conditional classes
+        if branch_class <= _CLS_RANDOM:  # conditional classes
             cond_branches += 1
-            pc = block.addr
-            backward = block.branch_backward
-            prediction = predictor.predict(pc, backward)
-            predictor.update(pc, taken, backward)
+            taken = bool(taken_raw)
+            pc = block_addr[block_id]
+            backward = block_backward[block_id]
+            prediction = predictor_predict(pc, backward)
+            predictor_update(pc, taken, backward)
             if prediction != taken:
                 cond_mispredicts += 1
                 mispredicted = True
-        elif branch_class == BranchClass.CALL:
+        elif branch_class == _CLS_CALL:
             calls += 1
-            ras.push(block.addr)
-            shadow_stack.append(block.addr)
-            if len(shadow_stack) > 64:
-                shadow_stack.pop(0)
-        elif branch_class == BranchClass.RETURN:
+            addr = block_addr[block_id]
+            ras_push(addr)
+            # The deque's maxlen discards the deepest frame once the shadow
+            # stack exceeds the modelled depth, in O(1).
+            shadow_push(addr)
+        elif branch_class == _CLS_RETURN:
             returns += 1
-            expected = shadow_stack.pop() if shadow_stack else -1
-            if not ras.pop(expected):
+            expected = shadow_pop() if shadow_stack else -1
+            if not ras_pop(expected):
                 mispredicted = True
         else:  # INDIRECT
             indirect_branches += 1
-            correct = indirect.predict_and_update(block.addr, target_seq[seq_index])
+            correct = indirect_predict(block_addr[block_id], target)
             if pending_indirect_corrupt:
                 correct = False
                 pending_indirect_corrupt = False
@@ -336,26 +373,26 @@ def _simulate(trace: SyntheticTrace, machine: MachineConfig) -> SimResult:
                 lcg = (lcg * _LCG_MULT + _LCG_ADD) & _LCG_MASK
                 wp_page = code_pages[lcg % n_code_pages] + 1 + (lcg % 7)
             else:
-                wp_page = block.pages[-1] + 1
+                wp_page = wp_near_page[block_id]
 
-            if not tlb.probe_inst(wp_page):
+            if not probe_inst(wp_page):
                 # Squashed translation: walker/L2-TLB traffic, no L1 fill.
                 itlb_wrongpath_misses += 1
-                wp_l2_hit = tlb.l2_itlb.lookup(wp_page)
+                wp_l2_hit = l2_itlb_lookup(wp_page)
                 stall_itlb += l2tlb_lat
                 if not wp_l2_hit:
                     stall_itlb += walk_cycles * 0.5
-            wp_line = wp_page * (PAGE_BYTES // CACHE_LINE_BYTES) + (lcg % 8)
+            wp_line = wp_page * lines_per_page + (lcg % 8)
             l1i_fetch_accesses += 1
-            wp_hit, _, _ = l1i.access(wp_line)
+            wp_hit, _, _ = l1i_access(wp_line)
             if not wp_hit:
-                l2_hit, _, _ = l2.access(wp_line)
+                l2_hit, _, _ = l2_access(wp_line)
                 if not l2_hit:
                     dram_reads += 1
 
             lcg = (lcg * _LCG_MULT + _LCG_ADD) & _LCG_MASK
             if lcg / _LCG_MASK < ras_corruption:
-                ras.corrupt()
+                ras_corrupt()
             lcg = (lcg * _LCG_MULT + _LCG_ADD) & _LCG_MASK
             if lcg / _LCG_MASK < indirect_corruption:
                 pending_indirect_corrupt = True
@@ -407,26 +444,32 @@ def _prewarm(
     lines/pages and a capacity-bounded, evenly-sampled subset of each data
     stream's lines/pages are inserted silently (no counters).
     """
-    lines_per_page = PAGE_BYTES // CACHE_LINE_BYTES
     line_bytes = CACHE_LINE_BYTES
 
     # Instruction side: hot code is L2-resident; the L1I and the TLBs keep
-    # whatever fits (LRU retains the most recently inserted).
-    code_lines = sorted({line for block in trace.blocks for line in block.lines})
-    code_pages = sorted({page for block in trace.blocks for page in block.pages})
-    for line in code_lines:
-        l2.fill(line)
-        l1i.fill(line)
-    for page in code_pages:
-        tlb.l2_itlb.fill(page)
-        tlb.itlb.fill(page)
+    # whatever fits (LRU retains the most recently inserted).  Each
+    # structure receives its fill sequence in one bulk call; on a unified
+    # L2 TLB the instruction-side fills land first, exactly as the
+    # per-page loop ordered them.
+    tables = trace.replay_tables()
+    code_lines = tables.code_lines
+    code_pages = tables.code_pages
+    l2.warm_fill_many(code_lines)
+    l1i.warm_fill_many(code_lines)
+    tlb.l2_itlb.fill_many(code_pages)
+    tlb.itlb.fill_many(code_pages)
 
     # Data side: streams that fit in the L2 are warmed completely (they are
     # L2-resident in steady state); oversized streams get an evenly-sampled
     # subset so pathological spans cannot make pre-warming slower than
-    # simulation itself.
+    # simulation itself.  Per-stream footprints are generated as arange
+    # ramps and concatenated so each cache/TLB again sees a single bulk
+    # fill in the original stream order.
     l2_capacity_lines = l2.size_bytes // line_bytes
     warm_budget = 2 * l2_capacity_lines
+    l2_warm: list[np.ndarray] = []
+    l1d_warm: list[np.ndarray] = []
+    page_warm: list[np.ndarray] = []
     for stream in trace.streams:
         span_lines = max(1, stream.span // line_bytes)
         if span_lines <= l2_capacity_lines and span_lines <= warm_budget:
@@ -435,17 +478,20 @@ def _prewarm(
             step = max(1, span_lines // max(min(warm_budget, l2_capacity_lines), 1))
         warm_budget = max(warm_budget - span_lines // step, 256)
         base_line = stream.base // line_bytes
-        for offset in range(0, span_lines, step):
-            line = base_line + offset
-            l2.fill(line)
-            if offset % (step * 4) == 0:
-                l1d.fill(line)
+        l2_warm.append(base_line + np.arange(0, span_lines, step, dtype=np.int64))
+        # Every fourth warmed line (offset % (step * 4) == 0) also lands
+        # in the L1D, matching the interleaved loop's subset exactly.
+        l1d_warm.append(base_line + np.arange(0, span_lines, step * 4, dtype=np.int64))
         span_pages = max(1, stream.span // PAGE_BYTES)
         page_step = max(1, span_pages // 1024)
         base_page = stream.base // PAGE_BYTES
-        for offset in range(0, span_pages, page_step):
-            tlb.l2_dtlb.fill(base_page + offset)
-            tlb.dtlb.fill(base_page + offset)
+        page_warm.append(base_page + np.arange(0, span_pages, page_step, dtype=np.int64))
+    if l2_warm:
+        l2.warm_fill_many(np.concatenate(l2_warm))
+        l1d.warm_fill_many(np.concatenate(l1d_warm))
+        data_pages = np.concatenate(page_warm)
+        tlb.l2_dtlb.fill_many(data_pages)
+        tlb.dtlb.fill_many(data_pages)
 
 
 def _finalise(
@@ -477,13 +523,16 @@ def _finalise(
     n_instrs = trace.n_instrs
     profile = trace.profile
 
-    # Static unaligned slots weighted by block execution counts.
+    # Static unaligned slots weighted by block execution counts: a single
+    # integer dot product of the per-block unaligned-slot counts against the
+    # np.bincount occurrence vector.
     occurrences = trace.block_occurrences()
-    unaligned = 0
-    for block in trace.blocks:
-        n_unaligned = sum(1 for slot in block.mem_slots if slot.unaligned)
-        if n_unaligned:
-            unaligned += n_unaligned * int(occurrences[block.index])
+    unaligned_per_block = np.fromiter(
+        (sum(slot.unaligned for slot in block.mem_slots) for block in trace.blocks),
+        dtype=np.int64,
+        count=len(trace.blocks),
+    )
+    unaligned = int(unaligned_per_block @ occurrences)
 
     # Base pipeline cycles.
     effective_width = min(float(machine.issue_width), profile.ilp)

@@ -1,0 +1,264 @@
+"""Parallel fan-out of independent (trace, machine) simulation jobs.
+
+GemStone is rerun constantly — after every model adjustment and every
+simulator update (Section VII's workflow) — and a cold evaluation simulates
+45–65 workloads on two machine configurations.  Every one of those jobs is a
+pure function of its (trace, machine) pair, so they parallelise perfectly:
+:class:`SimExecutor` fans a batch of jobs across a
+:class:`~concurrent.futures.ProcessPoolExecutor` and guarantees results that
+are bit-identical to running the same jobs serially.
+
+The executor owns the whole memoisation story for a batch:
+
+* **deduplication** — identical in-flight jobs (same cache key) are
+  simulated once and the result shared across every requesting slot;
+* **disk cache** — when built with a ``cache_dir``, jobs are probed against
+  the :class:`~repro.sim.result_cache.SimResultCache` before any process is
+  spawned; workers write their entries atomically and the parent *reaps*
+  them from disk rather than shipping results back through the pipe;
+* **serial fallback** — ``jobs=1`` (the default everywhere) never spawns a
+  process, and any pool failure (pickling-hostile environment, broken
+  worker) degrades to the serial path with the identical results;
+* **telemetry** — a :class:`SimTelemetry` record counts jobs, hits and
+  per-stage wall-clock, surfaced by :func:`repro.core.report.
+  render_sim_telemetry` in the full report.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Iterable, Sequence
+
+from repro.sim.cpu import SimResult, simulate
+from repro.sim.machine import MachineConfig
+from repro.sim.result_cache import SimResultCache, cache_key
+from repro.workloads.trace import SyntheticTrace
+
+#: One simulation job: the executor's unit of work.
+SimJob = tuple[SyntheticTrace, MachineConfig]
+
+
+@dataclass
+class SimTelemetry:
+    """Counters and per-stage wall-clock for one executor's lifetime.
+
+    Attributes:
+        jobs_submitted: Jobs requested across all ``run_many`` batches.
+        jobs_deduplicated: Submitted jobs that were duplicates of another
+            in-flight job in the same batch (simulated once, shared).
+        cache_hits: Unique jobs answered from the disk cache.
+        jobs_run: Unique jobs actually simulated (the cache misses).
+        parallel_jobs_run: Subset of ``jobs_run`` executed on worker
+            processes rather than in the parent.
+        serial_fallbacks: Batches that degraded from the pool to the serial
+            path (pickling-hostile environment, broken pool).
+        batches: ``run_many`` invocations.
+        probe_seconds: Wall-clock spent deduplicating and probing the cache.
+        simulate_seconds: Wall-clock spent simulating (pool or serial).
+        reap_seconds: Wall-clock spent reaping worker-written cache entries
+            and fanning results back to the submitted slots.
+    """
+
+    jobs_submitted: int = 0
+    jobs_deduplicated: int = 0
+    cache_hits: int = 0
+    jobs_run: int = 0
+    parallel_jobs_run: int = 0
+    serial_fallbacks: int = 0
+    batches: int = 0
+    probe_seconds: float = 0.0
+    simulate_seconds: float = 0.0
+    reap_seconds: float = 0.0
+
+    @property
+    def wall_seconds(self) -> float:
+        """Total wall-clock across all executor stages."""
+        return self.probe_seconds + self.simulate_seconds + self.reap_seconds
+
+    @property
+    def cache_misses(self) -> int:
+        """Unique jobs not answered by the disk cache."""
+        return self.jobs_run
+
+    def throughput(self) -> float:
+        """Simulations per second of simulate-stage wall-clock."""
+        if self.simulate_seconds <= 0.0:
+            return 0.0
+        return self.jobs_run / self.simulate_seconds
+
+
+def _run_job(payload: tuple[SyntheticTrace, MachineConfig, str | None]):
+    """Worker-side entry point: simulate one job.
+
+    With a cache directory the worker writes its entry atomically (via the
+    cache's temp-file + rename protocol) and returns ``None`` so only a
+    tiny token crosses the process boundary; the parent reaps the entry
+    from disk.  Without a cache the result itself is returned in-band.
+    """
+    trace, machine, cache_dir = payload
+    result = simulate(trace, machine)
+    if cache_dir is not None:
+        SimResultCache(cache_dir).put(trace, machine, result)
+        return None
+    return result
+
+
+class SimExecutor:
+    """Fans independent simulation jobs across worker processes.
+
+    Args:
+        jobs: Worker-process count.  ``1`` (or fewer pending jobs than
+            workers would help) runs serially in the parent; ``None`` uses
+            ``os.cpu_count()``.
+        cache_dir: Optional on-disk result cache shared by parent and
+            workers; see :class:`~repro.sim.result_cache.SimResultCache`.
+
+    Raises:
+        ValueError: For a non-positive explicit ``jobs``.
+    """
+
+    def __init__(self, jobs: int | None = None, cache_dir: str | None = None):
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = int(jobs)
+        self.cache = SimResultCache(cache_dir) if cache_dir is not None else None
+        self.telemetry = SimTelemetry()
+
+    # ------------------------------------------------------------------ public
+    def run(self, trace: SyntheticTrace, machine: MachineConfig) -> SimResult:
+        """Simulate one (trace, machine) job through the cache layers."""
+        return self.run_many([(trace, machine)])[0]
+
+    def run_many(self, pairs: Sequence[SimJob]) -> list[SimResult]:
+        """Simulate a batch of jobs; results align with the input order.
+
+        Identical jobs are simulated once; cached jobs are never simulated;
+        the rest fan out across the pool (or run serially for ``jobs=1``).
+        Results are bit-identical to calling :func:`~repro.sim.cpu.simulate`
+        on each pair in a loop.
+        """
+        pairs = list(pairs)
+        telemetry = self.telemetry
+        telemetry.batches += 1
+        telemetry.jobs_submitted += len(pairs)
+        results: list[SimResult | None] = [None] * len(pairs)
+
+        started = perf_counter()
+        # Deduplicate in-flight jobs: slots maps each unique cache key to
+        # every submitted index wanting its result.
+        slots: dict[str, list[int]] = {}
+        for index, (trace, machine) in enumerate(pairs):
+            slots.setdefault(cache_key(trace, machine), []).append(index)
+        telemetry.jobs_deduplicated += len(pairs) - len(slots)
+
+        pending: list[tuple[str, SyntheticTrace, MachineConfig]] = []
+        for key, indices in slots.items():
+            trace, machine = pairs[indices[0]]
+            cached = self.cache.get(trace, machine) if self.cache else None
+            if cached is not None:
+                telemetry.cache_hits += 1
+                for index in indices:
+                    results[index] = cached
+            else:
+                pending.append((key, trace, machine))
+        telemetry.probe_seconds += perf_counter() - started
+
+        if pending:
+            computed = self._execute(pending)
+            started = perf_counter()
+            for (key, _, _), result in zip(pending, computed):
+                for index in slots[key]:
+                    results[index] = result
+            telemetry.reap_seconds += perf_counter() - started
+        return results  # type: ignore[return-value]  # every slot is filled
+
+    # --------------------------------------------------------------- internals
+    def _execute(
+        self, pending: list[tuple[str, SyntheticTrace, MachineConfig]]
+    ) -> list[SimResult]:
+        telemetry = self.telemetry
+        telemetry.jobs_run += len(pending)
+        if self.jobs <= 1 or len(pending) <= 1:
+            return self._execute_serial(pending)
+
+        cache_dir = self.cache.directory if self.cache is not None else None
+        payloads = [(trace, machine, cache_dir) for _, trace, machine in pending]
+        started = perf_counter()
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(payloads))
+            ) as pool:
+                in_band = list(pool.map(_run_job, payloads))
+        except Exception:
+            # Pickling-hostile environment or a broken pool: the jobs are
+            # pure, so rerunning serially gives the identical results.
+            telemetry.serial_fallbacks += 1
+            telemetry.simulate_seconds += perf_counter() - started
+            return self._execute_serial(pending)
+        telemetry.simulate_seconds += perf_counter() - started
+        telemetry.parallel_jobs_run += len(pending)
+
+        started = perf_counter()
+        results: list[SimResult] = []
+        for (_, trace, machine), result in zip(pending, in_band):
+            if result is None and self.cache is not None:
+                # The worker wrote the cache entry; reap it from disk.
+                result = self.cache.get(trace, machine)
+            if result is None:
+                # Reap failed (entry evicted or corrupted underneath us) —
+                # recompute in the parent; determinism makes this safe.
+                result = simulate(trace, machine)
+            results.append(result)
+        telemetry.reap_seconds += perf_counter() - started
+        return results
+
+    def _execute_serial(
+        self, pending: list[tuple[str, SyntheticTrace, MachineConfig]]
+    ) -> list[SimResult]:
+        started = perf_counter()
+        results = []
+        for _, trace, machine in pending:
+            result = simulate(trace, machine)
+            if self.cache is not None:
+                self.cache.put(trace, machine, result)
+            results.append(result)
+        self.telemetry.simulate_seconds += perf_counter() - started
+        return results
+
+
+def prime_engines(
+    executor: SimExecutor,
+    engines: Iterable,
+    profiles: Iterable,
+) -> int:
+    """Batch-simulate workloads for several engines in one fan-out.
+
+    ``engines`` are simulation front ends exposing the small batching
+    protocol (``has_result`` / ``trace_for`` / ``machine`` /
+    ``absorb_result``) — :class:`~repro.sim.platform.HardwarePlatform` and
+    :class:`~repro.sim.gem5.Gem5Simulation`.  All missing (workload ×
+    machine) jobs are submitted to the executor up front, so one pool
+    services the hardware and model simulations together.
+
+    Returns:
+        The number of simulations submitted (0 when everything was already
+        memoised on the engines).
+    """
+    jobs: list[SimJob] = []
+    owners: list[tuple[object, str]] = []
+    for engine in engines:
+        for profile in profiles:
+            if engine.has_result(profile.name):
+                continue
+            jobs.append((engine.trace_for(profile), engine.machine))
+            owners.append((engine, profile.name))
+    if not jobs:
+        return 0
+    for (engine, name), result in zip(owners, executor.run_many(jobs)):
+        engine.absorb_result(name, result)
+    return len(jobs)

@@ -79,6 +79,8 @@ class Gem5Simulation:
         machine: MachineConfig | None = None,
         trace_instructions: int = 60_000,
         cache_dir: str | None = None,
+        executor=None,
+        jobs: int | None = None,
     ):
         self.machine = machine if machine is not None else gem5_ex5_big()
         if self.machine.flavour != "gem5":
@@ -90,8 +92,13 @@ class Gem5Simulation:
         self.catalog = Gem5StatCatalog()
         self._trace_cache: dict[str, SyntheticTrace] = {}
         self._sim_cache: dict[str, SimResult] = {}
+        if executor is None and jobs is not None and jobs != 1:
+            from repro.sim.executor import SimExecutor
+
+            executor = SimExecutor(jobs=jobs, cache_dir=cache_dir)
+        self.executor = executor
         self._disk_cache = None
-        if cache_dir is not None:
+        if cache_dir is not None and executor is None:
             from repro.sim.result_cache import SimResultCache
 
             self._disk_cache = SimResultCache(cache_dir)
@@ -107,14 +114,33 @@ class Gem5Simulation:
         result = self._sim_cache.get(profile.name)
         if result is None:
             trace = self._trace(profile)
-            if self._disk_cache is not None:
-                result = self._disk_cache.get(trace, self.machine)
-            if result is None:
-                result = simulate(trace, self.machine)
+            if self.executor is not None:
+                # The executor owns deduplication and the disk cache.
+                result = self.executor.run(trace, self.machine)
+            else:
                 if self._disk_cache is not None:
-                    self._disk_cache.put(trace, self.machine, result)
+                    result = self._disk_cache.get(trace, self.machine)
+                if result is None:
+                    result = simulate(trace, self.machine)
+                    if self._disk_cache is not None:
+                        self._disk_cache.put(trace, self.machine, result)
             self._sim_cache[profile.name] = result
         return result
+
+    # Batching protocol used by repro.sim.executor.prime_engines: datasets
+    # collect every missing (workload x machine) job up front and fan them
+    # out through one executor instead of simulating lazily one by one.
+    def has_result(self, name: str) -> bool:
+        """True when this workload's simulation is already memoised."""
+        return name in self._sim_cache
+
+    def trace_for(self, profile: WorkloadProfile) -> SyntheticTrace:
+        """Compiled (and memoised) trace for one workload profile."""
+        return self._trace(profile)
+
+    def absorb_result(self, name: str, result: SimResult) -> None:
+        """Install an externally computed simulation result."""
+        self._sim_cache[name] = result
 
     def run(self, profile: WorkloadProfile, freq_hz: float) -> Gem5Stats:
         """Simulate one workload at one frequency; returns the stats dump."""

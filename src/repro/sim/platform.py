@@ -100,6 +100,8 @@ class HardwarePlatform:
         trace_instructions: int = 60_000,
         machine: MachineConfig | None = None,
         cache_dir: str | None = None,
+        executor=None,
+        jobs: int | None = None,
     ):
         if machine is None:
             machine = hardware_a15() if core == "A15" else hardware_a7()
@@ -112,8 +114,13 @@ class HardwarePlatform:
         self.power_process = PowerGroundTruth(core)
         self._trace_cache: dict[str, SyntheticTrace] = {}
         self._sim_cache: dict[str, SimResult] = {}
+        if executor is None and jobs is not None and jobs != 1:
+            from repro.sim.executor import SimExecutor
+
+            executor = SimExecutor(jobs=jobs, cache_dir=cache_dir)
+        self.executor = executor
         self._disk_cache = None
-        if cache_dir is not None:
+        if cache_dir is not None and executor is None:
             from repro.sim.result_cache import SimResultCache
 
             self._disk_cache = SimResultCache(cache_dir)
@@ -130,14 +137,33 @@ class HardwarePlatform:
         result = self._sim_cache.get(profile.name)
         if result is None:
             trace = self._trace(profile)
-            if self._disk_cache is not None:
-                result = self._disk_cache.get(trace, self.machine)
-            if result is None:
-                result = simulate(trace, self.machine)
+            if self.executor is not None:
+                # The executor owns deduplication and the disk cache.
+                result = self.executor.run(trace, self.machine)
+            else:
                 if self._disk_cache is not None:
-                    self._disk_cache.put(trace, self.machine, result)
+                    result = self._disk_cache.get(trace, self.machine)
+                if result is None:
+                    result = simulate(trace, self.machine)
+                    if self._disk_cache is not None:
+                        self._disk_cache.put(trace, self.machine, result)
             self._sim_cache[profile.name] = result
         return result
+
+    # Batching protocol used by repro.sim.executor.prime_engines: datasets
+    # collect every missing (workload x machine) job up front and fan them
+    # out through one executor instead of simulating lazily one by one.
+    def has_result(self, name: str) -> bool:
+        """True when this workload's simulation is already memoised."""
+        return name in self._sim_cache
+
+    def trace_for(self, profile: WorkloadProfile) -> SyntheticTrace:
+        """Compiled (and memoised) trace for one workload profile."""
+        return self._trace(profile)
+
+    def absorb_result(self, name: str, result: SimResult) -> None:
+        """Install an externally computed simulation result."""
+        self._sim_cache[name] = result
 
     @staticmethod
     def repeat_count(profile: WorkloadProfile, trace_instructions: int) -> int:

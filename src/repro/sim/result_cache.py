@@ -13,6 +13,7 @@ re-running an evaluation after a restart then costs seconds, not minutes.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
@@ -79,7 +80,10 @@ class SimResultCache:
                 components={k: float(v) for k, v in data["components"].items()},
             )
         except (json.JSONDecodeError, KeyError, TypeError, ValueError):
-            os.remove(path)
+            # Another process may have already replaced or removed the
+            # corrupt entry (the executor's workers share this directory).
+            with contextlib.suppress(FileNotFoundError):
+                os.remove(path)
             return None
 
     def put(

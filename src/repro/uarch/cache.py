@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 
 @dataclass
 class CacheStats:
@@ -177,14 +179,18 @@ class SetAssociativeCache:
             (False for streaming stores that bypass the cache).
         """
         stats = self.stats
-        set_index, tag, hit = self._lookup(line)
+        # _lookup/_touch inlined: access() is the simulator's hottest call.
+        set_index = line % self.n_sets
+        tag = line // self.n_sets
+        ways = self._sets[set_index]
         if is_write:
             stats.write_accesses += 1
         else:
             stats.read_accesses += 1
 
-        if hit:
-            self._touch(set_index, tag)
+        if tag in ways:
+            ways.remove(tag)
+            ways.insert(0, tag)
             if is_write:
                 self._dirty[set_index].add(tag)
             return True, False, False
@@ -223,6 +229,56 @@ class SetAssociativeCache:
         if len(ways) > self.assoc:
             victim = ways.pop()
             self._dirty[set_index].discard(victim)
+
+    def warm_fill_many(self, lines) -> None:
+        """Bulk :meth:`fill`: bit-identical final state to filling in a loop.
+
+        ``fill`` is counter-silent, so only the final LRU state matters: a
+        set that saw fills ``t1..tk`` ends up holding the most recently
+        filled distinct tags, MRU-first, truncated to the associativity —
+        with any pre-existing residents ranked older than every new fill.
+        That closed form is computed here in one vectorised pass instead of
+        one Python call per line, which is what makes large pre-warm
+        footprints (two L2 capacities per data stream) cheap.
+
+        The closed form is only exact while the cache is clean: sequential
+        ``fill`` silently drops an evicted line's dirty bit even when a
+        later fill re-inserts the line, an ordering this summary cannot
+        see.  Dirty caches therefore take the sequential path.
+        """
+        if any(self._dirty):
+            fill = self.fill
+            for line in lines:
+                fill(line)
+            return
+        arr = np.asarray(lines, dtype=np.int64)
+        if arr.size == 0:
+            return
+        # Distinct lines by most recent fill: np.unique on the reversed
+        # sequence keeps each line's *last* occurrence, and re-sorting the
+        # surviving positions restores recency order (most recent first).
+        rev = arr[::-1]
+        _, keep = np.unique(rev, return_index=True)
+        keep.sort()
+        mru_lines = rev[keep]
+        n_sets = self.n_sets
+        set_idx = mru_lines % n_sets
+        order = np.argsort(set_idx, kind="stable")
+        sorted_sets = set_idx[order]
+        bounds = np.flatnonzero(sorted_sets[1:] != sorted_sets[:-1]) + 1
+        starts = [0, *bounds.tolist(), order.size]
+        assoc = self.assoc
+        sets = self._sets
+        for i in range(len(starts) - 1):
+            seg = order[starts[i] : starts[i + 1]]
+            s = int(set_idx[seg[0]])
+            fresh = (mru_lines[seg] // n_sets).tolist()
+            ways = sets[s]
+            if ways:
+                fresh_tags = set(fresh)
+                fresh += [tag for tag in ways if tag not in fresh_tags]
+            del fresh[assoc:]
+            sets[s] = fresh
 
     def prefetch(self, line: int) -> bool:
         """Insert a line speculatively; returns True if it was absent."""

@@ -110,6 +110,83 @@ class Stream:
 
 
 @dataclass
+class ReplayTables:
+    """Machine-independent replay tables derived from one trace.
+
+    The simulator's hot loop wants every static-block attribute as a flat
+    parallel list indexed by block id (no dataclass attribute access per
+    dynamic block) and the dynamic sequences as plain Python lists.  None
+    of it depends on the machine configuration, and every trace is
+    simulated on at least two machines (hardware and model), so the tables
+    are built once per trace via :meth:`SyntheticTrace.replay_tables` and
+    shared across simulations.
+
+    ``page_tails`` / ``line_tails`` drop each block's first entry: pages
+    and lines within a block are distinct and visited in order, so only a
+    block's *first* page/line can coincide with the previously fetched
+    one — the tail can be replayed without dedup checks.
+    """
+
+    block_seq: list[int]
+    taken_seq: list[int]
+    target_seq: list[int]
+    mem_lines: list[int]
+    mem_pages: list[int]
+    block_pages: list[tuple[int, ...]]
+    block_lines: list[tuple[int, ...]]
+    page_tails: list[tuple[int, ...]]
+    line_tails: list[tuple[int, ...]]
+    block_last_page: list[int]
+    block_last_line: list[int]
+    block_addr: list[int]
+    block_class: list[int]
+    block_backward: list[bool]
+    block_n_mem: list[int]
+    wp_near_page: list[int]
+    mem_write_per_block: list[tuple[bool, ...]]
+    code_lines: list[int]
+    code_pages: list[int]
+
+
+_KIND_STORE = KIND_INDEX["store"]
+_KIND_STREX = KIND_INDEX["strex"]
+
+
+def build_replay_tables(trace: "SyntheticTrace") -> ReplayTables:
+    """Flatten one trace into :class:`ReplayTables` (see its docstring)."""
+    blocks = trace.blocks
+    block_pages = [block.pages for block in blocks]
+    block_lines = [block.lines for block in blocks]
+    return ReplayTables(
+        block_seq=trace.block_seq.tolist(),
+        taken_seq=trace.taken_seq.tolist(),
+        target_seq=trace.indirect_target_seq.tolist(),
+        mem_lines=(trace.mem_addrs // CACHE_LINE_BYTES).tolist(),
+        mem_pages=(trace.mem_addrs // PAGE_BYTES).tolist(),
+        block_pages=block_pages,
+        block_lines=block_lines,
+        page_tails=[pages[1:] for pages in block_pages],
+        line_tails=[lines[1:] for lines in block_lines],
+        block_last_page=[pages[-1] for pages in block_pages],
+        block_last_line=[lines[-1] for lines in block_lines],
+        block_addr=[block.addr for block in blocks],
+        block_class=[int(block.branch_class) for block in blocks],
+        block_backward=[block.branch_backward for block in blocks],
+        block_n_mem=[block.n_mem for block in blocks],
+        wp_near_page=[pages[-1] + 1 for pages in block_pages],
+        mem_write_per_block=[
+            tuple(
+                slot.kind == _KIND_STORE or slot.kind == _KIND_STREX
+                for slot in block.mem_slots
+            )
+            for block in blocks
+        ],
+        code_lines=sorted({line for lines in block_lines for line in lines}),
+        code_pages=sorted({page for pages in block_pages for page in pages}),
+    )
+
+
+@dataclass
 class SyntheticTrace:
     """A compiled, machine-independent dynamic instruction trace.
 
@@ -142,6 +219,15 @@ class SyntheticTrace:
     branch_class_counts: dict[BranchClass, int]
     n_instrs: int
     seed: int
+    _replay: ReplayTables | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def replay_tables(self) -> ReplayTables:
+        """The flattened replay tables, built on first use and memoised."""
+        if self._replay is None:
+            self._replay = build_replay_tables(self)
+        return self._replay
 
     @property
     def n_branches(self) -> int:

@@ -40,3 +40,25 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "time MAPE %" in out
         assert "ALL" in out
+
+
+class TestJobsFlag:
+    def test_jobs_default_is_serial(self):
+        args = build_parser().parse_args(["headline"])
+        assert args.jobs == 1
+
+    def test_jobs_parsed(self):
+        args = build_parser().parse_args(["report", "--jobs", "4"])
+        assert args.jobs == 4
+
+    def test_jobs_zero_means_all_cores(self, capsys):
+        # 0 maps to GemStoneConfig(jobs=None) = one worker per CPU core.
+        assert main(["headline", "--instructions", "4000", "--jobs", "0"]) == 0
+        assert "time MAPE %" in capsys.readouterr().out
+
+    def test_headline_parallel_matches_serial(self, capsys):
+        assert main(["headline", "--instructions", "4000", "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["headline", "--instructions", "4000", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
