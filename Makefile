@@ -1,11 +1,17 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke
+.PHONY: test test-chaos bench bench-smoke
 
-# Tier-1: the full unit/integration suite.
+# Tier-1: the full unit/integration suite (includes the chaos scenarios).
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Deterministic fault-injection scenarios only: worker crashes, hangs,
+# poisoned jobs, cache corruption, power-sample loss — each must recover
+# to bit-identical results with the losses enumerated in the telemetry.
+test-chaos:
+	$(PYTHON) -m pytest -q -m chaos
 
 # One tiny parallel collection end-to-end (pool + disk cache + dataset),
 # so executor regressions surface without the full benchmark suite.

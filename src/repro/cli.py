@@ -54,10 +54,28 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="simulation worker processes (0 = one per CPU core); "
         "results are bit-identical at any setting",
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="attempts per simulation job before it counts as failed "
+        "(deterministic exponential backoff between attempts)",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job timeout for pooled simulations; a job exceeding it "
+        "is rerun serially in the parent",
+    )
 
 
 def _gemstone(args: argparse.Namespace) -> GemStone:
+    from repro.sim.executor import RetryPolicy
+
     jobs = getattr(args, "jobs", 1)
+    retries = getattr(args, "retries", 3)
     return GemStone(
         GemStoneConfig(
             core=args.core,
@@ -65,6 +83,8 @@ def _gemstone(args: argparse.Namespace) -> GemStone:
             trace_instructions=args.instructions,
             cache_dir=getattr(args, "cache_dir", None),
             jobs=None if jobs == 0 else jobs,
+            retry=RetryPolicy(max_attempts=max(1, retries)),
+            sim_timeout_seconds=getattr(args, "job_timeout", None),
         )
     )
 

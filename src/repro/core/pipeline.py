@@ -42,8 +42,14 @@ from repro.core.power_model import (
     restraint_pool_gem5,
 )
 from repro.core.stats.correlate import CorrelationResult
-from repro.core.validation import ValidationDataset, collect_validation_dataset
+from repro.core.validation import (
+    CollectionHealth,
+    ValidationDataset,
+    collect_validation_dataset,
+)
 from repro.sim.dvfs import experiment_frequencies
+from repro.sim.executor import RetryPolicy, SimExecutor
+from repro.sim.faults import FaultPlan
 from repro.sim.gem5 import Gem5Simulation
 from repro.sim.machine import (
     MachineConfig,
@@ -80,6 +86,15 @@ class GemStoneConfig:
             serially in-process; ``None`` uses every core; >1 fans the
             (workload x machine) jobs across a process pool.  Results are
             bit-identical regardless of the setting.
+        retry: Per-job :class:`~repro.sim.executor.RetryPolicy` (bounded,
+            deterministic exponential backoff); ``None`` uses the default.
+        sim_timeout_seconds: Per-job timeout for pooled simulations; a job
+            exceeding it is rerun serially in the parent.
+        faults: Optional :class:`~repro.sim.faults.FaultPlan` injected into
+            the executor, cache and platform (chaos testing only).
+
+    Raises:
+        ValueError: Immediately on construction for an unknown ``core``.
     """
 
     core: str = "A15"
@@ -94,6 +109,17 @@ class GemStoneConfig:
     gem5_restrained_power_model: bool = True
     cache_dir: str | None = None
     jobs: int | None = 1
+    retry: RetryPolicy | None = None
+    sim_timeout_seconds: float | None = None
+    faults: FaultPlan | None = None
+
+    def __post_init__(self) -> None:
+        # Fail at construction, not deep inside resolve_machine/platform
+        # setup after minutes of work.
+        if self.core not in ("A7", "A15"):
+            raise ValueError(
+                f"core must be 'A7' or 'A15', got {self.core!r}"
+            )
 
     def resolve_machine(self) -> MachineConfig:
         """The gem5 model config this run validates."""
@@ -131,19 +157,26 @@ class GemStone:
                 f"gem5 model {machine.name} models a {machine.core}, "
                 f"but the config targets the {self.config.core}"
             )
-        from repro.sim.executor import SimExecutor
-
         # One executor serves both engines: (workload x machine) jobs from
         # the hardware platform and the gem5 model share its dedup, disk
-        # cache and telemetry, and dataset collection batches through it.
+        # cache, retry policy and telemetry, and dataset collection batches
+        # through it.
         self.executor = SimExecutor(
-            jobs=self.config.jobs, cache_dir=self.config.cache_dir
+            jobs=self.config.jobs,
+            cache_dir=self.config.cache_dir,
+            retry=self.config.retry,
+            timeout_seconds=self.config.sim_timeout_seconds,
+            faults=self.config.faults,
         )
+        # One health record spans the validation and power campaigns; the
+        # report surfaces it whenever anything was lost.
+        self.health = CollectionHealth()
         self.platform = HardwarePlatform(
             self.config.core,
             trace_instructions=self.config.trace_instructions,
             cache_dir=self.config.cache_dir,
             executor=self.executor,
+            faults=self.config.faults,
         )
         self.gem5 = Gem5Simulation(
             machine,
@@ -173,6 +206,7 @@ class GemStone:
                 self.gem5,
                 self.config.resolve_workloads(),
                 self.config.resolve_frequencies(),
+                health=self.health,
             )
         return self._dataset
 
@@ -184,6 +218,7 @@ class GemStone:
                 self.platform,
                 self.config.resolve_power_workloads(),
                 self.config.resolve_frequencies(),
+                health=self.health,
             )
         return self._power_dataset
 

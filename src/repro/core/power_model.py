@@ -99,6 +99,7 @@ def collect_power_dataset(
     frequencies: Sequence[float] | None = None,
     executor=None,
     jobs: int | None = None,
+    health=None,
 ) -> list[PowerObservation]:
     """Run the power-characterisation experiments over workloads x OPPs.
 
@@ -106,14 +107,29 @@ def collect_power_dataset(
     attached to the platform) every missing workload simulation is fanned
     out in one up-front batch; the per-OPP characterisation loop then runs
     entirely against memoised results.
+
+    Collection degrades gracefully: a (workload, OPP) point that fails with
+    a recoverable error (permanently failed simulation job, I/O error,
+    timeout) is recorded in ``health`` — an optional
+    :class:`~repro.core.validation.CollectionHealth` — and skipped, as are
+    points whose power sensor lost every sample (NaN power); the model is
+    fitted on the surviving observations with explicit gap accounting.
     """
     if frequencies is None:
         from repro.sim.dvfs import experiment_frequencies
 
         frequencies = experiment_frequencies(platform.core)
     workloads = list(workloads)
-    from repro.core.validation import _resolve_executor
+    if not workloads:
+        raise ValueError("no workloads given")
+    from repro.core.validation import (
+        RECOVERABLE_ERRORS,
+        CollectionHealth,
+        _resolve_executor,
+    )
 
+    if health is None:
+        health = CollectionHealth()
     executor = _resolve_executor(executor, jobs, platform)
     if executor is not None:
         from repro.sim.executor import prime_engines
@@ -122,7 +138,22 @@ def collect_power_dataset(
     observations = []
     for profile in workloads:
         for freq in frequencies:
-            m = platform.characterize(profile, freq, with_power=True)
+            health.attempted += 1
+            try:
+                m = platform.characterize(profile, freq, with_power=True)
+            except RECOVERABLE_ERRORS as exc:
+                health.record_failure(profile.name, freq, "hardware", exc)
+                continue
+            health.power_samples_lost += m.power_samples_lost
+            if not np.isfinite(m.power_w):
+                health.record_failure(
+                    profile.name,
+                    freq,
+                    "hardware",
+                    ValueError("power sensor lost every sample in the window"),
+                )
+                continue
+            health.succeeded += 1
             rates = {e: total / m.time_seconds for e, total in m.pmc.items()}
             observations.append(
                 PowerObservation(
@@ -135,7 +166,9 @@ def collect_power_dataset(
                 )
             )
     if not observations:
-        raise ValueError("no workloads given")
+        raise RuntimeError(
+            f"power collection failed completely ({health.summary()})"
+        )
     return observations
 
 

@@ -328,14 +328,25 @@ def render_full_report(gemstone) -> str:
     sections.append(render_power_energy_figure(gemstone.power_energy))
     sections.append(render_dvfs_figure(gemstone.dvfs))
 
+    health = getattr(gemstone, "health", None)
+    if health is not None and health.degraded:
+        sections.append(render_collection_health(health))
+
     executor = getattr(gemstone, "executor", None)
     if executor is not None and executor.telemetry.jobs_submitted:
-        sections.append(render_sim_telemetry(executor.telemetry, executor.jobs))
+        cache = getattr(executor, "cache", None)
+        sections.append(
+            render_sim_telemetry(
+                executor.telemetry,
+                executor.jobs,
+                cache_telemetry=cache.telemetry if cache is not None else None,
+            )
+        )
 
     return "\n\n".join(sections)
 
 
-def render_sim_telemetry(telemetry, jobs: int) -> str:
+def render_sim_telemetry(telemetry, jobs: int, cache_telemetry=None) -> str:
     """Simulation-executor telemetry: job accounting and stage wall-clock."""
     rows = [
         ["worker processes", jobs],
@@ -345,14 +356,51 @@ def render_sim_telemetry(telemetry, jobs: int) -> str:
         ["simulated", telemetry.jobs_run],
         ["  on worker processes", telemetry.parallel_jobs_run],
         ["serial fallbacks", telemetry.serial_fallbacks],
+        ["jobs isolated after pool failure", telemetry.jobs_isolated],
+        ["job retries", telemetry.job_retries],
+        ["job timeouts", telemetry.job_timeouts],
+        ["worker crashes", telemetry.worker_crashes],
+        ["jobs failed permanently", telemetry.jobs_failed],
         ["batches", telemetry.batches],
         ["probe wall-clock (s)", telemetry.probe_seconds],
         ["simulate wall-clock (s)", telemetry.simulate_seconds],
         ["reap wall-clock (s)", telemetry.reap_seconds],
         ["throughput (sims/s)", telemetry.throughput()],
     ]
+    if cache_telemetry is not None:
+        rows.append(["cache entries quarantined", cache_telemetry.quarantined])
+        rows.append(["cache write failures", cache_telemetry.put_failures])
     return text_table(
         ["simulation executor", "value"],
         rows,
         title="Simulation executor telemetry",
     )
+
+
+def render_collection_health(health, max_failures: int = 12) -> str:
+    """Gap accounting of a degraded collection campaign.
+
+    Lists what was attempted, what survived, and (capped) which points were
+    lost and why, so a report over a partial dataset is explicit about its
+    gaps rather than silently narrower.
+    """
+    lines = [
+        text_table(
+            ["collection health", "value"],
+            [
+                ["points attempted", health.attempted],
+                ["points collected", health.succeeded],
+                ["points failed", health.failed],
+                ["power samples lost", health.power_samples_lost],
+            ],
+            title=f"Collection health (degraded: {health.summary()})",
+        )
+    ]
+    for failure in health.failures[:max_failures]:
+        lines.append(
+            f"  lost {failure.workload} @ {failure.freq_hz / 1e6:.0f} MHz "
+            f"[{failure.stage}]: {failure.error}"
+        )
+    if health.failed > max_failures:
+        lines.append(f"  ... and {health.failed - max_failures} more")
+    return "\n".join(lines)

@@ -20,9 +20,78 @@ import numpy as np
 
 from repro.core.stats.metrics import mape, mpe, percentage_errors
 from repro.sim.dvfs import experiment_frequencies
+from repro.sim.executor import SimJobError
 from repro.sim.gem5 import Gem5Simulation, Gem5Stats
 from repro.sim.platform import HardwarePlatform, HwMeasurement
 from repro.workloads.profile import WorkloadProfile
+
+#: Failure classes dataset collection survives by recording a gap: a job
+#: that exhausted the executor's retries, an I/O error from a flaky board
+#: or filesystem, and timeouts.  Programming errors still propagate.
+RECOVERABLE_ERRORS = (SimJobError, OSError, TimeoutError)
+
+
+@dataclass(frozen=True)
+class CollectionFailure:
+    """One (workload, frequency) point that could not be collected."""
+
+    workload: str
+    freq_hz: float
+    stage: str  # "hardware" | "gem5"
+    error: str
+
+
+@dataclass
+class CollectionHealth:
+    """Gap accounting for one (possibly degraded) collection campaign.
+
+    Threaded through :func:`collect_validation_dataset` /
+    :func:`collect_power_dataset` into :class:`ValidationDataset` and the
+    full report: analyses proceed on the surviving rows, and this record
+    says exactly what is missing and why.
+
+    Attributes:
+        attempted: (workload, frequency) points attempted.
+        succeeded: Points collected successfully.
+        failures: One entry per failed point.
+        power_samples_lost: Power-sensor readings dropped or NaN across the
+            campaign (the rows survive with a degraded power mean).
+    """
+
+    attempted: int = 0
+    succeeded: int = 0
+    failures: list[CollectionFailure] = field(default_factory=list)
+    power_samples_lost: int = 0
+
+    @property
+    def failed(self) -> int:
+        return len(self.failures)
+
+    @property
+    def degraded(self) -> bool:
+        """True when anything at all was lost during collection."""
+        return bool(self.failures) or self.power_samples_lost > 0
+
+    def record_failure(
+        self, workload: str, freq_hz: float, stage: str, error: Exception
+    ) -> None:
+        self.failures.append(
+            CollectionFailure(
+                workload=workload,
+                freq_hz=float(freq_hz),
+                stage=stage,
+                error=f"{type(error).__name__}: {error}",
+            )
+        )
+
+    def summary(self) -> str:
+        """One-line human summary for logs and error messages."""
+        line = f"{self.succeeded}/{self.attempted} points collected"
+        if self.failures:
+            line += f", {self.failed} failed"
+        if self.power_samples_lost:
+            line += f", {self.power_samples_lost} power samples lost"
+        return line
 
 
 @dataclass(frozen=True)
@@ -61,8 +130,11 @@ class ValidationDataset:
         core: ``"A7"`` or ``"A15"``.
         gem5_model: Name of the gem5 machine configuration validated.
         runs: All paired observations, workload-major then frequency.
-        workloads: Workload names in catalog order.
+        workloads: Workload names in catalog order (every *requested*
+            workload; a degraded collection may have gaps in ``runs``).
         frequencies: The DVFS sweep, in Hz.
+        health: Gap accounting from collection (``None`` for datasets
+            assembled by hand).
     """
 
     core: str
@@ -70,6 +142,7 @@ class ValidationDataset:
     runs: list[WorkloadRun]
     workloads: tuple[str, ...]
     frequencies: tuple[float, ...]
+    health: CollectionHealth | None = None
     _index: dict[tuple[str, float], WorkloadRun] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
@@ -85,8 +158,16 @@ class ValidationDataset:
         return self._index[(workload, freq_hz)]
 
     def runs_at(self, freq_hz: float) -> list[WorkloadRun]:
-        """All runs at one frequency, in workload order."""
-        return [self._index[(w, freq_hz)] for w in self.workloads]
+        """All *collected* runs at one frequency, in workload order.
+
+        Workloads that failed to collect (see :attr:`health`) are simply
+        absent, so downstream analyses operate on the surviving rows.
+        """
+        return [
+            self._index[(w, freq_hz)]
+            for w in self.workloads
+            if (w, freq_hz) in self._index
+        ]
 
     # ----------------------------------------------------------- error stats
     def errors_at(self, freq_hz: float) -> np.ndarray:
@@ -191,8 +272,16 @@ def collect_validation_dataset(
     progress: ProgressCallback | None = None,
     executor=None,
     jobs: int | None = None,
+    health: CollectionHealth | None = None,
 ) -> ValidationDataset:
     """Run Experiments 1 and 2 and collate them (Fig. 1 boxes a, b, f).
+
+    Collection degrades gracefully: a (workload, frequency) point whose
+    hardware or gem5 run fails with a :data:`RECOVERABLE_ERRORS` class
+    (a permanently failed simulation job, board/filesystem I/O errors,
+    timeouts) is recorded in the dataset's :class:`CollectionHealth` and
+    skipped, so every surviving row — bit-identical to a fault-free run —
+    is still analysed instead of the whole campaign aborting.
 
     Args:
         platform: The hardware reference platform.
@@ -208,9 +297,12 @@ def collect_validation_dataset(
         jobs: Shorthand for ``executor``: builds a ``SimExecutor(jobs=jobs)``
             when no explicit executor is given.  ``jobs`` > 1 fans the batch
             across worker processes; results are bit-identical either way.
+        health: Optional pre-existing :class:`CollectionHealth` to append
+            to (so one record can span validation + power collection).
 
     Raises:
         ValueError: If the platform and model are different core types.
+        RuntimeError: If *every* point failed — there is nothing to analyse.
     """
     if platform.core != gem5.machine.core:
         raise ValueError(
@@ -232,31 +324,50 @@ def collect_validation_dataset(
         # the whole sweep for both engines.
         prime_engines(executor, (platform, gem5), workload_list)
 
+    if health is None:
+        health = CollectionHealth()
     runs: list[WorkloadRun] = []
     total = len(workload_list) * len(frequencies)
     done = 0
     for profile in workload_list:
         for freq in frequencies:
-            hw = platform.characterize(profile, freq, with_power=with_power)
-            model = gem5.run(profile, freq)
-            runs.append(
-                WorkloadRun(
-                    workload=profile.name,
-                    suite=profile.suite,
-                    threads=profile.threads,
-                    freq_hz=freq,
-                    hw=hw,
-                    gem5=model,
+            health.attempted += 1
+            stage = "hardware"
+            try:
+                hw = platform.characterize(profile, freq, with_power=with_power)
+                stage = "gem5"
+                model = gem5.run(profile, freq)
+            except RECOVERABLE_ERRORS as exc:
+                health.record_failure(profile.name, freq, stage, exc)
+            else:
+                health.succeeded += 1
+                health.power_samples_lost += hw.power_samples_lost
+                runs.append(
+                    WorkloadRun(
+                        workload=profile.name,
+                        suite=profile.suite,
+                        threads=profile.threads,
+                        freq_hz=freq,
+                        hw=hw,
+                        gem5=model,
+                    )
                 )
-            )
             done += 1
             if progress is not None:
                 progress(profile.name, freq, done, total)
 
+    if not runs:
+        raise RuntimeError(
+            f"validation collection failed completely ({health.summary()}); "
+            f"first failure: {health.failures[0].workload} @ "
+            f"{health.failures[0].freq_hz / 1e6:.0f} MHz "
+            f"[{health.failures[0].stage}] {health.failures[0].error}"
+        )
     return ValidationDataset(
         core=platform.core,
         gem5_model=gem5.machine.name,
         runs=runs,
         workloads=tuple(p.name for p in workload_list),
         frequencies=frequencies,
+        health=health,
     )

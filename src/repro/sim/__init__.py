@@ -10,13 +10,24 @@
 * :mod:`repro.sim.gem5` — the gem5-style simulation wrapper emitting stats in
   the gem5 namespace.
 * :mod:`repro.sim.power_ground_truth` — the "silicon" power process.
-* :mod:`repro.sim.executor` — parallel fan-out of independent simulation
-  jobs across worker processes, with dedup, disk caching and telemetry.
+* :mod:`repro.sim.executor` — fault-tolerant parallel fan-out of
+  independent simulation jobs across worker processes, with dedup, disk
+  caching, bounded retry/timeout/crash isolation and telemetry.
+* :mod:`repro.sim.faults` — deterministic fault injection (worker crashes,
+  hangs, cache corruption, power-sample loss) for chaos testing.
 """
 
 from repro.sim.cpu import CpuSimulator, SimResult, simulate
 from repro.sim.dvfs import OperatingPoint, OppTable, opp_table_for
-from repro.sim.executor import SimExecutor, SimTelemetry, prime_engines
+from repro.sim.executor import (
+    RetryPolicy,
+    SimExecutor,
+    SimJobError,
+    SimJobFailure,
+    SimTelemetry,
+    prime_engines,
+)
+from repro.sim.faults import FaultPlan, FaultSpec, InjectedFault
 from repro.sim.gem5 import Gem5Simulation, Gem5Stats
 from repro.sim.machine import (
     CacheGeometry,
@@ -51,7 +62,13 @@ __all__ = [
     "HardwarePlatform",
     "HwMeasurement",
     "PowerGroundTruth",
+    "RetryPolicy",
     "SimExecutor",
+    "SimJobError",
+    "SimJobFailure",
     "SimTelemetry",
     "prime_engines",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
 ]

@@ -1,4 +1,4 @@
-"""Parallel fan-out of independent (trace, machine) simulation jobs.
+"""Fault-tolerant parallel fan-out of independent simulation jobs.
 
 GemStone is rerun constantly — after every model adjustment and every
 simulator update (Section VII's workflow) — and a cold evaluation simulates
@@ -8,7 +8,7 @@ pure function of its (trace, machine) pair, so they parallelise perfectly:
 :class:`~concurrent.futures.ProcessPoolExecutor` and guarantees results that
 are bit-identical to running the same jobs serially.
 
-The executor owns the whole memoisation story for a batch:
+The executor owns the whole memoisation *and* recovery story for a batch:
 
 * **deduplication** — identical in-flight jobs (same cache key) are
   simulated once and the result shared across every requesting slot;
@@ -16,18 +16,27 @@ The executor owns the whole memoisation story for a batch:
   the :class:`~repro.sim.result_cache.SimResultCache` before any process is
   spawned; workers write their entries atomically and the parent *reaps*
   them from disk rather than shipping results back through the pipe;
+* **fault isolation** — each job is submitted individually with an optional
+  per-job timeout.  A timed-out, crashed or poisoned job is rerun serially
+  in the parent under a deterministic :class:`RetryPolicy`; a broken pool
+  (a hard worker death) loses only the jobs that had not finished — every
+  completed sibling keeps its result.  Because jobs are pure, recovered
+  results are bit-identical to a fault-free run;
 * **serial fallback** — ``jobs=1`` (the default everywhere) never spawns a
-  process, and any pool failure (pickling-hostile environment, broken
-  worker) degrades to the serial path with the identical results;
-* **telemetry** — a :class:`SimTelemetry` record counts jobs, hits and
-  per-stage wall-clock, surfaced by :func:`repro.core.report.
-  render_sim_telemetry` in the full report.
+  process, and a pool that cannot even be constructed (pickling-hostile
+  environment) degrades to the serial path with the identical results;
+* **telemetry** — a :class:`SimTelemetry` record counts jobs, hits,
+  retries, timeouts and crashes, surfaced by
+  :func:`repro.core.report.render_sim_telemetry` in the full report.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Iterable, Sequence
@@ -41,6 +50,60 @@ from repro.workloads.trace import SyntheticTrace
 SimJob = tuple[SyntheticTrace, MachineConfig]
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic bounded retry with exponential backoff (no jitter).
+
+    Attributes:
+        max_attempts: Total attempts per job (first try included).
+        base_seconds: Delay before the first retry.
+        backoff: Multiplier applied per further retry.
+        cap_seconds: Upper bound on any single delay.
+    """
+
+    max_attempts: int = 3
+    base_seconds: float = 0.05
+    backoff: float = 2.0
+    cap_seconds: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_seconds < 0 or self.cap_seconds < 0 or self.backoff < 1.0:
+            raise ValueError("delays must be >= 0 and backoff >= 1")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retrying after failed attempt ``attempt`` (1-based)."""
+        return min(self.base_seconds * self.backoff ** (attempt - 1), self.cap_seconds)
+
+
+@dataclass
+class SimJobFailure:
+    """A job that exhausted its retry budget; the terminal per-job outcome."""
+
+    trace_name: str
+    machine_name: str
+    attempts: int
+    kind: str  # "timeout" | "crash" | "error"
+    error: str
+
+
+class SimJobError(RuntimeError):
+    """Raised when a simulation job fails permanently.
+
+    Attributes:
+        failure: The :class:`SimJobFailure` describing the terminal outcome.
+    """
+
+    def __init__(self, failure: SimJobFailure):
+        self.failure = failure
+        super().__init__(
+            f"simulation of {failure.trace_name} on {failure.machine_name} "
+            f"failed permanently after {failure.attempts} attempt(s) "
+            f"[{failure.kind}]: {failure.error}"
+        )
+
+
 @dataclass
 class SimTelemetry:
     """Counters and per-stage wall-clock for one executor's lifetime.
@@ -51,10 +114,18 @@ class SimTelemetry:
             in-flight job in the same batch (simulated once, shared).
         cache_hits: Unique jobs answered from the disk cache.
         jobs_run: Unique jobs actually simulated (the cache misses).
-        parallel_jobs_run: Subset of ``jobs_run`` executed on worker
+        parallel_jobs_run: Subset of ``jobs_run`` completed on worker
             processes rather than in the parent.
         serial_fallbacks: Batches that degraded from the pool to the serial
-            path (pickling-hostile environment, broken pool).
+            path before any job ran (pickling-hostile environment, pool
+            construction failure).
+        jobs_isolated: Jobs whose pool attempt failed (timeout, crash,
+            error) and were rerun serially in the parent, leaving their
+            finished siblings untouched.
+        job_retries: Individual retry attempts across all jobs.
+        job_timeouts: Pool attempts abandoned after the per-job timeout.
+        worker_crashes: Broken-pool events (a worker process died).
+        jobs_failed: Jobs that exhausted the retry budget.
         batches: ``run_many`` invocations.
         probe_seconds: Wall-clock spent deduplicating and probing the cache.
         simulate_seconds: Wall-clock spent simulating (pool or serial).
@@ -68,6 +139,11 @@ class SimTelemetry:
     jobs_run: int = 0
     parallel_jobs_run: int = 0
     serial_fallbacks: int = 0
+    jobs_isolated: int = 0
+    job_retries: int = 0
+    job_timeouts: int = 0
+    worker_crashes: int = 0
+    jobs_failed: int = 0
     batches: int = 0
     probe_seconds: float = 0.0
     simulate_seconds: float = 0.0
@@ -90,18 +166,24 @@ class SimTelemetry:
         return self.jobs_run / self.simulate_seconds
 
 
-def _run_job(payload: tuple[SyntheticTrace, MachineConfig, str | None]):
+def _run_job(payload):
     """Worker-side entry point: simulate one job.
+
+    ``payload`` is ``(trace, machine, cache_dir, faults, ordinal, attempt)``.
+    Any fault matching (ordinal, attempt) fires first — a ``crash`` fault
+    hard-kills this worker so the parent observes a genuine broken pool.
 
     With a cache directory the worker writes its entry atomically (via the
     cache's temp-file + rename protocol) and returns ``None`` so only a
     tiny token crosses the process boundary; the parent reaps the entry
     from disk.  Without a cache the result itself is returned in-band.
     """
-    trace, machine, cache_dir = payload
+    trace, machine, cache_dir, faults, ordinal, attempt = payload
+    if faults is not None:
+        faults.apply_job_fault(ordinal, trace.name, attempt, in_worker=True)
     result = simulate(trace, machine)
     if cache_dir is not None:
-        SimResultCache(cache_dir).put(trace, machine, result)
+        SimResultCache(cache_dir, faults=faults).put(trace, machine, result)
         return None
     return result
 
@@ -115,38 +197,79 @@ class SimExecutor:
             ``os.cpu_count()``.
         cache_dir: Optional on-disk result cache shared by parent and
             workers; see :class:`~repro.sim.result_cache.SimResultCache`.
+        retry: Per-job retry policy (deterministic, jitter-free).
+        timeout_seconds: Optional per-job timeout for pool attempts; a job
+            exceeding it is abandoned and rerun serially in the parent.
+            Serial attempts are never interrupted.
+        faults: Optional :class:`~repro.sim.faults.FaultPlan` injected into
+            jobs and cache writes (chaos testing only).
 
     Raises:
-        ValueError: For a non-positive explicit ``jobs``.
+        ValueError: For a non-positive explicit ``jobs`` or timeout.
     """
 
-    def __init__(self, jobs: int | None = None, cache_dir: str | None = None):
+    def __init__(
+        self,
+        jobs: int | None = None,
+        cache_dir: str | None = None,
+        retry: RetryPolicy | None = None,
+        timeout_seconds: float | None = None,
+        faults=None,
+    ):
         if jobs is None:
             jobs = os.cpu_count() or 1
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if timeout_seconds is not None and timeout_seconds <= 0:
+            raise ValueError(f"timeout_seconds must be positive, got {timeout_seconds}")
         self.jobs = int(jobs)
-        self.cache = SimResultCache(cache_dir) if cache_dir is not None else None
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.timeout_seconds = timeout_seconds
+        self.faults = faults
+        self.cache = (
+            SimResultCache(cache_dir, faults=faults) if cache_dir is not None else None
+        )
         self.telemetry = SimTelemetry()
+        #: Terminal failures from the most recent ``run_many`` batch.
+        self.last_failures: list[SimJobFailure] = []
+        self._next_ordinal = 0
 
     # ------------------------------------------------------------------ public
     def run(self, trace: SyntheticTrace, machine: MachineConfig) -> SimResult:
-        """Simulate one (trace, machine) job through the cache layers."""
+        """Simulate one (trace, machine) job through the cache layers.
+
+        Raises:
+            SimJobError: If the job fails permanently (retry budget spent).
+        """
         return self.run_many([(trace, machine)])[0]
 
-    def run_many(self, pairs: Sequence[SimJob]) -> list[SimResult]:
+    def run_many(
+        self, pairs: Sequence[SimJob], raise_on_error: bool = True
+    ) -> list[SimResult | None]:
         """Simulate a batch of jobs; results align with the input order.
 
         Identical jobs are simulated once; cached jobs are never simulated;
         the rest fan out across the pool (or run serially for ``jobs=1``).
         Results are bit-identical to calling :func:`~repro.sim.cpu.simulate`
         on each pair in a loop.
+
+        Args:
+            pairs: The (trace, machine) jobs.
+            raise_on_error: With the default ``True``, a permanently failed
+                job raises :class:`SimJobError` (after every other job has
+                completed).  With ``False``, failed slots are returned as
+                ``None`` so callers can degrade gracefully; inspect
+                :attr:`last_failures` for the terminal outcomes.
+
+        Raises:
+            SimJobError: A job exhausted its retries (``raise_on_error``).
         """
         pairs = list(pairs)
         telemetry = self.telemetry
         telemetry.batches += 1
         telemetry.jobs_submitted += len(pairs)
         results: list[SimResult | None] = [None] * len(pairs)
+        self.last_failures: list[SimJobFailure] = []
 
         started = perf_counter()
         # Deduplicate in-flight jobs: slots maps each unique cache key to
@@ -171,64 +294,188 @@ class SimExecutor:
         if pending:
             computed = self._execute(pending)
             started = perf_counter()
-            for (key, _, _), result in zip(pending, computed):
+            for (key, _, _), outcome in zip(pending, computed):
+                if isinstance(outcome, SimJobFailure):
+                    self.last_failures.append(outcome)
+                    continue
                 for index in slots[key]:
-                    results[index] = result
+                    results[index] = outcome
             telemetry.reap_seconds += perf_counter() - started
-        return results  # type: ignore[return-value]  # every slot is filled
+            if self.last_failures and raise_on_error:
+                raise SimJobError(self.last_failures[0])
+        return results
 
     # --------------------------------------------------------------- internals
     def _execute(
         self, pending: list[tuple[str, SyntheticTrace, MachineConfig]]
-    ) -> list[SimResult]:
-        telemetry = self.telemetry
-        telemetry.jobs_run += len(pending)
+    ) -> list[SimResult | SimJobFailure]:
+        self.telemetry.jobs_run += len(pending)
+        ordinals = list(range(self._next_ordinal, self._next_ordinal + len(pending)))
+        self._next_ordinal += len(pending)
         if self.jobs <= 1 or len(pending) <= 1:
-            return self._execute_serial(pending)
+            return self._execute_serial(pending, ordinals)
+        return self._execute_pool(pending, ordinals)
 
-        cache_dir = self.cache.directory if self.cache is not None else None
-        payloads = [(trace, machine, cache_dir) for _, trace, machine in pending]
-        started = perf_counter()
+    def _execute_pool(
+        self,
+        pending: list[tuple[str, SyntheticTrace, MachineConfig]],
+        ordinals: list[int],
+    ) -> list[SimResult | SimJobFailure]:
+        telemetry = self.telemetry
+        # A degraded cache cannot absorb worker writes; ship results in-band.
+        cache_dir = (
+            self.cache.directory
+            if self.cache is not None and not self.cache.degraded
+            else None
+        )
         try:
-            with ProcessPoolExecutor(
-                max_workers=min(self.jobs, len(payloads))
-            ) as pool:
-                in_band = list(pool.map(_run_job, payloads))
+            pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(pending)))
         except Exception:
-            # Pickling-hostile environment or a broken pool: the jobs are
-            # pure, so rerunning serially gives the identical results.
+            # Pickling-hostile environment: the jobs are pure, so running
+            # serially gives the identical results.
             telemetry.serial_fallbacks += 1
-            telemetry.simulate_seconds += perf_counter() - started
-            return self._execute_serial(pending)
-        telemetry.simulate_seconds += perf_counter() - started
-        telemetry.parallel_jobs_run += len(pending)
+            return self._execute_serial(pending, ordinals)
 
         started = perf_counter()
-        results: list[SimResult] = []
-        for (_, trace, machine), result in zip(pending, in_band):
+        in_band: dict[int, object] = {}
+        failed_kind: dict[int, str] = {}
+        failed_error: dict[int, str] = {}
+        pool_broken = False
+        try:
+            try:
+                futures = {
+                    i: pool.submit(
+                        _run_job,
+                        (trace, machine, cache_dir, self.faults, ordinal, 1),
+                    )
+                    for i, ((_, trace, machine), ordinal) in enumerate(
+                        zip(pending, ordinals)
+                    )
+                }
+            except Exception:
+                telemetry.serial_fallbacks += 1
+                telemetry.simulate_seconds += perf_counter() - started
+                return self._execute_serial(pending, ordinals)
+            for i, future in futures.items():
+                try:
+                    in_band[i] = future.result(timeout=self.timeout_seconds)
+                except concurrent.futures.TimeoutError:
+                    telemetry.job_timeouts += 1
+                    future.cancel()
+                    failed_kind[i] = "timeout"
+                    failed_error[i] = (
+                        f"no result within {self.timeout_seconds} s"
+                    )
+                except BrokenProcessPool as exc:
+                    if not pool_broken:
+                        telemetry.worker_crashes += 1
+                        pool_broken = True
+                    failed_kind[i] = "crash"
+                    failed_error[i] = str(exc) or "worker process died"
+                except Exception as exc:  # a poisoned job's own exception
+                    failed_kind[i] = "error"
+                    failed_error[i] = f"{type(exc).__name__}: {exc}"
+        finally:
+            # Never block on a hung worker: abandoned processes finish (or
+            # die) on their own; their cache writes are atomic and idempotent.
+            pool.shutdown(wait=False, cancel_futures=True)
+        telemetry.simulate_seconds += perf_counter() - started
+        telemetry.parallel_jobs_run += len(in_band)
+
+        outcomes: list[SimResult | SimJobFailure | None] = [None] * len(pending)
+        started = perf_counter()
+        for i, result in in_band.items():
+            _, trace, machine = pending[i]
             if result is None and self.cache is not None:
-                # The worker wrote the cache entry; reap it from disk.
+                # The worker wrote the cache entry; reap it from disk.  A
+                # corrupt entry is quarantined by the cache and comes back
+                # as None.
                 result = self.cache.get(trace, machine)
             if result is None:
                 # Reap failed (entry evicted or corrupted underneath us) —
                 # recompute in the parent; determinism makes this safe.
                 result = simulate(trace, machine)
-            results.append(result)
+                if self.cache is not None:
+                    self.cache.put(trace, machine, result)
+            outcomes[i] = result
         telemetry.reap_seconds += perf_counter() - started
-        return results
+
+        if failed_kind:
+            # Crash isolation: only the affected jobs rerun serially; every
+            # finished sibling above keeps its result.
+            indices = sorted(failed_kind)
+            telemetry.jobs_isolated += len(indices)
+            if self.retry.max_attempts <= 1:
+                telemetry.jobs_failed += len(indices)
+                for i in indices:
+                    _, trace, machine = pending[i]
+                    outcomes[i] = SimJobFailure(
+                        trace_name=trace.name,
+                        machine_name=machine.name,
+                        attempts=1,
+                        kind=failed_kind[i],
+                        error=failed_error[i],
+                    )
+            else:
+                recovered = self._execute_serial(
+                    [pending[i] for i in indices],
+                    [ordinals[i] for i in indices],
+                    first_attempt=2,
+                )
+                for i, outcome in zip(indices, recovered):
+                    outcomes[i] = outcome
+        return outcomes  # type: ignore[return-value]  # every slot is filled
 
     def _execute_serial(
-        self, pending: list[tuple[str, SyntheticTrace, MachineConfig]]
-    ) -> list[SimResult]:
+        self,
+        pending: list[tuple[str, SyntheticTrace, MachineConfig]],
+        ordinals: list[int],
+        first_attempt: int = 1,
+    ) -> list[SimResult | SimJobFailure]:
         started = perf_counter()
-        results = []
-        for _, trace, machine in pending:
-            result = simulate(trace, machine)
-            if self.cache is not None:
-                self.cache.put(trace, machine, result)
-            results.append(result)
+        results: list[SimResult | SimJobFailure] = []
+        for (_, trace, machine), ordinal in zip(pending, ordinals):
+            results.append(
+                self._run_with_retry(trace, machine, ordinal, first_attempt)
+            )
         self.telemetry.simulate_seconds += perf_counter() - started
         return results
+
+    def _run_with_retry(
+        self,
+        trace: SyntheticTrace,
+        machine: MachineConfig,
+        ordinal: int,
+        first_attempt: int,
+    ) -> SimResult | SimJobFailure:
+        """One job through the retry policy, in the parent process."""
+        attempt = first_attempt
+        while True:
+            try:
+                if self.faults is not None:
+                    self.faults.apply_job_fault(
+                        ordinal, trace.name, attempt, in_worker=False
+                    )
+                result = simulate(trace, machine)
+            except Exception as exc:
+                if attempt >= self.retry.max_attempts:
+                    self.telemetry.jobs_failed += 1
+                    return SimJobFailure(
+                        trace_name=trace.name,
+                        machine_name=machine.name,
+                        attempts=attempt,
+                        kind="crash",
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                self.telemetry.job_retries += 1
+                delay = self.retry.delay(attempt)
+                if delay > 0:
+                    time.sleep(delay)
+                attempt += 1
+                continue
+            if self.cache is not None:
+                self.cache.put(trace, machine, result)
+            return result
 
 
 def prime_engines(
@@ -245,6 +492,11 @@ def prime_engines(
     machine) jobs are submitted to the executor up front, so one pool
     services the hardware and model simulations together.
 
+    Jobs that fail permanently are simply not absorbed: the owning engine
+    retries them lazily on first use, and if they fail again the failure
+    surfaces there (where dataset collection can record it and degrade
+    gracefully) instead of aborting the whole batch here.
+
     Returns:
         The number of simulations submitted (0 when everything was already
         memoised on the engines).
@@ -259,6 +511,9 @@ def prime_engines(
             owners.append((engine, profile.name))
     if not jobs:
         return 0
-    for (engine, name), result in zip(owners, executor.run_many(jobs)):
-        engine.absorb_result(name, result)
+    for (engine, name), result in zip(
+        owners, executor.run_many(jobs, raise_on_error=False)
+    ):
+        if result is not None:
+            engine.absorb_result(name, result)
     return len(jobs)

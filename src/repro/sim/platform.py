@@ -63,11 +63,15 @@ class HwMeasurement:
         pmc: Event totals for one run, keyed by PMU event number.  Captured
             through counter multiplexing, so different events carry
             (deterministic) different run jitter.
-        power_w: Mean cluster power over the sensor window.
-        power_samples: The individual 3.8 Hz sensor readings.
+        power_w: Mean cluster power over the sensor window (mean of the
+            finite samples; NaN when every sample was lost).
+        power_samples: The individual 3.8 Hz sensor readings, including any
+            NaN readings a faulty sensor produced.
         temperature_c: Settled die temperature during the power run.
         throttled: True when the thermal governor reduced the frequency.
         threads: Active cores during the run.
+        power_samples_lost: Sensor readings dropped or NaN during the
+            window (0 on a healthy sensor).
     """
 
     workload: str
@@ -81,6 +85,7 @@ class HwMeasurement:
     temperature_c: float
     throttled: bool
     threads: int
+    power_samples_lost: int = 0
 
     def rate(self, event: int) -> float:
         """Event rate in events/second over the run."""
@@ -102,6 +107,7 @@ class HardwarePlatform:
         cache_dir: str | None = None,
         executor=None,
         jobs: int | None = None,
+        faults=None,
     ):
         if machine is None:
             machine = hardware_a15() if core == "A15" else hardware_a7()
@@ -112,12 +118,13 @@ class HardwarePlatform:
         self.trace_instructions = trace_instructions
         self.opps: OppTable = opp_table_for(core)
         self.power_process = PowerGroundTruth(core)
+        self.faults = faults
         self._trace_cache: dict[str, SyntheticTrace] = {}
         self._sim_cache: dict[str, SimResult] = {}
         if executor is None and jobs is not None and jobs != 1:
             from repro.sim.executor import SimExecutor
 
-            executor = SimExecutor(jobs=jobs, cache_dir=cache_dir)
+            executor = SimExecutor(jobs=jobs, cache_dir=cache_dir, faults=faults)
         self.executor = executor
         self._disk_cache = None
         if cache_dir is not None and executor is None:
@@ -207,11 +214,13 @@ class HardwarePlatform:
         )
 
         if with_power:
-            power_w, samples, temperature = self._measure_power(
+            power_w, samples, temperature, samples_lost = self._measure_power(
                 sim, profile, effective_freq, voltage, time_seconds, rng
             )
         else:
-            power_w, samples, temperature = float("nan"), np.empty(0), AMBIENT_C
+            power_w, samples, temperature, samples_lost = (
+                float("nan"), np.empty(0), AMBIENT_C, 0
+            )
 
         return HwMeasurement(
             workload=profile.name,
@@ -225,6 +234,7 @@ class HardwarePlatform:
             temperature_c=temperature,
             throttled=throttled,
             threads=profile.threads,
+            power_samples_lost=samples_lost,
         )
 
     def measure_events(
@@ -401,8 +411,15 @@ class HardwarePlatform:
         voltage: float,
         single_run_seconds: float,
         rng: np.random.Generator,
-    ) -> tuple[float, np.ndarray, float]:
-        """Sensor-sampled mean power over a >=30 s repeated-run window."""
+    ) -> tuple[float, np.ndarray, float, int]:
+        """Sensor-sampled mean power over a >=30 s repeated-run window.
+
+        Returns ``(mean power, samples, die temperature, samples lost)``.
+        The mean is taken over the *finite* samples, so a sensor that drops
+        readings or emits NaN (see :mod:`repro.sim.faults`) degrades the
+        measurement instead of poisoning it; with no faults installed the
+        value is bit-identical to the plain mean.
+        """
         counts = self._scaled_counts(sim, 1)
         counts["cycles"] = sim.cycles(freq_hz)
         trace_time = sim.time_seconds(freq_hz)
@@ -431,4 +448,12 @@ class HardwarePlatform:
         noise = rng.normal(0.0, 0.008, size=n_samples)
         samples = power * drift * (1.0 + noise) + rng.normal(0.0, 0.002, n_samples)
         samples = np.round(np.clip(samples, 0.0, None), 3)  # mW quantisation
-        return float(samples.mean()), samples, temperature
+
+        samples_lost = 0
+        if self.faults is not None:
+            samples, samples_lost = self.faults.apply_power_faults(
+                profile.name, f"{self.core}-{freq_hz:.0f}", samples
+            )
+        valid = samples[np.isfinite(samples)]
+        mean_power = float(valid.mean()) if valid.size else float("nan")
+        return mean_power, samples, temperature, samples_lost

@@ -1,4 +1,4 @@
-"""On-disk memoisation of simulation results.
+"""On-disk memoisation of simulation results, with integrity checking.
 
 GemStone is rerun constantly — after every model adjustment, every simulator
 update (Section VII's workflow).  Simulation results depend only on the
@@ -6,6 +6,15 @@ update (Section VII's workflow).  Simulation results depend only on the
 so they are safely memoised on disk: the cache key hashes the *entire*
 machine configuration (not just its name — ablation studies mutate configs
 in place) together with the trace identity.
+
+Entries are stored as a small envelope — schema version + payload checksum
+around the serialised result — so a half-written or bit-rotted file is
+*detected* on read rather than deserialised into silently wrong numbers.
+Corrupt entries are quarantined to ``<cache>/quarantine/`` (kept for
+post-mortems, out of the key namespace so they can never poison another
+run) and counted in :class:`CacheTelemetry`.  Writes fsync before the
+atomic rename; a full or read-only cache directory degrades the cache to
+uncached operation with a single warning instead of aborting a batch.
 
 The hardware platform and the gem5 simulation both accept a ``cache_dir``;
 re-running an evaluation after a restart then costs seconds, not minutes.
@@ -18,13 +27,16 @@ import dataclasses
 import hashlib
 import json
 import os
+import warnings
+from dataclasses import dataclass
 
 from repro.sim.cpu import SimResult
 from repro.sim.machine import MachineConfig
 from repro.workloads.trace import SyntheticTrace
 
-#: Bump when SimResult's meaning changes; invalidates every cached entry.
-CACHE_SCHEMA_VERSION = 2
+#: Bump when SimResult's meaning or the entry format changes; invalidates
+#: every cached entry (v3: checksummed envelope format).
+CACHE_SCHEMA_VERSION = 3
 
 
 def machine_fingerprint(machine: MachineConfig) -> str:
@@ -47,50 +59,139 @@ def cache_key(trace: SyntheticTrace, machine: MachineConfig) -> str:
     return hashlib.sha1(raw.encode()).hexdigest()
 
 
-class SimResultCache:
-    """A directory of JSON-serialised :class:`SimResult` objects."""
+def _payload_checksum(payload: dict) -> str:
+    """Order-independent checksum of a JSON-serialisable payload."""
+    return hashlib.sha1(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()
 
-    def __init__(self, directory: str):
+
+@dataclass
+class CacheTelemetry:
+    """Counters for one cache instance's lifetime.
+
+    Attributes:
+        hits: Reads answered from a verified entry.
+        misses: Reads with no entry on disk.
+        quarantined: Corrupt entries moved to the quarantine directory.
+        put_failures: Writes abandoned because the directory is unusable.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    quarantined: int = 0
+    put_failures: int = 0
+
+
+class SimResultCache:
+    """A directory of checksummed, JSON-serialised :class:`SimResult` objects.
+
+    Args:
+        directory: Cache directory (created on demand).  When creation or a
+            write fails (full or read-only filesystem) the cache degrades to
+            uncached operation — reads still work where possible, writes
+            become no-ops — after a single warning.
+        faults: Optional :class:`~repro.sim.faults.FaultPlan`; its
+            ``corrupt-cache`` faults garble matching writes so the
+            quarantine path can be exercised deterministically.
+    """
+
+    def __init__(self, directory: str, faults=None):
         self.directory = directory
-        os.makedirs(directory, exist_ok=True)
+        self.faults = faults
+        self.telemetry = CacheTelemetry()
+        self.degraded = False
+        self._warned = False
+        self._put_counts: dict[str, int] = {}
+        try:
+            os.makedirs(directory, exist_ok=True)
+        except OSError as exc:
+            self._degrade(exc)
+
+    @property
+    def quarantine_dir(self) -> str:
+        """Where corrupt entries are preserved for post-mortems."""
+        return os.path.join(self.directory, "quarantine")
 
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.json")
+
+    def _degrade(self, exc: OSError) -> None:
+        self.degraded = True
+        self.telemetry.put_failures += 1
+        if not self._warned:
+            self._warned = True
+            warnings.warn(
+                f"simulation cache at {self.directory} is unusable ({exc}); "
+                "degrading to uncached operation",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+    def _quarantine(self, path: str) -> None:
+        """Move a corrupt entry out of the key namespace, keeping the bytes."""
+        self.telemetry.quarantined += 1
+        try:
+            os.makedirs(self.quarantine_dir, exist_ok=True)
+            dest = os.path.join(self.quarantine_dir, os.path.basename(path))
+            os.replace(path, dest)
+        except OSError:
+            # Read-only directory or a concurrent quarantine: removal (or
+            # nothing) is the best we can do; the entry is a miss either way.
+            with contextlib.suppress(OSError):
+                os.remove(path)
 
     def get(
         self, trace: SyntheticTrace, machine: MachineConfig
     ) -> SimResult | None:
         """Cached result for this simulation, or None.
 
-        Corrupt entries are treated as misses and removed.
+        Entries failing the schema/checksum integrity check are quarantined
+        and treated as misses.
         """
         path = self._path(cache_key(trace, machine))
-        if not os.path.exists(path):
-            return None
         try:
             with open(path) as handle:
                 data = json.load(handle)
-            return SimResult(
-                machine=machine,
-                trace_name=data["trace_name"],
-                threads=int(data["threads"]),
-                counts={k: float(v) for k, v in data["counts"].items()},
-                core_cycles=float(data["core_cycles"]),
-                dram_stall_weight=float(data["dram_stall_weight"]),
-                components={k: float(v) for k, v in data["components"].items()},
-            )
-        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
-            # Another process may have already replaced or removed the
-            # corrupt entry (the executor's workers share this directory).
-            with contextlib.suppress(FileNotFoundError):
-                os.remove(path)
+        except FileNotFoundError:
+            self.telemetry.misses += 1
             return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self._quarantine(path)
+            return None
+        try:
+            if data["schema"] != CACHE_SCHEMA_VERSION:
+                raise ValueError(f"schema {data['schema']}")
+            payload = data["payload"]
+            if _payload_checksum(payload) != data["checksum"]:
+                raise ValueError("checksum mismatch")
+            result = SimResult(
+                machine=machine,
+                trace_name=payload["trace_name"],
+                threads=int(payload["threads"]),
+                counts={k: float(v) for k, v in payload["counts"].items()},
+                core_cycles=float(payload["core_cycles"]),
+                dram_stall_weight=float(payload["dram_stall_weight"]),
+                components={k: float(v) for k, v in payload["components"].items()},
+            )
+        except (KeyError, TypeError, ValueError, AttributeError):
+            self._quarantine(path)
+            return None
+        self.telemetry.hits += 1
+        return result
 
     def put(
         self, trace: SyntheticTrace, machine: MachineConfig, result: SimResult
     ) -> None:
-        """Store one simulation result (atomic write)."""
-        path = self._path(cache_key(trace, machine))
+        """Store one simulation result (fsync + atomic rename).
+
+        A failed write (full or read-only filesystem) degrades the cache to
+        uncached operation with a single warning; it never raises mid-batch.
+        """
+        if self.degraded:
+            return
+        key = cache_key(trace, machine)
+        path = self._path(key)
         payload = {
             "trace_name": result.trace_name,
             "threads": result.threads,
@@ -99,21 +200,51 @@ class SimResultCache:
             "dram_stall_weight": result.dram_stall_weight,
             "components": result.components,
         }
+        nth_put = self._put_counts.get(key, 0) + 1
+        self._put_counts[key] = nth_put
+        if self.faults is not None and self.faults.corrupts_cache(
+            trace.name, nth_put
+        ):
+            # Injected corruption: a truncated write, as if the process died
+            # (or the disk filled) between write and fsync.
+            body = f'{{"schema": {CACHE_SCHEMA_VERSION}, "checksum": "dead'
+        else:
+            body = json.dumps(
+                {
+                    "schema": CACHE_SCHEMA_VERSION,
+                    "checksum": _payload_checksum(payload),
+                    "payload": payload,
+                }
+            )
         tmp_path = f"{path}.tmp.{os.getpid()}"
-        with open(tmp_path, "w") as handle:
-            json.dump(payload, handle)
-        os.replace(tmp_path, path)
+        try:
+            with open(tmp_path, "w") as handle:
+                handle.write(body)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, path)
+        except OSError as exc:
+            with contextlib.suppress(OSError):
+                os.remove(tmp_path)
+            self._degrade(exc)
 
     def clear(self) -> int:
         """Remove all cached entries; returns the number removed."""
         removed = 0
-        for name in os.listdir(self.directory):
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return 0
+        for name in names:
             if name.endswith(".json"):
-                os.remove(os.path.join(self.directory, name))
-                removed += 1
+                with contextlib.suppress(OSError):
+                    os.remove(os.path.join(self.directory, name))
+                    removed += 1
         return removed
 
     def __len__(self) -> int:
-        return sum(
-            1 for name in os.listdir(self.directory) if name.endswith(".json")
-        )
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return 0
+        return sum(1 for name in names if name.endswith(".json"))

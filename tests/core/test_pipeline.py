@@ -31,6 +31,14 @@ class TestConfig:
         with pytest.raises(ValueError, match="targets"):
             GemStone(GemStoneConfig(core="A15", gem5_machine=gem5_ex5_little()))
 
+    def test_unknown_core_rejected_at_construction(self):
+        # Eager: the ValueError fires from the config itself, before any
+        # platform or simulation is built.
+        with pytest.raises(ValueError, match="core must be 'A7' or 'A15'"):
+            GemStoneConfig(core="A53")
+        with pytest.raises(ValueError, match="got 'a15'"):
+            GemStoneConfig(core="a15")
+
 
 class TestLazyProducts:
     def test_dataset_cached(self, small_gemstone):

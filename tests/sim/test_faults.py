@@ -1,0 +1,277 @@
+"""Chaos suite: deterministic fault injection against the executor + cache.
+
+Every scenario asserts the same invariant: whatever faults are injected —
+worker crashes (a genuine broken pool), job hangs past the per-job timeout,
+poisoned jobs, corrupt cache entries, unusable cache directories — the
+recovered results are *bit-identical* to a fault-free serial run, and the
+telemetry/quarantine accounting says exactly what happened.
+
+The suite runs in the default ``make test`` path with a small deterministic
+seed set; ``make test-chaos`` runs just these scenarios.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.sim.cpu import simulate
+from repro.sim.executor import (
+    RetryPolicy,
+    SimExecutor,
+    SimJobError,
+    SimJobFailure,
+)
+from repro.sim.faults import FaultPlan, FaultSpec, InjectedFault
+from repro.sim.machine import hardware_a15
+from repro.sim.result_cache import SimResultCache
+from repro.workloads.suites import workload_by_name
+from repro.workloads.trace import compile_trace
+
+pytestmark = pytest.mark.chaos
+
+N_INSTRS = 6_000
+
+#: No backoff sleeps in tests; determinism does not need wall-clock.
+FAST_RETRY = RetryPolicy(max_attempts=3, base_seconds=0.0)
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return tuple(
+        compile_trace(workload_by_name(name), N_INSTRS)
+        for name in ("mi-sha", "mi-qsort", "dhrystone")
+    )
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return hardware_a15()
+
+
+@pytest.fixture(scope="module")
+def golden(traces, machine):
+    """The fault-free serial reference results."""
+    return [simulate(t, machine) for t in traces]
+
+
+def _assert_same(a, b):
+    assert a.counts == b.counts
+    assert a.core_cycles == b.core_cycles
+    assert a.dram_stall_weight == b.dram_stall_weight
+    assert a.components == b.components
+
+
+class TestFaultPlan:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("meltdown", job=0)
+
+    def test_job_fault_needs_target(self):
+        with pytest.raises(ValueError):
+            FaultSpec("crash")
+
+    def test_plans_compose_with_or(self):
+        plan = FaultPlan.crash_job(0) | FaultPlan.corrupt_cache("mi-sha")
+        assert len(plan.faults) == 2
+        assert bool(plan)
+        assert not bool(FaultPlan())
+
+    def test_crash_raises_in_parent(self):
+        plan = FaultPlan.crash_job(3)
+        with pytest.raises(InjectedFault):
+            plan.apply_job_fault(3, "mi-sha", attempt=1, in_worker=False)
+        # Wrong ordinal, exhausted attempts: no fault.
+        plan.apply_job_fault(2, "mi-sha", attempt=1, in_worker=False)
+        plan.apply_job_fault(3, "mi-sha", attempt=2, in_worker=False)
+
+    def test_crash_by_workload_name(self):
+        plan = FaultPlan.crash_workload("mi-sha", attempts=2)
+        with pytest.raises(InjectedFault):
+            plan.apply_job_fault(7, "mi-sha", attempt=2, in_worker=False)
+        plan.apply_job_fault(7, "mi-qsort", attempt=1, in_worker=False)
+
+    def test_power_faults_deterministic(self):
+        import numpy as np
+
+        plan = FaultPlan.nan_power("w", fraction=0.5)
+        samples = np.linspace(1.0, 2.0, 16)
+        a, lost_a = plan.apply_power_faults("w", "A15-1e9", samples)
+        b, lost_b = plan.apply_power_faults("w", "A15-1e9", samples)
+        assert lost_a == lost_b == 8
+        assert np.array_equal(a, b, equal_nan=True)
+        # The input array is never mutated.
+        assert np.isfinite(samples).all()
+
+
+class TestRetryPolicy:
+    def test_deterministic_exponential_backoff(self):
+        policy = RetryPolicy(max_attempts=5, base_seconds=0.1, backoff=2.0,
+                             cap_seconds=0.3)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.3)  # capped
+        assert policy.delay(4) == pytest.approx(0.3)
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=0.5)
+
+
+class TestSerialRecovery:
+    def test_flaky_job_retried_to_identical_result(self, traces, machine, golden):
+        ex = SimExecutor(jobs=1, retry=FAST_RETRY, faults=FaultPlan.crash_job(0))
+        results = ex.run_many([(t, machine) for t in traces])
+        for result, reference in zip(results, golden):
+            _assert_same(result, reference)
+        assert ex.telemetry.job_retries == 1
+        assert ex.telemetry.jobs_failed == 0
+
+    def test_poisoned_job_fails_permanently(self, traces, machine):
+        plan = FaultPlan.crash_workload(traces[0].name, attempts=99)
+        ex = SimExecutor(jobs=1, retry=FAST_RETRY, faults=plan)
+        with pytest.raises(SimJobError) as err:
+            ex.run_many([(t, machine) for t in traces])
+        assert err.value.failure.trace_name == traces[0].name
+        assert err.value.failure.attempts == FAST_RETRY.max_attempts
+        assert ex.telemetry.jobs_failed == 1
+
+    def test_raise_on_error_false_degrades(self, traces, machine, golden):
+        plan = FaultPlan.crash_workload(traces[0].name, attempts=99)
+        ex = SimExecutor(jobs=1, retry=FAST_RETRY, faults=plan)
+        results = ex.run_many(
+            [(t, machine) for t in traces], raise_on_error=False
+        )
+        assert results[0] is None
+        for result, reference in zip(results[1:], golden[1:]):
+            _assert_same(result, reference)
+        assert len(ex.last_failures) == 1
+        assert isinstance(ex.last_failures[0], SimJobFailure)
+
+
+class TestPoolCrashIsolation:
+    def test_worker_crash_recovers_bit_identical(self, traces, machine, golden):
+        """A hard worker death (os._exit) breaks the pool; only the affected
+        jobs rerun serially and the batch still matches the golden run."""
+        ex = SimExecutor(jobs=2, retry=FAST_RETRY, faults=FaultPlan.crash_job(0))
+        results = ex.run_many([(t, machine) for t in traces])
+        for result, reference in zip(results, golden):
+            _assert_same(result, reference)
+        assert ex.telemetry.worker_crashes >= 1
+        assert ex.telemetry.jobs_isolated >= 1
+        assert ex.telemetry.jobs_failed == 0
+
+    def test_hang_times_out_and_recovers(self, traces, machine, golden):
+        ex = SimExecutor(
+            jobs=4,
+            retry=FAST_RETRY,
+            timeout_seconds=0.6,
+            faults=FaultPlan.hang_job(1, seconds=3.0),
+        )
+        results = ex.run_many([(t, machine) for t in traces])
+        for result, reference in zip(results, golden):
+            _assert_same(result, reference)
+        assert ex.telemetry.job_timeouts == 1
+        assert ex.telemetry.jobs_isolated == 1
+
+    def test_no_retry_budget_reports_failure(self, traces, machine):
+        plan = FaultPlan.crash_workload(traces[0].name, attempts=99)
+        ex = SimExecutor(
+            jobs=2, retry=RetryPolicy(max_attempts=1), faults=plan
+        )
+        results = ex.run_many(
+            [(t, machine) for t in traces], raise_on_error=False
+        )
+        assert results[0] is None
+        assert ex.telemetry.jobs_failed >= 1
+
+
+class TestCacheCorruption:
+    def test_corrupt_write_quarantined_and_recomputed(
+        self, traces, machine, golden, tmp_path
+    ):
+        cache_dir = str(tmp_path / "simcache")
+        plan = FaultPlan.corrupt_cache(traces[0].name, attempts=99)
+        ex = SimExecutor(jobs=1, retry=FAST_RETRY, cache_dir=cache_dir, faults=plan)
+        first = ex.run_many([(t, machine) for t in traces])
+        for result, reference in zip(first, golden):
+            _assert_same(result, reference)
+        # A fresh, fault-free executor over the same directory must detect
+        # the corruption, quarantine the entry, and recompute identically.
+        clean = SimExecutor(jobs=1, cache_dir=cache_dir)
+        second = clean.run_many([(t, machine) for t in traces])
+        for result, reference in zip(second, golden):
+            _assert_same(result, reference)
+        assert clean.cache.telemetry.quarantined == 1
+        assert clean.telemetry.cache_hits == len(traces) - 1
+        quarantine = os.path.join(cache_dir, "quarantine")
+        assert os.path.isdir(quarantine) and len(os.listdir(quarantine)) == 1
+
+    def test_parallel_corrupt_reap_recovers(self, traces, machine, golden, tmp_path):
+        """Workers write corrupt entries; the parent's reap detects it and
+        recomputes in-process — results still bit-identical."""
+        cache_dir = str(tmp_path / "simcache")
+        plan = FaultPlan.corrupt_cache(attempts=1)  # every workload's 1st put
+        ex = SimExecutor(jobs=2, retry=FAST_RETRY, cache_dir=cache_dir, faults=plan)
+        results = ex.run_many([(t, machine) for t in traces])
+        for result, reference in zip(results, golden):
+            _assert_same(result, reference)
+        assert ex.cache.telemetry.quarantined >= 1
+
+
+class TestDegradedCacheDirectory:
+    def test_failing_writes_degrade_with_one_warning(
+        self, traces, machine, golden, tmp_path, monkeypatch
+    ):
+        # chmod-based read-only dirs don't stop root, so simulate the
+        # full/read-only filesystem at the atomic-rename step instead.
+        cache = SimResultCache(str(tmp_path / "simcache"))
+
+        def refuse(src, dst):
+            raise OSError(30, "Read-only file system", dst)
+
+        monkeypatch.setattr(os, "replace", refuse)
+        with pytest.warns(RuntimeWarning, match="degrading to uncached"):
+            cache.put(traces[0], machine, golden[0])
+            cache.put(traces[1], machine, golden[1])  # no second warning
+        assert cache.degraded
+        assert cache.telemetry.put_failures >= 1
+        assert cache.get(traces[0], machine) is None
+
+    def test_executor_survives_unusable_cache(self, traces, machine, golden, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        with pytest.warns(RuntimeWarning):
+            ex = SimExecutor(jobs=1, cache_dir=str(blocker / "simcache"))
+            results = ex.run_many([(t, machine) for t in traces])
+        for result, reference in zip(results, golden):
+            _assert_same(result, reference)
+
+
+class TestTelemetryAccounting:
+    def test_serial_fallback_counts_simulate_time_once(self, traces, monkeypatch):
+        """Satellite regression: the broken-pool fallback used to add the
+        failed pool window *and* the serial window to ``simulate_seconds``.
+        With a fake clock advancing 1 s per reading, the serial window is
+        exactly 1 s and nothing else may be added."""
+        import itertools
+
+        import repro.sim.executor as executor_mod
+
+        class BrokenPool:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no processes in this environment")
+
+        monkeypatch.setattr(executor_mod, "ProcessPoolExecutor", BrokenPool)
+        ticker = itertools.count()
+        monkeypatch.setattr(
+            executor_mod, "perf_counter", lambda: float(next(ticker))
+        )
+        machine = hardware_a15()
+        ex = SimExecutor(jobs=4)
+        ex.run_many([(t, machine) for t in traces])
+        assert ex.telemetry.serial_fallbacks == 1
+        assert ex.telemetry.simulate_seconds == 1.0

@@ -86,6 +86,83 @@ class TestStoreAndLoad:
         assert len(cache) == 0
 
 
+class TestIntegrity:
+    """Schema/checksum verification and the quarantine path."""
+
+    def _entry_path(self, cache, trace, machine):
+        return cache._path(cache_key(trace, machine))
+
+    def test_envelope_format(self, cache, trace):
+        import json
+
+        from repro.sim.result_cache import CACHE_SCHEMA_VERSION
+
+        machine = hardware_a15()
+        cache.put(trace, machine, simulate(trace, machine))
+        with open(self._entry_path(cache, trace, machine)) as handle:
+            data = json.load(handle)
+        assert data["schema"] == CACHE_SCHEMA_VERSION
+        assert set(data) == {"schema", "checksum", "payload"}
+
+    def test_bit_rot_quarantined(self, cache, trace):
+        """A flipped payload byte fails the checksum, not just bad JSON."""
+        import json
+        import os
+
+        machine = hardware_a15()
+        cache.put(trace, machine, simulate(trace, machine))
+        path = self._entry_path(cache, trace, machine)
+        with open(path) as handle:
+            data = json.load(handle)
+        data["payload"]["core_cycles"] += 1.0  # still perfectly valid JSON
+        with open(path, "w") as handle:
+            json.dump(data, handle)
+        assert cache.get(trace, machine) is None
+        assert cache.telemetry.quarantined == 1
+        # The corrupt bytes are preserved for post-mortems, out of the key
+        # namespace so they can never answer another read.
+        quarantined = os.path.join(cache.quarantine_dir, os.path.basename(path))
+        assert os.path.exists(quarantined)
+        assert not os.path.exists(path)
+
+    def test_stale_schema_quarantined(self, cache, trace):
+        import json
+
+        machine = hardware_a15()
+        cache.put(trace, machine, simulate(trace, machine))
+        path = self._entry_path(cache, trace, machine)
+        with open(path) as handle:
+            data = json.load(handle)
+        data["schema"] = 2
+        with open(path, "w") as handle:
+            json.dump(data, handle)
+        assert cache.get(trace, machine) is None
+        assert cache.telemetry.quarantined == 1
+
+    def test_rewrite_after_quarantine_recovers(self, cache, trace):
+        machine = hardware_a15()
+        result = simulate(trace, machine)
+        cache.put(trace, machine, result)
+        path = self._entry_path(cache, trace, machine)
+        with open(path, "w") as handle:
+            handle.write("{half-written")
+        assert cache.get(trace, machine) is None
+        cache.put(trace, machine, result)
+        cached = cache.get(trace, machine)
+        assert cached is not None
+        assert cached.counts == result.counts
+
+    def test_telemetry_counts(self, cache, trace):
+        machine = hardware_a15()
+        assert cache.get(trace, machine) is None
+        cache.put(trace, machine, simulate(trace, machine))
+        assert cache.get(trace, machine) is not None
+        assert cache.telemetry.misses == 1
+        assert cache.telemetry.hits == 1
+        assert cache.telemetry.quarantined == 0
+        assert cache.telemetry.put_failures == 0
+
+
 class TestIntegration:
     def test_platform_uses_cache(self, tmp_path):
         cache_dir = str(tmp_path / "platform-cache")
