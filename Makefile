@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-chaos bench bench-smoke
+.PHONY: test test-chaos bench bench-smoke lint check
 
 # Tier-1: the full unit/integration suite (includes the chaos scenarios).
 test:
@@ -21,3 +21,20 @@ bench-smoke:
 # Full paper-figure benchmark suite, including the throughput benchmark.
 bench:
 	$(PYTHON) -m pytest -q -s benchmarks
+
+# Static analysis gate: ruff (style/imports) and mypy (types) when they are
+# installed, then the project's own determinism & worker-purity linter
+# (always; `repro-lint --format json` emits machine-readable findings for
+# CI annotation).  Known-bad rule fixtures are excluded by construction.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else echo "ruff not installed; skipping style/import checks"; fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		MYPYPATH=src mypy -p repro.analysis; \
+	else echo "mypy not installed; skipping type checks"; fi
+	$(PYTHON) -m repro.analysis src tests benchmarks examples \
+		--exclude tests/analysis/fixtures
+
+# Full local PR gate: static analysis plus the tier-1 suite.
+check: lint test

@@ -1,0 +1,57 @@
+"""Static analysis for reproducibility invariants (``repro-lint``).
+
+The paper's validation methodology only means anything if the same config
+always yields the same dataset; PR 1/2 made that a runtime contract
+(bit-identical parallel execution, checksummed caching, seeded fault
+injection).  This subsystem enforces the *static* half: custom AST rules
+that no off-the-shelf linter expresses —
+
+====== =====================================================================
+DET001 unseeded / global-state RNG construction in sim, uarch, workloads
+DET002 wall-clock or entropy calls (``time.time``, ``datetime.now``,
+       ``os.urandom``, ``uuid.uuid4``) in deterministic code paths
+DET003 unordered-set iteration order escaping into ordered results
+PURE001 impure or unpicklable callables submitted to a worker pool
+PURE002 mutable default arguments
+ROB001 handlers that swallow ``BaseException``
+SUP001 unused ``# repro: noqa[RULE]`` suppressions
+SUP002 malformed or blanket suppressions
+PARSE001 files that do not parse
+====== =====================================================================
+
+Run it via ``repro-lint``, ``python -m repro.analysis`` or
+``gemstone lint``; suppress a single line with ``# repro: noqa[RULE]``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cli import main
+from repro.analysis.engine import (
+    LintConfig,
+    REGISTRY,
+    derive_module,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rules import LintContext, Rule
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintContext",
+    "REGISTRY",
+    "Rule",
+    "Severity",
+    "derive_module",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,12 @@
+"""Checker modules; importing this package registers every rule.
+
+The engine imports :mod:`repro.analysis.checkers` for its side effect:
+each module's ``@rule`` decorators populate
+:data:`repro.analysis.rules.REGISTRY`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.checkers import determinism, purity, robustness
+
+__all__ = ["determinism", "purity", "robustness"]

@@ -1,0 +1,300 @@
+"""Determinism rules: DET001 (unseeded RNG), DET002 (wall-clock/entropy),
+DET003 (unordered-set iteration escaping into results).
+
+The reproducibility contract of the whole pipeline — bit-identical
+parallel-vs-serial execution, checksummed result caching, seeded fault
+plans — rests on simulation and statistics code being a pure function of
+its (config, seed) inputs.  These rules catch the three ways that contract
+silently breaks: fresh entropy, ambient time, and hash-order-dependent
+iteration.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.names import dotted_parts
+from repro.analysis.rules import BaseChecker, rule
+
+#: Modules whose code must be a deterministic function of explicit inputs.
+_DETERMINISTIC_SCOPE = (
+    "repro.sim",
+    "repro.uarch",
+    "repro.workloads",
+    "repro.core",
+    "repro.events",
+)
+
+#: numpy.random module-level functions backed by the hidden global
+#: RandomState — shared, seed-order-dependent state.
+_NUMPY_GLOBAL_STATE = frozenset(
+    {
+        "seed", "rand", "randn", "randint", "random", "random_sample",
+        "ranf", "sample", "choice", "normal", "uniform", "standard_normal",
+        "shuffle", "permutation", "bytes", "get_state", "set_state",
+    }
+)
+
+#: Wall-clock and entropy sources that must never feed a deterministic
+#: code path.  time.perf_counter / time.monotonic are deliberately absent:
+#: telemetry may measure durations as long as results do not depend on them.
+_WALL_CLOCK_AND_ENTROPY = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "secrets.randbits",
+        "secrets.randbelow",
+        "secrets.choice",
+    }
+)
+
+
+def _is_none(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+@rule(
+    "DET001",
+    "unseeded or global-state RNG construction",
+    Severity.ERROR,
+    "Simulations and statistics must draw randomness from an explicitly "
+    "seeded generator; fresh OS entropy or the hidden module-level RNG "
+    "state makes runs irreproducible.",
+    scope=_DETERMINISTIC_SCOPE,
+)
+class UnseededRngChecker(BaseChecker):
+    """Flags RNG constructions that are not pinned to an explicit seed."""
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self.ctx.imports.resolve(node.func)
+        if name is not None:
+            self._check(node, name)
+        self.generic_visit(node)
+
+    def _check(self, node: ast.Call, name: str) -> None:
+        if name == "numpy.random.default_rng":
+            if not node.args and not node.keywords:
+                self.report(
+                    node,
+                    "numpy.random.default_rng() without a seed draws fresh "
+                    "OS entropy; pass an explicit seed",
+                )
+            elif node.args and _is_none(node.args[0]):
+                self.report(
+                    node,
+                    "numpy.random.default_rng(None) is an unseeded "
+                    "generator; pass an explicit seed",
+                )
+            return
+        head, _, tail = name.rpartition(".")
+        if head == "numpy.random" and tail in _NUMPY_GLOBAL_STATE:
+            self.report(
+                node,
+                f"numpy.random.{tail} uses the hidden global RandomState; "
+                "construct numpy.random.default_rng(seed) instead",
+            )
+            return
+        if name == "random.Random" and not node.args and not node.keywords:
+            self.report(
+                node,
+                "random.Random() without a seed draws fresh OS entropy; "
+                "pass an explicit seed",
+            )
+            return
+        if name == "random.SystemRandom":
+            self.report(
+                node,
+                "random.SystemRandom is OS entropy and can never be seeded",
+            )
+            return
+        if head == "random" and name != "random.Random":
+            parts = dotted_parts(node.func)
+            if parts is not None and self.ctx.imports.is_imported(parts[0]):
+                self.report(
+                    node,
+                    f"random.{tail} uses the stdlib module-level RNG state; "
+                    "use an explicitly seeded random.Random(seed) instance",
+                )
+
+
+@rule(
+    "DET002",
+    "wall-clock or entropy call in a deterministic code path",
+    Severity.ERROR,
+    "time.time / datetime.now / os.urandom / uuid.uuid4 inject ambient "
+    "state into results, so the same config stops producing the same "
+    "dataset.  Duration telemetry should use time.perf_counter, which is "
+    "exempt because measured durations never feed back into results.",
+    scope=_DETERMINISTIC_SCOPE,
+)
+class WallClockChecker(BaseChecker):
+    """Flags calls to ambient time and entropy sources."""
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self.ctx.imports.resolve(node.func)
+        if name in _WALL_CLOCK_AND_ENTROPY:
+            self.report(
+                node,
+                f"{name}() is a wall-clock/entropy source; deterministic "
+                "code paths must take time and identifiers as explicit "
+                "inputs",
+            )
+        self.generic_visit(node)
+
+
+#: Receiver methods that produce a set from a set.
+_SET_PRODUCING_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+
+#: Builtins whose output order mirrors their input order.
+_ORDER_ESCAPING_BUILTINS = frozenset({"list", "tuple", "enumerate", "iter", "reversed"})
+
+
+@rule(
+    "DET003",
+    "unordered-set iteration order escapes into results",
+    Severity.WARNING,
+    "Iterating a set (or an externally-ordered mapping such as os.environ) "
+    "yields a hash-seed-dependent order; when that order reaches a list, "
+    "report or dataset it breaks run-to-run reproducibility.  Wrap the "
+    "iterable in sorted(...).",
+)
+class SetIterationChecker(BaseChecker):
+    """Flags iteration over set-valued expressions outside ``sorted()``.
+
+    Tracking is intentionally local: a name assigned a set-valued
+    expression is remembered within its enclosing scope only.  Iterating
+    inside a set comprehension is exempt (the result is unordered anyway),
+    as are order-insensitive consumers (``sum``/``len``/``min``/``max``/
+    membership tests).
+    """
+
+    def run(self, tree: ast.Module) -> list[Finding]:
+        self._scopes: list[dict[str, bool]] = [{}]
+        return super().run(tree)
+
+    # -------------------------------------------------------------- scopes
+    def _with_new_scope(self, node: ast.AST) -> None:
+        self._scopes.append({})
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._with_new_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._with_new_scope(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._with_new_scope(node)
+
+    def _lookup(self, name: str) -> bool:
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        return False
+
+    # --------------------------------------------------------- set typing
+    def _is_set_valued(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return self._lookup(node.id)
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._is_set_valued(node.left) or self._is_set_valued(node.right)
+        if isinstance(node, ast.IfExp):
+            return self._is_set_valued(node.body) and self._is_set_valued(node.orelse)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in {"set", "frozenset"}:
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _SET_PRODUCING_METHODS
+                and self._is_set_valued(func.value)
+            ):
+                return True
+            if isinstance(func, ast.Name) and func.id in {"globals", "locals", "vars"}:
+                return True
+            return False
+        resolved = self.ctx.imports.resolve(node)
+        return resolved == "os.environ"
+
+    def _describe(self, node: ast.expr) -> str:
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) and (
+            node.func.id in {"globals", "locals", "vars"}
+        ):
+            return f"{node.func.id}() (externally-ordered mapping)"
+        if self.ctx.imports.resolve(node) == "os.environ":
+            return "os.environ (externally-ordered mapping)"
+        return "a set"
+
+    # --------------------------------------------------------- assignments
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node)
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            self._scopes[-1][node.targets[0].id] = self._is_set_valued(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self.generic_visit(node)
+        if isinstance(node.target, ast.Name) and node.value is not None:
+            self._scopes[-1][node.target.id] = self._is_set_valued(node.value)
+
+    # ---------------------------------------------------------- iteration
+    def _check_iter(self, iterable: ast.expr) -> None:
+        if self._is_set_valued(iterable):
+            self.report(
+                iterable,
+                f"iteration order of {self._describe(iterable)} is "
+                "hash-seed dependent and escapes into an ordered result; "
+                "wrap it in sorted(...)",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        for generator in node.generators:
+            self._check_iter(generator.iter)
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        for generator in node.generators:
+            self._check_iter(generator.iter)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id in _ORDER_ESCAPING_BUILTINS
+            and node.args
+        ):
+            self._check_iter(node.args[0])
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr == "join"
+            and node.args
+        ):
+            self._check_iter(node.args[0])
+        self.generic_visit(node)

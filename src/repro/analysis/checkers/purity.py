@@ -1,0 +1,299 @@
+"""Worker-purity rules: PURE001 (impure/unpicklable submitted callables)
+and PURE002 (mutable default arguments).
+
+:class:`~repro.sim.executor.SimExecutor`'s bit-identical-recovery guarantee
+holds only because every job is a pure function of its payload: a crashed
+or timed-out pool job is *rerun serially in the parent* and must produce
+the same bytes.  A submitted callable that reads or mutates module-level
+state computes different answers in the worker and the parent; a closure
+or lambda does not survive pickling at all and silently degrades every
+batch to the serial path.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import BaseChecker, rule
+
+#: Method names that mutate their receiver in place.
+_MUTATOR_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "add", "update", "setdefault",
+        "pop", "popitem", "remove", "discard", "clear", "appendleft",
+        "extendleft", "popleft", "sort", "reverse",
+    }
+)
+
+
+def _is_constant_style(name: str) -> bool:
+    """Module bindings that read as constants/classes, not mutable state."""
+    stripped = name.strip("_")
+    if not stripped:
+        return True
+    if name.startswith("__") and name.endswith("__"):
+        return True
+    return stripped[0].isupper()
+
+
+@dataclass
+class _ModuleInventory:
+    """Module-level facts needed to judge a submitted callable."""
+
+    top_functions: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = field(
+        default_factory=dict
+    )
+    mutable_globals: set[str] = field(default_factory=set)
+    nested_functions: set[str] = field(default_factory=set)
+    lambda_bound: set[str] = field(default_factory=set)
+
+    @classmethod
+    def from_tree(cls, tree: ast.Module) -> "_ModuleInventory":
+        inventory = cls()
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                inventory.top_functions[stmt.name] = stmt
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) and not _is_constant_style(
+                        target.id
+                    ):
+                        inventory.mutable_globals.add(target.id)
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                target = stmt.target
+                if isinstance(target, ast.Name) and not _is_constant_style(
+                    target.id
+                ):
+                    inventory.mutable_globals.add(target.id)
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for inner in ast.walk(node):
+                if inner is node:
+                    continue
+                if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    inventory.nested_functions.add(inner.name)
+                elif isinstance(inner, ast.Assign) and isinstance(
+                    inner.value, ast.Lambda
+                ):
+                    for target in inner.targets:
+                        if isinstance(target, ast.Name):
+                            inventory.lambda_bound.add(target.id)
+        return inventory
+
+
+def _local_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Parameter and locally-bound names that shadow module globals."""
+    args = fn.args
+    names = {
+        arg.arg
+        for arg in (
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+            *([args.vararg] if args.vararg else []),
+            *([args.kwarg] if args.kwarg else []),
+        )
+    }
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            names.add(node.id)
+    return names
+
+
+def _impurity(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    inventory: _ModuleInventory,
+) -> str | None:
+    """First reason ``fn`` is not worker-pure, or None if it looks pure."""
+    local = _local_names(fn)
+
+    def is_global(name: str) -> bool:
+        return name in inventory.mutable_globals and name not in local
+
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Global):
+            return f"declares 'global {', '.join(node.names)}'"
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            if is_global(node.id):
+                return f"reads module-level mutable state {node.id!r}"
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                base = target
+                while isinstance(base, (ast.Subscript, ast.Attribute)):
+                    base = base.value
+                if isinstance(base, ast.Name) and is_global(base.id):
+                    return f"writes module-level state {base.id!r}"
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATOR_METHODS
+            and isinstance(node.func.value, ast.Name)
+            and is_global(node.func.value.id)
+        ):
+            return (
+                f"mutates module-level state {node.func.value.id!r} via "
+                f".{node.func.attr}()"
+            )
+    return None
+
+
+@rule(
+    "PURE001",
+    "callable submitted to a worker pool is impure or unpicklable",
+    Severity.ERROR,
+    "Pool workers rerun in the parent on crash/timeout must reproduce the "
+    "same bytes, so submitted callables may not touch module-level mutable "
+    "state; lambdas and nested functions additionally fail pickling and "
+    "silently force the serial fallback.",
+)
+class SubmitPurityChecker(BaseChecker):
+    """Resolves ``pool.submit(fn, ...)`` sites and vets ``fn``.
+
+    The submitted callable and every same-module function it calls (one
+    level deep) are checked; cross-module callees are out of reach of a
+    single-file pass and are covered by the executor's runtime recovery
+    tests instead.
+    """
+
+    def run(self, tree: ast.Module) -> list[Finding]:
+        self._inventory = _ModuleInventory.from_tree(tree)
+        return super().run(tree)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "submit"
+            and node.args
+        ):
+            self._check_submitted(node, node.args[0])
+        self.generic_visit(node)
+
+    def _check_submitted(self, site: ast.Call, callable_expr: ast.expr) -> None:
+        # functools.partial(f, ...) submits f with bound arguments.
+        if isinstance(callable_expr, ast.Call):
+            resolved = self.ctx.imports.resolve(callable_expr.func)
+            if resolved == "functools.partial" and callable_expr.args:
+                self._check_submitted(site, callable_expr.args[0])
+            return
+        if isinstance(callable_expr, ast.Lambda):
+            self.report(
+                site,
+                "lambda submitted to a worker pool cannot be pickled; "
+                "submit a module-level function",
+            )
+            return
+        if not isinstance(callable_expr, ast.Name):
+            return
+        name = callable_expr.id
+        if name in self._inventory.nested_functions or (
+            name in self._inventory.lambda_bound
+        ):
+            self.report(
+                site,
+                f"{name!r} is a closure (nested function or lambda binding) "
+                "and cannot be pickled for a worker pool; hoist it to "
+                "module level",
+            )
+            return
+        fn = self._inventory.top_functions.get(name)
+        if fn is None:
+            return
+        reason = _impurity(fn, self._inventory)
+        if reason is not None:
+            self.report(
+                site,
+                f"submitted function {name!r} {reason}; workers must be "
+                "pure functions of their payload",
+            )
+            return
+        for callee_name in self._same_module_callees(fn):
+            callee = self._inventory.top_functions.get(callee_name)
+            if callee is None or callee is fn:
+                continue
+            reason = _impurity(callee, self._inventory)
+            if reason is not None:
+                self.report(
+                    site,
+                    f"submitted function {name!r} calls {callee_name!r}, "
+                    f"which {reason}; workers must be pure functions of "
+                    "their payload",
+                )
+                return
+
+    def _same_module_callees(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> list[str]:
+        seen: list[str] = []
+        for node in ast.walk(fn):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id not in seen
+            ):
+                seen.append(node.func.id)
+        return seen
+
+
+#: Calls producing a fresh mutable container.
+_MUTABLE_FACTORIES = frozenset(
+    {
+        "list", "dict", "set", "bytearray",
+        "collections.defaultdict", "collections.deque",
+        "collections.OrderedDict", "collections.Counter",
+    }
+)
+
+
+@rule(
+    "PURE002",
+    "mutable default argument",
+    Severity.ERROR,
+    "A mutable default is created once at def-time and shared across every "
+    "call, so state leaks between invocations — the classic source of "
+    "run-order-dependent results.",
+)
+class MutableDefaultChecker(BaseChecker):
+    """Flags list/dict/set (and friends) used as parameter defaults."""
+
+    def _check_defaults(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda
+    ) -> None:
+        defaults = [
+            default
+            for default in (*node.args.defaults, *node.args.kw_defaults)
+            if default is not None
+        ]
+        for default in defaults:
+            if self._is_mutable(default):
+                self.report(
+                    default,
+                    "mutable default argument is shared across calls; "
+                    "default to None and construct inside the function",
+                )
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(
+            node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                   ast.SetComp),
+        ):
+            return True
+        if isinstance(node, ast.Call):
+            resolved = self.ctx.imports.resolve(node.func)
+            return resolved in _MUTABLE_FACTORIES
+        return False
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)

@@ -1,0 +1,68 @@
+"""Robustness rule: ROB001 (handler swallows BaseException).
+
+The executor and cache recovery paths deliberately catch ``Exception`` to
+degrade gracefully (serial fallback, cache quarantine) — that is policy.
+What must never happen is a *bare* ``except:`` or ``except BaseException:``
+that also swallows ``KeyboardInterrupt``/``SystemExit``: a hung worker
+becomes unkillable and a poisoned batch reports success.  Re-raising
+handlers (``raise`` with no argument) are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Severity
+from repro.analysis.rules import BaseChecker, rule
+
+
+def _names_base_exception(node: ast.expr | None) -> bool:
+    if node is None:
+        return True  # bare ``except:``
+    if isinstance(node, ast.Name):
+        return node.id == "BaseException"
+    if isinstance(node, ast.Tuple):
+        return any(_names_base_exception(element) for element in node.elts)
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(
+        isinstance(node, ast.Raise) and node.exc is None
+        for node in ast.walk(handler)
+    )
+
+
+@rule(
+    "ROB001",
+    "handler swallows BaseException",
+    Severity.ERROR,
+    "A bare except (or except BaseException) also catches KeyboardInterrupt "
+    "and SystemExit, turning fault recovery into an unkillable process that "
+    "reports success; catch Exception, or re-raise.",
+)
+class SwallowedBaseExceptionChecker(BaseChecker):
+    """Flags bare/``BaseException`` handlers that do not re-raise."""
+
+    def _check_handlers(self, node: ast.Try) -> None:
+        for handler in node.handlers:
+            if _names_base_exception(handler.type) and not _reraises(handler):
+                what = (
+                    "bare 'except:'"
+                    if handler.type is None
+                    else "'except BaseException:'"
+                )
+                self.report(
+                    handler,
+                    f"{what} swallows KeyboardInterrupt/SystemExit; catch "
+                    "Exception (or narrower), or re-raise",
+                )
+
+    def visit_Try(self, node: ast.Try) -> None:
+        self._check_handlers(node)
+        self.generic_visit(node)
+
+    # Python 3.11+ ``except*`` groups; same hazard, same rule.
+    def visit_TryStar(self, node: ast.Try) -> None:
+        self._check_handlers(node)
+        self.generic_visit(node)

@@ -1,0 +1,234 @@
+"""The lint engine: file discovery, per-file orchestration, suppression
+accounting.
+
+One file is processed as: tokenize for ``# repro: noqa[...]`` comments →
+parse once → resolve imports → run every in-scope, selected rule over the
+shared AST → drop suppressed findings → append suppression-hygiene
+findings (unused/malformed escapes).  Findings come back sorted by
+location so output is stable across rule registration order.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+import repro.analysis.checkers  # noqa: F401  (registers the rule catalogue)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.names import ImportMap
+from repro.analysis.rules import REGISTRY, LintContext, Rule
+from repro.analysis.suppressions import SuppressionIndex
+
+# Engine-emitted rules: not checker-backed, but part of the catalogue so
+# --list-rules, --select/--ignore and the README table cover them.
+for _engine_rule in (
+    Rule(
+        id="PARSE001",
+        name="file does not parse",
+        severity=Severity.ERROR,
+        rationale="A file that fails ast.parse cannot be analysed; the "
+        "syntax error is surfaced as a finding instead of a crash.",
+    ),
+    Rule(
+        id="SUP001",
+        name="unused suppression",
+        severity=Severity.WARNING,
+        rationale="A '# repro: noqa[RULE]' escape that no longer fires is "
+        "a stale blind spot; delete it when the code is fixed.",
+    ),
+    Rule(
+        id="SUP002",
+        name="malformed or blanket suppression",
+        severity=Severity.WARNING,
+        rationale="Suppressions must name explicit, known rule ids so each "
+        "escape stays auditable.",
+    ),
+):
+    REGISTRY.setdefault(_engine_rule.id, _engine_rule)
+
+#: Directory basenames never descended into during discovery.
+_SKIPPED_DIRS = frozenset({"__pycache__", ".git", ".hg", ".mypy_cache",
+                           ".ruff_cache", ".pytest_cache", "build", "dist"})
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Engine configuration shared by the CLI and the Python API.
+
+    Attributes:
+        select: Run only these rule ids (None = all registered).
+        ignore: Rule ids excluded from the run.
+        assume_module: Force this dotted module name for every file
+            (fixture linting) instead of deriving it from the package tree.
+        exclude: Path prefixes (files or directories) skipped during
+            discovery; matched against normalised relative paths.
+    """
+
+    select: frozenset[str] | None = None
+    ignore: frozenset[str] = frozenset()
+    assume_module: str | None = None
+    exclude: tuple[str, ...] = ()
+
+    def active_rules(self) -> list[Rule]:
+        """The registered rules enabled by this configuration."""
+        return [
+            rule_
+            for rule_id, rule_ in REGISTRY.items()
+            if (self.select is None or rule_id in self.select)
+            and rule_id not in self.ignore
+        ]
+
+    def filtered_out(self) -> frozenset[str]:
+        """Rule ids excluded by select/ignore (for suppression hygiene)."""
+        active = {rule_.id for rule_ in self.active_rules()}
+        return frozenset(REGISTRY) - active
+
+    def unknown_rule_ids(self) -> list[str]:
+        """Ids named in select/ignore that are not in the catalogue."""
+        named = set(self.select or ()) | set(self.ignore)
+        return sorted(named - set(REGISTRY))
+
+
+def derive_module(path: str) -> str:
+    """Dotted module name from the file's package (``__init__.py``) chain."""
+    absolute = os.path.abspath(path)
+    stem = os.path.splitext(os.path.basename(absolute))[0]
+    parts: list[str] = [] if stem == "__init__" else [stem]
+    parent = os.path.dirname(absolute)
+    while os.path.isfile(os.path.join(parent, "__init__.py")):
+        parts.append(os.path.basename(parent))
+        parent = os.path.dirname(parent)
+    parts.reverse()
+    return ".".join(parts) if parts else stem
+
+
+def _is_excluded(path: str, exclude: tuple[str, ...]) -> bool:
+    normalised = os.path.normpath(path)
+    for prefix in exclude:
+        clean = os.path.normpath(prefix)
+        if normalised == clean or normalised.startswith(clean + os.sep):
+            return True
+    return False
+
+
+def iter_python_files(
+    paths: Sequence[str], exclude: tuple[str, ...] = ()
+) -> list[str]:
+    """Expand files/directories into a sorted, de-duplicated .py file list.
+
+    Explicit file arguments are honoured regardless of extension (so
+    fixture files can be linted directly); directory walks collect ``*.py``
+    only, skipping caches, VCS internals and hidden directories.
+
+    Raises:
+        FileNotFoundError: For a path that does not exist.
+    """
+    collected: list[str] = []
+    for path in paths:
+        if _is_excluded(path, exclude):
+            continue
+        if os.path.isfile(path):
+            collected.append(path)
+            continue
+        if not os.path.isdir(path):
+            raise FileNotFoundError(f"no such file or directory: {path!r}")
+        for root, dirs, files in os.walk(path):
+            dirs[:] = sorted(
+                d
+                for d in dirs
+                if d not in _SKIPPED_DIRS
+                and not d.startswith(".")
+                and not _is_excluded(os.path.join(root, d), exclude)
+            )
+            for name in sorted(files):
+                full = os.path.join(root, name)
+                if name.endswith(".py") and not _is_excluded(full, exclude):
+                    collected.append(full)
+    return sorted(dict.fromkeys(collected))
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    module: str | None = None,
+    config: LintConfig | None = None,
+) -> list[Finding]:
+    """Lint one source string; the core single-file pipeline.
+
+    Args:
+        source: Python source text.
+        path: Path findings are reported under.
+        module: Dotted module name for rule scoping; defaults to
+            ``config.assume_module`` or a name derived from ``path``.
+        config: Engine configuration (defaults to everything enabled).
+    """
+    config = config or LintConfig()
+    module = module or config.assume_module or derive_module(path)
+    suppressions = SuppressionIndex.from_source(source)
+    active = {rule_.id: rule_ for rule_ in config.active_rules()}
+
+    findings: list[Finding] = []
+    try:
+        tree = ast.parse(source, filename=path)
+    except (SyntaxError, ValueError) as exc:
+        if "PARSE001" in active:
+            line = getattr(exc, "lineno", None) or 1
+            col = (getattr(exc, "offset", None) or 1)
+            findings.append(
+                Finding(
+                    path=path, line=line, col=col, rule="PARSE001",
+                    message=f"file does not parse: {exc.msg if isinstance(exc, SyntaxError) else exc}",
+                    severity=Severity.ERROR,
+                )
+            )
+        return sorted(findings)
+
+    ctx = LintContext(path=path, module=module, imports=ImportMap.from_tree(tree))
+    for rule_ in active.values():
+        if rule_.checker is None or not rule_.applies_to(module):
+            continue
+        for finding in rule_.checker(rule_, ctx).run(tree):
+            if not suppressions.try_suppress(finding):
+                findings.append(finding)
+
+    hygiene = suppressions.hygiene_findings(
+        path=path,
+        known_rules=frozenset(REGISTRY),
+        filtered_out=config.filtered_out(),
+    )
+    findings.extend(
+        finding for finding in hygiene if finding.rule in active
+    )
+    return sorted(findings)
+
+
+def lint_file(path: str, config: LintConfig | None = None) -> list[Finding]:
+    """Lint one file from disk (unreadable/undecodable → PARSE001)."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+    except (OSError, UnicodeDecodeError) as exc:
+        return [
+            Finding(
+                path=path, line=1, col=1, rule="PARSE001",
+                message=f"file cannot be read: {exc}",
+                severity=Severity.ERROR,
+            )
+        ]
+    return lint_source(source, path=path, config=config)
+
+
+def lint_paths(
+    paths: Iterable[str], config: LintConfig | None = None
+) -> list[Finding]:
+    """Lint files and directory trees; the CLI's workhorse.
+
+    Returns all findings sorted by (path, line, col, rule).
+    """
+    config = config or LintConfig()
+    findings: list[Finding] = []
+    for path in iter_python_files(list(paths), exclude=config.exclude):
+        findings.extend(lint_file(path, config=config))
+    return sorted(findings)

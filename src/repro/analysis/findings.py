@@ -1,0 +1,56 @@
+"""Finding and severity primitives shared by every analysis pass.
+
+A :class:`Finding` is one rule violation at one source location.  Findings
+are value objects: hashable, totally ordered by location (path, line,
+column, rule id) so reports are stable regardless of rule execution order.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How seriously a finding should be taken.
+
+    Both severities fail the lint gate (exit code 1); the distinction is
+    informational: an ``ERROR`` is a broken reproducibility invariant, a
+    ``WARNING`` is a heuristic match that deserves a look (or a targeted
+    ``# repro: noqa[RULE]``).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        path: File the finding was raised in (as given to the engine).
+        line: 1-based source line.
+        col: 1-based source column.
+        rule: Rule identifier (for example ``DET001``).
+        message: Human-readable explanation of the violation.
+        severity: :class:`Severity` of the owning rule.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str = field(compare=False)
+    severity: Severity = field(compare=False, default=Severity.ERROR)
+
+    def location(self) -> str:
+        """``path:line:col`` — the clickable location prefix."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def render(self) -> str:
+        """One text-report line for this finding."""
+        return f"{self.location()}: {self.rule} [{self.severity}] {self.message}"

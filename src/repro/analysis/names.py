@@ -1,0 +1,77 @@
+"""Import-aware dotted-name resolution for AST checkers.
+
+Rules match *fully qualified* call targets (``numpy.random.default_rng``,
+``time.time``) so they keep working across the idioms real code uses::
+
+    import numpy as np;            np.random.default_rng()
+    from numpy import random;      random.default_rng()
+    from time import time;         time()
+
+:class:`ImportMap` records what each local name was imported as;
+:meth:`ImportMap.resolve` expands an attribute chain through that map into
+the canonical dotted path (or ``None`` for non-name expressions).
+"""
+
+from __future__ import annotations
+
+import ast
+
+
+def dotted_parts(node: ast.expr) -> list[str] | None:
+    """``a.b.c`` as ``["a", "b", "c"]``, or None for non-name chains."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+class ImportMap:
+    """Maps local names to the dotted path they were imported as."""
+
+    def __init__(self) -> None:
+        self._aliases: dict[str, str] = {}
+
+    @classmethod
+    def from_tree(cls, tree: ast.AST) -> "ImportMap":
+        """Collect every ``import`` / ``from ... import`` binding in a tree."""
+        imports = cls()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        imports._aliases[alias.asname] = alias.name
+                    else:
+                        # ``import os.path`` binds only ``os``.
+                        head = alias.name.split(".", 1)[0]
+                        imports._aliases[head] = head
+            elif isinstance(node, ast.ImportFrom):
+                base = "." * node.level + (node.module or "")
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    target = f"{base}.{alias.name}" if base else alias.name
+                    imports._aliases[local] = target
+        return imports
+
+    def is_imported(self, name: str) -> bool:
+        """Whether ``name`` was bound by an import statement."""
+        return name in self._aliases
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Canonical dotted path of a name/attribute chain, or None.
+
+        The head of the chain is expanded through the import aliases; the
+        rest is kept verbatim.  Expressions that are not pure name chains
+        (subscripts, calls, literals) resolve to ``None``.
+        """
+        parts = dotted_parts(node)
+        if not parts:
+            return None
+        head = self._aliases.get(parts[0], parts[0])
+        return ".".join([head, *parts[1:]])

@@ -1,0 +1,55 @@
+"""Finding reporters: human text and machine-readable JSON.
+
+The JSON document is versioned and stable-keyed so CI annotation tooling
+can consume it without scraping text output::
+
+    {"version": 1,
+     "findings": [{"path": ..., "line": ..., "col": ..., "rule": ...,
+                   "severity": ..., "message": ...}],
+     "counts": {"DET001": 2},
+     "total": 2}
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+
+from repro.analysis.findings import Finding, Severity
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """One line per finding plus a severity summary, ready to print."""
+    if not findings:
+        return "no findings"
+    lines = [finding.render() for finding in findings]
+    errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+    warnings = len(findings) - errors
+    lines.append(
+        f"{len(findings)} finding(s): {errors} error(s), {warnings} warning(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Versioned JSON report (see module docstring for the schema)."""
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    document = {
+        "version": 1,
+        "findings": [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "rule": finding.rule,
+                "severity": finding.severity.value,
+                "message": finding.message,
+            }
+            for finding in findings
+        ],
+        "counts": dict(sorted(counts.items())),
+        "total": len(findings),
+    }
+    return json.dumps(document, indent=2, sort_keys=False)

@@ -1,0 +1,136 @@
+"""Rule registry and the checker base class.
+
+Every rule is a small :class:`ast.NodeVisitor` subclass registered with the
+:func:`rule` decorator.  Registration carries the catalogue metadata — id,
+one-line name, severity, rationale, and an optional *module scope* — so the
+engine, the CLI's ``--list-rules`` table, and the README catalogue all share
+one source of truth.
+
+Scoped rules only run for modules whose dotted name falls under one of the
+scope prefixes (``DET001`` cares about ``repro.sim`` but not about a report
+renderer); unscoped rules run everywhere.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.names import ImportMap
+
+
+@dataclass(frozen=True)
+class LintContext:
+    """Per-file facts shared by every checker run against the file.
+
+    Attributes:
+        path: The path findings are reported under.
+        module: Dotted module name derived from the file's package location
+            (or forced via ``--assume-module``); drives rule scoping.
+        imports: Import-alias map for qualified-name resolution.
+    """
+
+    path: str
+    module: str
+    imports: ImportMap
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Catalogue entry for one registered rule.
+
+    Attributes:
+        id: Stable identifier (``DET001``); what suppressions name.
+        name: One-line summary for reports and ``--list-rules``.
+        severity: Default severity of the rule's findings.
+        rationale: Why the rule exists, in one or two sentences.
+        scope: Module-name prefixes the rule is restricted to (None = all).
+        checker: Visitor class implementing the rule, or None for rules
+            emitted by the engine itself (suppression hygiene, parse errors).
+    """
+
+    id: str
+    name: str
+    severity: Severity
+    rationale: str
+    scope: tuple[str, ...] | None = None
+    checker: type["BaseChecker"] | None = field(default=None, compare=False)
+
+    def applies_to(self, module: str) -> bool:
+        """Whether this rule runs for a module with the given dotted name."""
+        if self.scope is None:
+            return True
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in self.scope
+        )
+
+
+#: The global rule catalogue, keyed by rule id (insertion == registration
+#: order; reports re-sort by location so this order is cosmetic only).
+REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_: Rule) -> None:
+    """Add a rule to the catalogue, rejecting duplicate ids."""
+    if rule_.id in REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_.id!r}")
+    REGISTRY[rule_.id] = rule_
+
+
+def rule(
+    rule_id: str,
+    name: str,
+    severity: Severity,
+    rationale: str,
+    scope: tuple[str, ...] | None = None,
+) -> Callable[[type["BaseChecker"]], type["BaseChecker"]]:
+    """Class decorator registering a checker under ``rule_id``."""
+
+    def decorate(cls: type["BaseChecker"]) -> type["BaseChecker"]:
+        register(
+            Rule(
+                id=rule_id,
+                name=name,
+                severity=severity,
+                rationale=rationale,
+                scope=scope,
+                checker=cls,
+            )
+        )
+        return cls
+
+    return decorate
+
+
+class BaseChecker(ast.NodeVisitor):
+    """An AST pass that reports findings for exactly one rule.
+
+    Subclasses implement ``visit_*`` methods and call :meth:`report`;
+    the engine constructs one checker instance per (rule, file) pair.
+    """
+
+    def __init__(self, rule_: Rule, ctx: LintContext) -> None:
+        self.rule = rule_
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+
+    def run(self, tree: ast.Module) -> list[Finding]:
+        """Walk the tree and return the findings, in visit order."""
+        self.visit(tree)
+        return self.findings
+
+    def report(self, node: ast.AST, message: str) -> None:
+        """Record one violation at ``node``'s location."""
+        self.findings.append(
+            Finding(
+                path=self.ctx.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                rule=self.rule.id,
+                message=message,
+                severity=self.rule.severity,
+            )
+        )

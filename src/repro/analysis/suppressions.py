@@ -1,0 +1,164 @@
+"""``# repro: noqa[RULE]`` suppression comments.
+
+A finding is suppressed when a comment on the *same physical line* names
+its rule id::
+
+    value = time.time()  # repro: noqa[DET002]
+    risky(a, b)          # repro: noqa[DET003, PURE002]
+
+Suppressions are deliberately narrow:
+
+* blanket ``# repro: noqa`` (no rule list) is itself a finding (``SUP002``)
+  so violations cannot be waved away wholesale;
+* naming an unknown rule id is ``SUP002``;
+* a suppression that never fires is ``SUP001`` — stale escapes rot into
+  blind spots, so they must be deleted when the underlying code is fixed.
+
+For statements spanning several lines, put the comment on the line the
+rule reports (the first line of the construct).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding, Severity
+
+#: Matches a repro suppression comment anywhere inside a ``#`` comment.
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa\s*(?:\[(?P<rules>[^\]]*)\])?", re.IGNORECASE
+)
+
+_RULE_ID = re.compile(r"^[A-Z]+[0-9]+$")
+
+
+@dataclass
+class Suppression:
+    """One parsed suppression comment.
+
+    Attributes:
+        line: Physical line the comment sits on.
+        col: 1-based column of the comment (where hygiene findings point).
+        rules: Rule ids named in the bracket list.
+        used: Ids that actually suppressed a finding on this line.
+    """
+
+    line: int
+    col: int
+    rules: tuple[str, ...]
+    used: set[str] = field(default_factory=set)
+
+
+class SuppressionIndex:
+    """All suppression comments of one file, with usage tracking."""
+
+    def __init__(
+        self,
+        suppressions: list[Suppression],
+        malformed: list[tuple[int, int, str]],
+    ) -> None:
+        self._by_line: dict[int, Suppression] = {s.line: s for s in suppressions}
+        #: (line, col, message) triples for SUP002 findings.
+        self.malformed = malformed
+
+    @classmethod
+    def from_source(cls, source: str) -> "SuppressionIndex":
+        """Tokenize ``source`` and collect its suppression comments.
+
+        Tokenization errors are ignored here — the engine reports the
+        parse failure itself (``PARSE001``), and a file that does not
+        tokenize has no usable suppressions anyway.
+        """
+        suppressions: list[Suppression] = []
+        malformed: list[tuple[int, int, str]] = []
+        try:
+            tokens = list(
+                tokenize.generate_tokens(io.StringIO(source).readline)
+            )
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return cls([], [])
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _NOQA.search(token.string)
+            if match is None:
+                continue
+            line, col = token.start[0], token.start[1] + 1
+            listed = match.group("rules")
+            if listed is None:
+                malformed.append(
+                    (line, col,
+                     "blanket '# repro: noqa' is not allowed; "
+                     "name the rule ids, e.g. '# repro: noqa[DET001]'")
+                )
+                continue
+            ids = tuple(part.strip() for part in listed.split(",") if part.strip())
+            bad = [rule_id for rule_id in ids if not _RULE_ID.match(rule_id)]
+            if not ids or bad:
+                what = f"malformed rule list {listed!r}" if not bad else (
+                    "unrecognisable rule id(s) " + ", ".join(repr(b) for b in bad)
+                )
+                malformed.append((line, col, what + " in suppression"))
+                continue
+            suppressions.append(Suppression(line=line, col=col, rules=ids))
+        return cls(suppressions, malformed)
+
+    def try_suppress(self, finding: Finding) -> bool:
+        """Consume ``finding`` if a same-line suppression names its rule."""
+        suppression = self._by_line.get(finding.line)
+        if suppression is None or finding.rule not in suppression.rules:
+            return False
+        suppression.used.add(finding.rule)
+        return True
+
+    def hygiene_findings(
+        self,
+        path: str,
+        known_rules: frozenset[str],
+        filtered_out: frozenset[str],
+    ) -> list[Finding]:
+        """SUP001/SUP002 findings after all checkers ran over the file.
+
+        Args:
+            path: Report path for the findings.
+            known_rules: Every registered rule id (unknown ids → SUP002).
+            filtered_out: Rules excluded by ``--select``/``--ignore`` for
+                this run; their suppressions are left alone rather than
+                reported as unused, so partial runs stay quiet.
+        """
+        findings = [
+            Finding(
+                path=path, line=line, col=col, rule="SUP002",
+                message=message, severity=Severity.WARNING,
+            )
+            for line, col, message in self.malformed
+        ]
+        for suppression in self._by_line.values():
+            for rule_id in suppression.rules:
+                if rule_id in suppression.used or rule_id in filtered_out:
+                    continue
+                if rule_id not in known_rules:
+                    findings.append(
+                        Finding(
+                            path=path, line=suppression.line,
+                            col=suppression.col, rule="SUP002",
+                            message=f"suppression names unknown rule {rule_id!r}",
+                            severity=Severity.WARNING,
+                        )
+                    )
+                    continue
+                findings.append(
+                    Finding(
+                        path=path, line=suppression.line,
+                        col=suppression.col, rule="SUP001",
+                        message=(
+                            f"unused suppression: no {rule_id} finding on "
+                            "this line — delete the '# repro: noqa' escape"
+                        ),
+                        severity=Severity.WARNING,
+                    )
+                )
+        return findings

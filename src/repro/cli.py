@@ -7,6 +7,7 @@ Mirrors the workflow of the paper's released software::
     gemstone lmbench --machine gem5-ex5-little           # Fig. 4 sweep
     gemstone power-model --core A15                      # Section V model
     gemstone bp-fix                                      # Section VII swing
+    gemstone lint src tests                              # determinism linter
 
 All commands are offline and deterministic; ``--instructions`` trades
 fidelity for speed.
@@ -246,6 +247,13 @@ def cmd_runtime_power(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the determinism & worker-purity linter (``repro-lint``)."""
+    from repro.analysis.cli import main as lint_main
+
+    return lint_main(args.lint_args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the gemstone argument parser."""
     parser = argparse.ArgumentParser(
@@ -305,12 +313,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.set_defaults(func=cmd_runtime_power)
 
+    p = sub.add_parser(
+        "lint",
+        help="static analysis: determinism & worker-purity rules "
+        "(everything after 'lint' is passed to repro-lint)",
+        add_help=False,
+    )
+    p.add_argument("lint_args", nargs=argparse.REMAINDER)
+    p.set_defaults(func=cmd_lint)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    arg_list = list(argv) if argv is not None else sys.argv[1:]
+    if arg_list and arg_list[0] == "lint":
+        # Hand everything after "lint" to repro-lint verbatim: REMAINDER
+        # would swallow a leading option (e.g. ``gemstone lint --list-rules``).
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(arg_list[1:])
+    args = build_parser().parse_args(arg_list)
     return args.func(args)
 
 

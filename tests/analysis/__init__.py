@@ -1,0 +1,26 @@
+"""Shared helpers for the static-analysis test suite."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import Finding, LintConfig, lint_source
+
+#: Module name that puts snippets inside the determinism-rule scope.
+SIM_MODULE = "repro.sim._snippet"
+
+
+def lint_snippet(
+    source: str,
+    module: str = SIM_MODULE,
+    config: LintConfig | None = None,
+) -> list[Finding]:
+    """Lint a dedented source snippet as if it lived in ``module``."""
+    return lint_source(
+        textwrap.dedent(source), path="<snippet>", module=module, config=config
+    )
+
+
+def rule_ids(findings: list[Finding]) -> list[str]:
+    """The rule ids of ``findings``, in report order."""
+    return [finding.rule for finding in findings]

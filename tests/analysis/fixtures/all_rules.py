@@ -1,0 +1,46 @@
+"""Known-bad fixture: exactly one finding for each core repro-lint rule.
+
+Linted with ``--assume-module repro.sim._fixture`` so the scoped
+determinism rules apply; tests assert the reported rule ids are exactly
+{DET001, DET002, DET003, PURE001, PURE002, ROB001}, one finding each.
+This file is never imported and is excluded from every self-clean run.
+"""
+
+import random
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+_tally = {"calls": 0}
+
+
+def det001():
+    return random.random()
+
+
+def det002():
+    return time.time()
+
+
+def det003(names):
+    return [name for name in set(names)]
+
+
+def pure001_worker(x):
+    return _tally["calls"] + x
+
+
+def pure001():
+    with ProcessPoolExecutor() as pool:
+        return pool.submit(pure001_worker, 1).result()
+
+
+def pure002(acc=[]):
+    acc.append(1)
+    return acc
+
+
+def rob001():
+    try:
+        return 1
+    except:
+        return 0

@@ -1,0 +1,20 @@
+"""Known-bad fixture for the suppression paths.
+
+One correctly suppressed DET002 (no finding), one stale suppression
+(SUP001), and one blanket suppression (SUP002).  Linted with
+``--assume-module repro.sim._fixture``; never imported.
+"""
+
+import time
+
+
+def suppressed_wall_clock():
+    return time.time()  # repro: noqa[DET002]
+
+
+def stale_suppression():
+    return 1  # repro: noqa[DET001]
+
+
+def blanket_suppression():
+    return 2  # repro: noqa

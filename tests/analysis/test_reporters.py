@@ -1,0 +1,67 @@
+"""Reporter tests: text rendering and the versioned JSON document."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import Finding, Severity, render_json, render_text
+
+pytestmark = pytest.mark.lint
+
+FINDINGS = [
+    Finding(
+        path="src/a.py", line=3, col=5, rule="DET002",
+        message="wall clock", severity=Severity.ERROR,
+    ),
+    Finding(
+        path="src/a.py", line=9, col=1, rule="SUP001",
+        message="unused suppression", severity=Severity.WARNING,
+    ),
+    Finding(
+        path="src/b.py", line=1, col=1, rule="DET002",
+        message="wall clock", severity=Severity.ERROR,
+    ),
+]
+
+
+class TestTextReporter:
+    def test_empty_is_no_findings(self):
+        assert render_text([]) == "no findings"
+
+    def test_one_line_per_finding_plus_summary(self):
+        text = render_text(FINDINGS)
+        lines = text.splitlines()
+        assert lines[0] == "src/a.py:3:5: DET002 [error] wall clock"
+        assert lines[1] == "src/a.py:9:1: SUP001 [warning] unused suppression"
+        assert lines[-1] == "3 finding(s): 2 error(s), 1 warning(s)"
+        assert len(lines) == len(FINDINGS) + 1
+
+
+class TestJsonReporter:
+    def test_document_schema(self):
+        document = json.loads(render_json(FINDINGS))
+        assert document["version"] == 1
+        assert document["total"] == 3
+        assert document["counts"] == {"DET002": 2, "SUP001": 1}
+        first = document["findings"][0]
+        assert first == {
+            "path": "src/a.py",
+            "line": 3,
+            "col": 5,
+            "rule": "DET002",
+            "severity": "error",
+            "message": "wall clock",
+        }
+
+    def test_empty_document(self):
+        document = json.loads(render_json([]))
+        assert document == {
+            "version": 1, "findings": [], "counts": {}, "total": 0,
+        }
+
+    def test_round_trips_through_json(self):
+        assert json.loads(render_json(FINDINGS)) == json.loads(
+            render_json(FINDINGS)
+        )

@@ -1,0 +1,148 @@
+"""Per-rule fixture tests for DET001 / DET002 / DET003."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.analysis import lint_snippet, rule_ids
+
+pytestmark = pytest.mark.lint
+
+
+class TestDet001UnseededRng:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "import numpy as np\nrng = np.random.default_rng()\n",
+            "import numpy\nrng = numpy.random.default_rng(None)\n",
+            "from numpy import random\nrng = random.default_rng()\n",
+            "import numpy as np\nnp.random.seed(42)\n",
+            "import numpy as np\nx = np.random.rand(3)\n",
+            "import numpy as np\nx = np.random.shuffle([1, 2])\n",
+            "import random\nx = random.random()\n",
+            "import random\nx = random.randint(0, 7)\n",
+            "from random import choice\nx = choice([1, 2])\n",
+            "import random\nr = random.Random()\n",
+            "import random\nr = random.SystemRandom()\n",
+        ],
+        ids=lambda s: s.splitlines()[-1][:40],
+    )
+    def test_flags_unseeded_and_global_state(self, snippet):
+        assert rule_ids(lint_snippet(snippet)) == ["DET001"]
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "import numpy as np\nrng = np.random.default_rng(1234)\n",
+            "import numpy as np\ndef f(seed):\n    return np.random.default_rng(seed)\n",
+            "import random\nr = random.Random(99)\n",
+            # Method call on an object that merely *looks* like the module.
+            "class T:\n    def random(self):\n        return 0.5\n"
+            "def f(t):\n    return t.random()\n",
+            # A generator instance drawing values is fine — it was seeded
+            # at construction.
+            "def f(rng):\n    return rng.random()\n",
+        ],
+        ids=["seeded", "seed-arg", "seeded-random", "method", "generator"],
+    )
+    def test_allows_seeded_construction(self, snippet):
+        assert lint_snippet(snippet) == []
+
+    def test_scope_excludes_non_deterministic_modules(self):
+        snippet = "import random\nx = random.random()\n"
+        assert lint_snippet(snippet, module="repro.analysis.engine") == []
+        assert lint_snippet(snippet, module="tests.sim.test_cpu") == []
+        assert rule_ids(lint_snippet(snippet, module="repro.core.stats.ols")) == [
+            "DET001"
+        ]
+
+
+class TestDet002WallClock:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "import time\nt = time.time()\n",
+            "import time\nt = time.time_ns()\n",
+            "from time import time\nt = time()\n",
+            "import datetime\nt = datetime.datetime.now()\n",
+            "from datetime import datetime\nt = datetime.now()\n",
+            "from datetime import datetime\nt = datetime.utcnow()\n",
+            "import os\nb = os.urandom(16)\n",
+            "import uuid\nu = uuid.uuid4()\n",
+            "import uuid\nu = uuid.uuid1()\n",
+            "import secrets\nn = secrets.randbits(32)\n",
+        ],
+        ids=lambda s: s.splitlines()[-1][:40],
+    )
+    def test_flags_wall_clock_and_entropy(self, snippet):
+        assert rule_ids(lint_snippet(snippet)) == ["DET002"]
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            # Duration telemetry is exempt: it never feeds back into results.
+            "import time\nt = time.perf_counter()\n",
+            "import time\nt = time.monotonic()\n",
+            "import time\ntime.sleep(0.1)\n",
+        ],
+        ids=["perf_counter", "monotonic", "sleep"],
+    )
+    def test_allows_duration_telemetry(self, snippet):
+        assert lint_snippet(snippet) == []
+
+    def test_scope_excludes_cli_modules(self):
+        snippet = "import time\nt = time.time()\n"
+        assert lint_snippet(snippet, module="repro.cli") == []
+
+
+class TestDet003SetIterationOrder:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "def f(names):\n    out = []\n    for n in set(names):\n        out.append(n)\n    return out\n",
+            "def f(names):\n    return [n for n in set(names)]\n",
+            "def f(names):\n    return [n for n in {x.lower() for x in names}]\n",
+            "def f(names):\n    return list(set(names))\n",
+            "def f(names):\n    return tuple(frozenset(names))\n",
+            "def f(names):\n    return ','.join({n for n in names})\n",
+            "def f(a, b):\n    return [x for x in set(a) | set(b)]\n",
+            "def f(names):\n    s = set(names)\n    return [n for n in s]\n",
+            "def f():\n    return {k: 1 for k in set('ab')}\n",
+            "import os\ndef f():\n    return list(os.environ)\n",
+            "def f():\n    return list(globals())\n",
+        ],
+        ids=[
+            "for-loop", "listcomp", "setcomp-source", "list()", "tuple()",
+            "join", "union", "tracked-name", "dictcomp", "environ", "globals",
+        ],
+    )
+    def test_flags_order_escape(self, snippet):
+        assert rule_ids(lint_snippet(snippet)) == ["DET003"]
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "def f(names):\n    return [n for n in sorted(set(names))]\n",
+            "def f(names):\n    for n in sorted({x for x in names}):\n        print(n)\n",
+            "def f(names, s):\n    return [n for n in names if n in set(s)]\n",
+            # Aggregations are order-insensitive.
+            "def f(s):\n    return sum(set(s)) + len(set(s)) + max(set(s))\n",
+            # Building another set: the order cannot escape.
+            "def f(s):\n    return {x + 1 for x in set(s)}\n",
+            # Reassignment to a sorted list clears the taint.
+            "def f(names):\n    s = set(names)\n    s = sorted(s)\n    return [n for n in s]\n",
+            # Dicts iterate in insertion order: deterministic, exempt.
+            "def f(d):\n    return [k for k in d]\n",
+            "def f(d):\n    return list(d.items())\n",
+        ],
+        ids=[
+            "sorted", "sorted-comp", "membership", "aggregate",
+            "set-to-set", "reassigned", "dict", "dict-items",
+        ],
+    )
+    def test_allows_ordered_or_orderless_use(self, snippet):
+        assert lint_snippet(snippet) == []
+
+    def test_applies_outside_sim_scope_too(self):
+        snippet = "def f(names):\n    return list(set(names))\n"
+        assert rule_ids(lint_snippet(snippet, module="tests.helpers")) == ["DET003"]

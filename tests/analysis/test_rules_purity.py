@@ -1,0 +1,188 @@
+"""Per-rule fixture tests for PURE001 / PURE002."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.analysis import lint_snippet, rule_ids
+
+pytestmark = pytest.mark.lint
+
+
+class TestPure001SubmittedCallables:
+    def test_flags_worker_reading_module_global(self):
+        snippet = """
+            _cache = {}
+
+            def worker(x):
+                return _cache.get(x)
+
+            def run(pool):
+                return pool.submit(worker, 1)
+        """
+        findings = lint_snippet(snippet)
+        assert rule_ids(findings) == ["PURE001"]
+        assert "reads module-level mutable state '_cache'" in findings[0].message
+
+    def test_flags_worker_writing_module_global(self):
+        snippet = """
+            _results = []
+
+            def worker(x):
+                _results.append(x)
+
+            def run(pool):
+                return pool.submit(worker, 1)
+        """
+        assert rule_ids(lint_snippet(snippet)) == ["PURE001"]
+
+    def test_flags_worker_with_global_statement(self):
+        snippet = """
+            counter = 0
+
+            def worker(x):
+                global counter
+                counter += x
+                return counter
+
+            def run(pool):
+                return pool.submit(worker, 1)
+        """
+        assert rule_ids(lint_snippet(snippet)) == ["PURE001"]
+
+    def test_flags_subscript_write_to_module_global(self):
+        snippet = """
+            state = {}
+
+            def worker(x):
+                state[x] = 1
+
+            def run(pool):
+                return pool.submit(worker, 1)
+        """
+        assert rule_ids(lint_snippet(snippet)) == ["PURE001"]
+
+    def test_flags_impure_callee_one_level_deep(self):
+        snippet = """
+            _seen = []
+
+            def helper(x):
+                _seen.append(x)
+
+            def worker(x):
+                helper(x)
+                return x
+
+            def run(pool):
+                return pool.submit(worker, 1)
+        """
+        findings = lint_snippet(snippet)
+        assert rule_ids(findings) == ["PURE001"]
+        assert "calls 'helper'" in findings[0].message
+
+    def test_flags_lambda_submission(self):
+        snippet = """
+            def run(pool):
+                return pool.submit(lambda: 3)
+        """
+        assert rule_ids(lint_snippet(snippet)) == ["PURE001"]
+
+    def test_flags_nested_function_submission(self):
+        snippet = """
+            def run(pool):
+                y = 2
+
+                def closure():
+                    return y
+
+                return pool.submit(closure)
+        """
+        assert rule_ids(lint_snippet(snippet)) == ["PURE001"]
+
+    def test_flags_lambda_bound_name_submission(self):
+        snippet = """
+            def run(pool):
+                fn = lambda: 3
+                return pool.submit(fn)
+        """
+        assert rule_ids(lint_snippet(snippet)) == ["PURE001"]
+
+    def test_unwraps_functools_partial(self):
+        snippet = """
+            import functools
+
+            def run(pool):
+                return pool.submit(functools.partial(lambda x: x, 1))
+        """
+        assert rule_ids(lint_snippet(snippet)) == ["PURE001"]
+
+    def test_allows_pure_module_function(self):
+        snippet = """
+            SCALE = 2.5
+
+            def worker(x):
+                local = [x]
+                local.append(SCALE * x)
+                return sum(local)
+
+            def run(pool):
+                return pool.submit(worker, 1)
+        """
+        assert lint_snippet(snippet) == []
+
+    def test_allows_parameter_shadowing_global_name(self):
+        snippet = """
+            _cache = {}
+
+            def worker(_cache):
+                return _cache.get(1)
+
+            def run(pool):
+                return pool.submit(worker, {})
+        """
+        assert lint_snippet(snippet) == []
+
+    def test_skips_imported_callables(self):
+        # Cross-module callables are out of reach for a single-file pass.
+        snippet = """
+            from repro.sim.cpu import simulate
+
+            def run(pool, job):
+                return pool.submit(simulate, job)
+        """
+        assert lint_snippet(snippet) == []
+
+
+class TestPure002MutableDefaults:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "def f(acc=[]):\n    return acc\n",
+            "def f(mapping={}):\n    return mapping\n",
+            "def f(seen=set()):\n    return seen\n",
+            "def f(items=list()):\n    return items\n",
+            "def f(*, acc=[]):\n    return acc\n",
+            "from collections import defaultdict\ndef f(d=defaultdict(list)):\n    return d\n",
+            "g = lambda acc=[]: acc\n",
+        ],
+        ids=["list", "dict", "set", "list-call", "kwonly", "defaultdict", "lambda"],
+    )
+    def test_flags_mutable_defaults(self, snippet):
+        assert rule_ids(lint_snippet(snippet)) == ["PURE002"]
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "def f(acc=None):\n    return acc or []\n",
+            "def f(items=()):\n    return items\n",
+            "def f(n=3, name='x', flag=True):\n    return n\n",
+            "def f(pool=frozenset()):\n    return pool\n",
+        ],
+        ids=["none", "tuple", "scalars", "frozenset"],
+    )
+    def test_allows_immutable_defaults(self, snippet):
+        assert lint_snippet(snippet) == []
+
+    def test_counts_each_default_separately(self):
+        snippet = "def f(a=[], b={}):\n    return a, b\n"
+        assert rule_ids(lint_snippet(snippet)) == ["PURE002", "PURE002"]

@@ -1,0 +1,56 @@
+"""Per-rule fixture tests for ROB001."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.analysis import lint_snippet, rule_ids
+
+pytestmark = pytest.mark.lint
+
+
+class TestRob001SwallowedBaseException:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "def f():\n    try:\n        return 1\n    except:\n        return 0\n",
+            "def f():\n    try:\n        return 1\n    except BaseException:\n        return 0\n",
+            "def f():\n    try:\n        return 1\n"
+            "    except (ValueError, BaseException):\n        return 0\n",
+            "def f():\n    try:\n        return 1\n"
+            "    except BaseException as exc:\n        return str(exc)\n",
+        ],
+        ids=["bare", "base-exception", "tuple", "named"],
+    )
+    def test_flags_swallowing_handlers(self, snippet):
+        assert rule_ids(lint_snippet(snippet)) == ["ROB001"]
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            # Catching Exception is policy (graceful degradation), not ROB001.
+            "def f():\n    try:\n        return 1\n    except Exception:\n        return 0\n",
+            "def f():\n    try:\n        return 1\n    except OSError:\n        return 0\n",
+            # Re-raising handlers do not swallow.
+            "def f():\n    try:\n        return 1\n"
+            "    except BaseException:\n        raise\n",
+            "def f():\n    try:\n        return 1\n"
+            "    except:\n        log()\n        raise\n",
+            "def f():\n    try:\n        return 1\n    finally:\n        pass\n",
+        ],
+        ids=["exception", "oserror", "reraise", "log-reraise", "finally"],
+    )
+    def test_allows_narrow_or_reraising_handlers(self, snippet):
+        assert lint_snippet(snippet) == []
+
+    def test_flags_each_bad_handler(self):
+        snippet = (
+            "def f():\n"
+            "    try:\n"
+            "        return 1\n"
+            "    except ValueError:\n"
+            "        return 2\n"
+            "    except BaseException:\n"
+            "        return 0\n"
+        )
+        assert rule_ids(lint_snippet(snippet)) == ["ROB001"]

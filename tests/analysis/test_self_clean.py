@@ -1,0 +1,49 @@
+"""The zero-findings gate: repro-lint over the repository's own code.
+
+This is the test that makes every rule a *standing invariant* rather than
+a one-off audit: any future PR that introduces an unseeded RNG, a wall
+clock in a sim path, a set-order leak, an impure pool worker, a mutable
+default, a swallowed BaseException, or a stale suppression fails tier-1.
+
+Known-bad rule fixtures under ``tests/analysis/fixtures`` are excluded by
+construction (they exist to be dirty).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import LintConfig, lint_paths
+from repro.analysis.reporters import render_text
+
+pytestmark = pytest.mark.lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = REPO_ROOT / "tests" / "analysis" / "fixtures"
+
+
+def _lint(*relative: str) -> str:
+    config = LintConfig(exclude=(str(FIXTURES),))
+    findings = lint_paths(
+        [str(REPO_ROOT / rel) for rel in relative], config=config
+    )
+    return render_text(findings) if findings else ""
+
+
+def test_src_repro_is_clean():
+    """The package itself upholds every invariant it enforces."""
+    report = _lint("src")
+    assert report == "", f"repro-lint findings in src/:\n{report}"
+
+
+def test_tests_are_clean():
+    """Test code is held to the same unscoped rules (purity, robustness)."""
+    report = _lint("tests")
+    assert report == "", f"repro-lint findings in tests/:\n{report}"
+
+
+def test_benchmarks_and_examples_are_clean():
+    report = _lint("benchmarks", "examples")
+    assert report == "", f"repro-lint findings in benchmarks/examples:\n{report}"

@@ -1,0 +1,89 @@
+"""Suppression (`# repro: noqa[RULE]`) and suppression-hygiene tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import LintConfig
+from tests.analysis import lint_snippet, rule_ids
+
+pytestmark = pytest.mark.lint
+
+
+class TestSuppression:
+    def test_same_line_suppression_consumes_finding(self):
+        snippet = (
+            "import time\n"
+            "t = time.time()  # repro: noqa[DET002]\n"
+        )
+        assert lint_snippet(snippet) == []
+
+    def test_suppression_is_rule_specific(self):
+        snippet = (
+            "import time\n"
+            "t = time.time()  # repro: noqa[DET001]\n"
+        )
+        # The DET002 finding survives, and the DET001 escape is stale.
+        assert rule_ids(lint_snippet(snippet)) == ["DET002", "SUP001"]
+
+    def test_multiple_rules_in_one_comment(self):
+        snippet = (
+            "import time\n"
+            "import random\n"
+            "t = time.time() + random.random()  # repro: noqa[DET001, DET002]\n"
+        )
+        assert lint_snippet(snippet) == []
+
+    def test_suppression_only_covers_its_own_line(self):
+        snippet = (
+            "import time\n"
+            "a = time.time()  # repro: noqa[DET002]\n"
+            "b = time.time()\n"
+        )
+        findings = lint_snippet(snippet)
+        assert rule_ids(findings) == ["DET002"]
+        assert findings[0].line == 3
+
+
+class TestSuppressionHygiene:
+    def test_unused_suppression_is_sup001(self):
+        snippet = "x = 1  # repro: noqa[DET002]\n"
+        findings = lint_snippet(snippet)
+        assert rule_ids(findings) == ["SUP001"]
+        assert "DET002" in findings[0].message
+
+    def test_blanket_suppression_is_sup002(self):
+        snippet = "x = 1  # repro: noqa\n"
+        findings = lint_snippet(snippet)
+        assert rule_ids(findings) == ["SUP002"]
+        assert "blanket" in findings[0].message
+
+    def test_unknown_rule_id_is_sup002(self):
+        snippet = "x = 1  # repro: noqa[DET999]\n"
+        findings = lint_snippet(snippet)
+        assert rule_ids(findings) == ["SUP002"]
+        assert "DET999" in findings[0].message
+
+    def test_empty_rule_list_is_sup002(self):
+        snippet = "x = 1  # repro: noqa[]\n"
+        assert rule_ids(lint_snippet(snippet)) == ["SUP002"]
+
+    def test_unused_suppression_out_of_scope_still_flagged(self):
+        # DET002 never runs for this module, so the escape can never fire.
+        snippet = "import time\nt = time.time()  # repro: noqa[DET002]\n"
+        findings = lint_snippet(snippet, module="repro.analysis.engine")
+        assert rule_ids(findings) == ["SUP001"]
+
+    def test_deselected_rules_do_not_report_unused(self):
+        # A partial run (--select) must not call suppressions of the
+        # excluded rules stale.
+        config = LintConfig(select=frozenset({"DET002", "SUP001"}))
+        snippet = (
+            "import time\n"
+            "x = 1  # repro: noqa[DET003]\n"
+            "t = time.time()  # repro: noqa[DET002]\n"
+            "y = 2  # repro: noqa[DET002]\n"
+        )
+        findings = lint_snippet(snippet, config=config)
+        assert rule_ids(findings) == ["SUP001"]
+        assert findings[0].line == 4
