@@ -10,6 +10,8 @@ test:
 # Deterministic fault-injection scenarios only: worker crashes, hangs,
 # poisoned jobs, cache corruption, power-sample loss — each must recover
 # to bit-identical results with the losses enumerated in the telemetry.
+# Includes the checkpoint/resume scenarios: the pipeline is killed after
+# every phase and the --resume run must produce a byte-identical report.
 test-chaos:
 	$(PYTHON) -m pytest -q -m chaos
 

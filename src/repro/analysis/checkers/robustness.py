@@ -1,4 +1,5 @@
-"""Robustness rule: ROB001 (handler swallows BaseException).
+"""Robustness rules: ROB001 (handler swallows BaseException), ROB002
+(non-atomic artifact write in a crash-safe layer).
 
 The executor and cache recovery paths deliberately catch ``Exception`` to
 degrade gracefully (serial fallback, cache quarantine) — that is policy.
@@ -6,6 +7,14 @@ What must never happen is a *bare* ``except:`` or ``except BaseException:``
 that also swallows ``KeyboardInterrupt``/``SystemExit``: a hung worker
 becomes unkillable and a poisoned batch reports success.  Re-raising
 handlers (``raise`` with no argument) are exempt.
+
+ROB002 enforces the other half of the crash-safety contract: inside
+``repro.sim`` and ``repro.core`` every artifact must reach disk through
+:mod:`repro.atomicio` (tmp file + fsync + ``os.replace``) or an
+append-only (mode ``"a"``) journal.  A plain ``open(path, "w")`` truncates
+the previous artifact before the new bytes land, and ``os.rename`` is the
+clobber-prone cousin of ``os.replace`` — both leave a torn file behind a
+crash, which is exactly what the checkpoint/resume layer exists to prevent.
 """
 
 from __future__ import annotations
@@ -65,4 +74,59 @@ class SwallowedBaseExceptionChecker(BaseChecker):
     # Python 3.11+ ``except*`` groups; same hazard, same rule.
     def visit_TryStar(self, node: ast.Try) -> None:
         self._check_handlers(node)
+        self.generic_visit(node)
+
+
+def _open_mode(node: ast.Call) -> str | None:
+    """The mode string of an ``open``-style call, if statically known.
+
+    Returns ``"r"`` when no mode is given (the default), the constant
+    string when one is, and ``None`` for a dynamic mode expression —
+    dynamic modes get the benefit of the doubt.
+    """
+    mode: ast.expr | None = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return "r"
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return None
+
+
+@rule(
+    "ROB002",
+    "non-atomic artifact write",
+    Severity.ERROR,
+    "In the crash-safe layers a plain open(..., 'w'/'x') truncates the old "
+    "artifact before the new bytes are durable, and os.rename clobbers "
+    "non-atomically; a crash mid-write leaves a torn file that a resumed "
+    "run would trust.  Route writes through repro.atomicio (tmp file + "
+    "fsync + os.replace) or an append-only (mode 'a') journal.",
+    scope=("repro.sim", "repro.core"),
+)
+class NonAtomicWriteChecker(BaseChecker):
+    """Flags in-place artifact writes that bypass ``repro.atomicio``."""
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self.ctx.imports.resolve(node.func)
+        if name in ("open", "io.open", "builtins.open"):
+            mode = _open_mode(node)
+            if mode is not None and mode[:1] in ("w", "x"):
+                self.report(
+                    node,
+                    f"open(..., {mode!r}) writes the artifact in place; "
+                    "use repro.atomicio.atomic_write_text/atomic_write_bytes "
+                    "(or an append-only mode 'a' journal)",
+                )
+        elif name == "os.rename":
+            self.report(
+                node,
+                "os.rename is the clobber-prone spelling; use os.replace — "
+                "ideally via repro.atomicio, which pairs it with a same-"
+                "directory tmp file and fsync",
+            )
         self.generic_visit(node)

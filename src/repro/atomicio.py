@@ -1,0 +1,54 @@
+"""The shared atomic-write helper: tmp file + fsync + rename.
+
+Every artifact the pipeline persists — simulation-result cache entries,
+power-model JSON exports, run-state checkpoints — must survive a crash
+mid-write: a reader must only ever observe the complete old bytes or the
+complete new bytes, never a truncated mixture.  The sanctioned pattern is
+exactly one: write to a same-directory temporary file, flush, ``fsync``,
+then ``os.replace`` over the destination (atomic on POSIX).
+
+Writing an artifact with a plain ``open(path, "w")`` in :mod:`repro.sim`
+or :mod:`repro.core` is a lint error (rule ``ROB002``); route the write
+through :func:`atomic_write_bytes` / :func:`atomic_write_text` instead.
+Append-only journals (mode ``"a"``) are the one other sanctioned pattern:
+a torn tail line is detected and dropped by their checksummed readers.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+
+
+def atomic_write_bytes(path: str, data: bytes, fsync: bool = True) -> None:
+    """Atomically replace ``path`` with ``data``.
+
+    The temporary file lives next to the destination (same filesystem, so
+    the rename is atomic) and is named per-pid so concurrent writers never
+    collide on it.  On any OSError the temporary file is removed and the
+    error re-raised; the destination is never left half-written.
+
+    Raises:
+        OSError: If the directory is unwritable or the filesystem is full.
+    """
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp_path, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except OSError:
+        with contextlib.suppress(OSError):
+            os.remove(tmp_path)
+        raise
+
+
+def atomic_write_text(path: str, text: str, fsync: bool = True) -> None:
+    """Atomically replace ``path`` with UTF-8 encoded ``text``.
+
+    Raises:
+        OSError: If the directory is unwritable or the filesystem is full.
+    """
+    atomic_write_bytes(path, text.encode("utf-8"), fsync=fsync)

@@ -3,6 +3,7 @@
 Mirrors the workflow of the paper's released software::
 
     gemstone report --core A15 --model gem5-ex5-big      # full evaluation
+    gemstone report --checkpoint-dir run/ --resume       # crash-safe resume
     gemstone headline --core A15                         # exec-time errors
     gemstone lmbench --machine gem5-ex5-little           # Fig. 4 sweep
     gemstone power-model --core A15                      # Section V model
@@ -86,6 +87,8 @@ def _gemstone(args: argparse.Namespace) -> GemStone:
             jobs=None if jobs == 0 else jobs,
             retry=RetryPolicy(max_attempts=max(1, retries)),
             sim_timeout_seconds=getattr(args, "job_timeout", None),
+            checkpoint_dir=getattr(args, "checkpoint_dir", None),
+            resume=getattr(args, "resume", False),
         )
     )
 
@@ -100,8 +103,20 @@ def _emit(text: str, out: str | None) -> None:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    """Print or write the full GemStone evaluation report."""
-    _emit(_gemstone(args).report(), args.out)
+    """Print or write the full GemStone evaluation report.
+
+    With ``--checkpoint-dir`` every completed phase is journalled and
+    checkpointed; a run killed by SIGINT/SIGTERM (or a crash) can be
+    re-run with ``--resume`` and completes from the last finished phase,
+    producing a byte-identical report.
+    """
+    gs = _gemstone(args)
+    if gs.runstate is not None:
+        with gs.runstate.interruptible():
+            text = gs.report()
+    else:
+        text = gs.report()
+    _emit(text, args.out)
     return 0
 
 
@@ -264,6 +279,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("report", help="full evaluation report")
     _add_common(p)
+    p.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="journal + checkpoint every pipeline phase into DIR "
+        "(crash-safe: atomic writes, checksummed, config-fingerprinted)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore completed phases from --checkpoint-dir instead of "
+        "recomputing them; corrupt or stale checkpoints are quarantined "
+        "and recomputed",
+    )
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("headline", help="execution-time MAPE/MPE table")

@@ -22,7 +22,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.stats.cluster import ClusterResult, hierarchical_clustering
+from repro.core.stats.cluster import (
+    ClusterResult,
+    hierarchical_clustering,
+    trivial_clustering,
+)
 from repro.core.stats.correlate import CorrelationResult, correlate_with_error
 from repro.core.stats.stepwise import StepwiseResult, forward_stepwise
 from repro.core.validation import ValidationDataset
@@ -38,11 +42,15 @@ class WorkloadClusterAnalysis:
         clusters: Workload HCA result (1-based cluster ids).
         errors: Per-workload signed time percentage error, workload order
             matching ``clusters.item_names``.
+        degraded: Notes recorded when the clustering had to degrade —
+            uncollected workloads missing from the matrix, or a trivial
+            single-cluster fallback when fewer than two workloads survive.
     """
 
     freq_hz: float
     clusters: ClusterResult
     errors: np.ndarray
+    degraded: tuple[str, ...] = ()
 
     def cluster_mpe(self) -> dict[int, float]:
         """Mean signed error per cluster (the numbers Fig. 3 annotates)."""
@@ -94,22 +102,50 @@ def cluster_workloads(
     """Workload HCA on standardised HW PMC rates, annotated with errors.
 
     The paper cuts the dendrogram into 16 clusters for its 45 workloads;
-    ``n_clusters`` is clamped to the workload count.
+    ``n_clusters`` is clamped to the workload count.  Degraded campaigns
+    are tolerated: uncollected workloads are dropped (and noted), and with
+    fewer than two survivors the result degrades to a trivial
+    single-cluster :class:`~repro.core.stats.cluster.ClusterResult`
+    instead of crashing the HCA.
     """
+    names = [run.workload for run in dataset.runs_at(freq_hz)]
+    notes: list[str] = []
+    missing = [w for w in dataset.workloads if w not in set(names)]
+    if missing:
+        shown = ", ".join(missing[:5])
+        if len(missing) > 5:
+            shown += f" (+{len(missing) - 5} more)"
+        notes.append(
+            f"workload clustering at {freq_hz / 1e6:.0f} MHz is missing "
+            f"{len(missing)} uncollected workload(s): {shown}"
+        )
+    if len(names) < 2:
+        notes.append(
+            f"only {len(names)} workload(s) survive at "
+            f"{freq_hz / 1e6:.0f} MHz; clustering degraded to a trivial "
+            "single-cluster result"
+        )
+        return WorkloadClusterAnalysis(
+            freq_hz=freq_hz,
+            clusters=trivial_clustering(names),
+            errors=dataset.errors_at(freq_hz),
+            degraded=tuple(notes),
+        )
     rates, _ = dataset.pmc_rate_matrix(freq_hz, events)
     # Log-scale the rates: PMC rates span many decades and HCA on raw values
     # would be dominated by the largest counters.
     rates = np.log10(rates + 1.0)
     clusters = hierarchical_clustering(
         rates,
-        list(dataset.workloads),
-        n_clusters=min(n_clusters, len(dataset.workloads)),
+        names,
+        n_clusters=min(n_clusters, len(names)),
         metric="euclidean",
     )
     return WorkloadClusterAnalysis(
         freq_hz=freq_hz,
         clusters=clusters,
         errors=dataset.errors_at(freq_hz),
+        degraded=tuple(notes),
     )
 
 

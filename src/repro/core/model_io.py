@@ -29,10 +29,30 @@ from repro.core.power_model import (
     PowerModelQuality,
     PowerObservation,
 )
+from repro.atomicio import atomic_write_text
 from repro.core.stats.ols import OlsResult
 from repro.core.validation import ValidationDataset
 
+#: Current power-model JSON schema.  Version 2 added the explicit
+#: ``schema_version`` field and the ``degraded`` note lists; version-1
+#: files carried only the legacy ``format_version`` field and are
+#: rejected with a clear :class:`ModelIoError` asking for a re-export.
+SCHEMA_VERSION = 2
+
+#: Legacy field written by pre-``schema_version`` exports (still emitted
+#: so old readers fail on the *kind/version* check, not a ``KeyError``).
 FORMAT_VERSION = 1
+
+
+class ModelIoError(ValueError):
+    """A power-model file could not be loaded.
+
+    Raised for corrupt JSON, payloads of the wrong kind, old or unknown
+    schema versions, and missing/malformed keys — instead of leaking a
+    bare ``KeyError``/``JSONDecodeError`` from the parsing internals.
+    Subclasses :class:`ValueError` so existing ``except ValueError``
+    callers keep working.
+    """
 
 
 def _ols_to_dict(model: OlsResult) -> dict:
@@ -47,6 +67,7 @@ def _ols_to_dict(model: OlsResult) -> dict:
         "adjusted_r2": model.adjusted_r2,
         "ser": model.ser,
         "n_observations": model.n_observations,
+        "degraded": list(model.degraded),
     }
 
 
@@ -62,12 +83,14 @@ def _ols_from_dict(data: dict) -> OlsResult:
         adjusted_r2=float(data["adjusted_r2"]),
         ser=float(data["ser"]),
         n_observations=int(data["n_observations"]),
+        degraded=tuple(data.get("degraded", ())),
     )
 
 
 def power_model_to_dict(model: PowerModel) -> dict:
     """A JSON-serialisable description of a fitted power model."""
     payload = {
+        "schema_version": SCHEMA_VERSION,
         "format_version": FORMAT_VERSION,
         "kind": "gemstone-power-model",
         "core": model.core,
@@ -75,6 +98,7 @@ def power_model_to_dict(model: PowerModel) -> dict:
             {"positive": t.positive, "negative": t.negative} for t in model.terms
         ],
         "per_opp": {str(key): _ols_to_dict(fit) for key, fit in model.per_opp.items()},
+        "degraded": list(model.degraded),
     }
     if model.quality is not None:
         quality = model.quality
@@ -95,39 +119,107 @@ def power_model_from_dict(data: dict) -> PowerModel:
     """Inverse of :func:`power_model_to_dict`.
 
     Raises:
-        ValueError: For unknown payload kinds or format versions.
+        ModelIoError: For non-object payloads, unknown payload kinds,
+            old/unknown schema versions, or missing/malformed keys.
     """
-    if data.get("kind") != "gemstone-power-model":
-        raise ValueError(f"not a power-model payload: kind={data.get('kind')!r}")
-    if data.get("format_version") != FORMAT_VERSION:
-        raise ValueError(
-            f"unsupported format version {data.get('format_version')!r}"
+    if not isinstance(data, dict):
+        raise ModelIoError(
+            f"power-model payload must be a JSON object, got {type(data).__name__}"
         )
-    terms = tuple(
-        EventTerm(int(t["positive"]),
-                  None if t["negative"] is None else int(t["negative"]))
-        for t in data["terms"]
-    )
-    per_opp = {int(key): _ols_from_dict(fit) for key, fit in data["per_opp"].items()}
-    model = PowerModel(core=data["core"], terms=terms, per_opp=per_opp)
-    if "quality" in data:
-        model.quality = PowerModelQuality(**data["quality"])
+    if data.get("kind") != "gemstone-power-model":
+        raise ModelIoError(
+            f"not a power-model payload: kind={data.get('kind')!r}"
+        )
+    version = data.get("schema_version")
+    if version is None and "format_version" in data:
+        raise ModelIoError(
+            "legacy power-model file "
+            f"(format_version={data['format_version']!r}, no schema_version); "
+            "re-export it with the current tool version"
+        )
+    if version != SCHEMA_VERSION:
+        raise ModelIoError(
+            f"unsupported schema version {version!r} (expected {SCHEMA_VERSION})"
+        )
+    try:
+        terms = tuple(
+            EventTerm(int(t["positive"]),
+                      None if t["negative"] is None else int(t["negative"]))
+            for t in data["terms"]
+        )
+        per_opp = {
+            int(key): _ols_from_dict(fit) for key, fit in data["per_opp"].items()
+        }
+        model = PowerModel(
+            core=data["core"],
+            terms=terms,
+            per_opp=per_opp,
+            degraded=tuple(data.get("degraded", ())),
+        )
+        if "quality" in data:
+            model.quality = PowerModelQuality(**data["quality"])
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise ModelIoError(
+            f"corrupt power-model payload: {type(exc).__name__}: {exc}"
+        ) from exc
     return model
 
 
 def save_power_model(model: PowerModel, path: str) -> None:
-    """Write a fitted model (with coefficients and quality) to JSON."""
-    with open(path, "w") as handle:
-        json.dump(power_model_to_dict(model), handle, indent=2)
+    """Write a fitted model (with coefficients and quality) to JSON.
+
+    The write is atomic (tmp file + fsync + rename): a crash mid-export
+    never leaves a truncated model file behind.
+    """
+    atomic_write_text(path, json.dumps(power_model_to_dict(model), indent=2))
 
 
 def load_power_model(path: str) -> PowerModel:
-    """Load a model saved by :func:`save_power_model`."""
+    """Load a model saved by :func:`save_power_model`.
+
+    Raises:
+        ModelIoError: For corrupt JSON or invalid payloads (see
+            :func:`power_model_from_dict`).
+        OSError: If the file cannot be read at all.
+    """
     with open(path) as handle:
-        return power_model_from_dict(json.load(handle))
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ModelIoError(
+                f"corrupt power-model JSON in {path}: {exc}"
+            ) from exc
+    return power_model_from_dict(data)
 
 
 # --------------------------------------------------------------------- CSVs
+def _format_float(value: float, spec: str) -> str:
+    """Format a float for CSV, with canonical non-finite tokens.
+
+    Fault-injected campaigns can legitimately carry NaN power means; the
+    explicit ``NaN``/``Infinity``/``-Infinity`` tokens round-trip
+    bit-identically through :func:`_parse_float` regardless of the
+    format spec (``format(nan, '.6f')`` would otherwise depend on the
+    platform's printf).
+    """
+    if np.isnan(value):
+        return "NaN"
+    if np.isinf(value):
+        return "Infinity" if value > 0 else "-Infinity"
+    return format(value, spec)
+
+
+def _parse_float(text: str) -> float:
+    """Inverse of :func:`_format_float` (plain ``float`` for finite text)."""
+    if text == "NaN":
+        return float("nan")
+    if text == "Infinity":
+        return float("inf")
+    if text == "-Infinity":
+        return float("-inf")
+    return float(text)
+
+
 def power_dataset_to_csv(observations: Sequence[PowerObservation]) -> str:
     """Render Experiment-3/4 observations as CSV text.
 
@@ -146,8 +238,8 @@ def power_dataset_to_csv(observations: Sequence[PowerObservation]) -> str:
     for obs in observations:
         writer.writerow(
             [obs.workload, f"{obs.freq_hz:.0f}", f"{obs.voltage:.4f}",
-             obs.threads, f"{obs.power_w:.6f}"]
-            + [f"{obs.rates[e]:.6g}" for e in events]
+             obs.threads, _format_float(obs.power_w, ".6f")]
+            + [_format_float(obs.rates[e], ".6g") for e in events]
         )
     return buffer.getvalue()
 
@@ -168,7 +260,7 @@ def power_dataset_from_csv(text: str) -> list[PowerObservation]:
     observations = []
     for row in reader:
         rates = {
-            int(name.removeprefix("event_0x"), 16): float(row[name])
+            int(name.removeprefix("event_0x"), 16): _parse_float(row[name])
             for name in event_columns
         }
         observations.append(
@@ -177,7 +269,7 @@ def power_dataset_from_csv(text: str) -> list[PowerObservation]:
                 freq_hz=float(row["freq_hz"]),
                 voltage=float(row["voltage"]),
                 rates=rates,
-                power_w=float(row["power_w"]),
+                power_w=_parse_float(row["power_w"]),
                 threads=int(row["threads"]),
             )
         )

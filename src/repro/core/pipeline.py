@@ -41,9 +41,11 @@ from repro.core.power_model import (
     collect_power_dataset,
     restraint_pool_gem5,
 )
+from repro.core.runstate import RunManifest, RunState
 from repro.core.stats.correlate import CorrelationResult
 from repro.core.validation import (
     CollectionHealth,
+    DegradedFit,
     ValidationDataset,
     collect_validation_dataset,
 )
@@ -92,6 +94,13 @@ class GemStoneConfig:
             exceeding it is rerun serially in the parent.
         faults: Optional :class:`~repro.sim.faults.FaultPlan` injected into
             the executor, cache and platform (chaos testing only).
+        checkpoint_dir: Directory for the crash-safe run state (journal +
+            per-phase checkpoints, see :mod:`repro.core.runstate`); ``None``
+            disables checkpointing.
+        resume: Restore completed phases from ``checkpoint_dir`` instead of
+            recomputing them.  Checkpoints are bound to a fingerprint of
+            the resolved config — a directory written under a different
+            configuration is quarantined and fully recomputed.
 
     Raises:
         ValueError: Immediately on construction for an unknown ``core``.
@@ -112,6 +121,8 @@ class GemStoneConfig:
     retry: RetryPolicy | None = None
     sim_timeout_seconds: float | None = None
     faults: FaultPlan | None = None
+    checkpoint_dir: str | None = None
+    resume: bool = False
 
     def __post_init__(self) -> None:
         # Fail at construction, not deep inside resolve_machine/platform
@@ -184,6 +195,15 @@ class GemStone:
             cache_dir=self.config.cache_dir,
             executor=self.executor,
         )
+        # Optional crash-safe run state: every memoised product below is
+        # checkpointed as its phase completes, and restored on --resume.
+        self.runstate: RunState | None = None
+        if self.config.checkpoint_dir is not None:
+            self.runstate = RunState(
+                self.config.checkpoint_dir,
+                RunManifest.from_config(self.config),
+                resume=self.config.resume,
+            )
         self._dataset: ValidationDataset | None = None
         self._power_dataset: list[PowerObservation] | None = None
         self._workload_clusters: WorkloadClusterAnalysis | None = None
@@ -196,17 +216,68 @@ class GemStone:
         self._power_energy: PowerEnergyComparison | None = None
         self._dvfs: DvfsScaling | None = None
 
+    # ----------------------------------------------------------- checkpointing
+    def _materialise(self, phase, compute, track_health: bool = False):
+        """Restore a phase's product from the run state, or compute it.
+
+        The checkpoint payload pairs the product with a snapshot of the
+        shared :class:`CollectionHealth` record for the collection phases,
+        so a resumed run renders the identical health section without
+        re-collecting anything.
+        """
+        if self.runstate is not None:
+            restored = self.runstate.restore(phase)
+            if restored is not None:
+                if track_health and restored.get("health") is not None:
+                    self.health.adopt(restored["health"])
+                return restored["product"]
+        product = compute()
+        if self.runstate is not None:
+            self.runstate.checkpoint(
+                phase,
+                {
+                    "product": product,
+                    "health": self.health.clone() if track_health else None,
+                },
+            )
+        return product
+
+    def degraded_fits(self) -> list[DegradedFit]:
+        """Degradation notes of every *computed* analysis product.
+
+        Collected in pipeline order from the memoised products only —
+        calling this never triggers a computation.
+        """
+        fits: list[DegradedFit] = []
+
+        def add(stage: str, notes) -> None:
+            fits.extend(DegradedFit(stage=stage, detail=n) for n in notes)
+
+        if self._workload_clusters is not None:
+            add("workload-clusters", self._workload_clusters.degraded)
+        for source in ("hw", "gem5"):
+            regression = self._regressions.get(source)
+            if regression is not None:
+                add(f"regression[{source}]", regression.stepwise.degraded)
+        if self._power_model is not None:
+            add("power-model", self._power_model.degraded)
+        return fits
+
     # -------------------------------------------------------------- datasets
     @property
     def dataset(self) -> ValidationDataset:
         """The paired HW/gem5 validation dataset (collected on first use)."""
         if self._dataset is None:
-            self._dataset = collect_validation_dataset(
-                self.platform,
-                self.gem5,
-                self.config.resolve_workloads(),
-                self.config.resolve_frequencies(),
-                health=self.health,
+            self._dataset = self._materialise(
+                "dataset",
+                lambda: collect_validation_dataset(
+                    self.platform,
+                    self.gem5,
+                    self.config.resolve_workloads(),
+                    self.config.resolve_frequencies(),
+                    health=self.health,
+                ),
+                track_health=True,
             )
         return self._dataset
 
@@ -214,11 +285,15 @@ class GemStone:
     def power_dataset(self) -> list[PowerObservation]:
         """Power-characterisation observations over the 65-workload set."""
         if self._power_dataset is None:
-            self._power_dataset = collect_power_dataset(
-                self.platform,
-                self.config.resolve_power_workloads(),
-                self.config.resolve_frequencies(),
-                health=self.health,
+            self._power_dataset = self._materialise(
+                "power-dataset",
+                lambda: collect_power_dataset(
+                    self.platform,
+                    self.config.resolve_power_workloads(),
+                    self.config.resolve_frequencies(),
+                    health=self.health,
+                ),
+                track_health=True,
             )
         return self._power_dataset
 
@@ -227,10 +302,13 @@ class GemStone:
     def workload_clusters(self) -> WorkloadClusterAnalysis:
         """Fig. 3: workload HCA with per-cluster execution-time errors."""
         if self._workload_clusters is None:
-            self._workload_clusters = cluster_workloads(
-                self.dataset,
-                self.config.analysis_freq_hz,
-                self.config.n_workload_clusters,
+            self._workload_clusters = self._materialise(
+                "workload-clusters",
+                lambda: cluster_workloads(
+                    self.dataset,
+                    self.config.analysis_freq_hz,
+                    self.config.n_workload_clusters,
+                ),
             )
         return self._workload_clusters
 
@@ -238,8 +316,11 @@ class GemStone:
     def pmc_correlation(self) -> CorrelationResult:
         """Fig. 5: HW PMC rates correlated with the time error."""
         if self._pmc_correlation is None:
-            self._pmc_correlation = pmc_error_correlation(
-                self.dataset, self.config.analysis_freq_hz
+            self._pmc_correlation = self._materialise(
+                "pmc-correlation",
+                lambda: pmc_error_correlation(
+                    self.dataset, self.config.analysis_freq_hz
+                ),
             )
         return self._pmc_correlation
 
@@ -247,16 +328,22 @@ class GemStone:
     def gem5_correlation(self) -> CorrelationResult:
         """Section IV-C: gem5 statistics correlated with the time error."""
         if self._gem5_correlation is None:
-            self._gem5_correlation = gem5_error_correlation(
-                self.dataset, self.config.analysis_freq_hz
+            self._gem5_correlation = self._materialise(
+                "gem5-correlation",
+                lambda: gem5_error_correlation(
+                    self.dataset, self.config.analysis_freq_hz
+                ),
             )
         return self._gem5_correlation
 
     def regression(self, source: str = "hw") -> ErrorRegression:
         """Section IV-D: stepwise regression of the error (hw or gem5)."""
         if source not in self._regressions:
-            self._regressions[source] = error_regression(
-                self.dataset, self.config.analysis_freq_hz, source=source
+            self._regressions[source] = self._materialise(
+                f"regression-{source}",
+                lambda: error_regression(
+                    self.dataset, self.config.analysis_freq_hz, source=source
+                ),
             )
         return self._regressions[source]
 
@@ -264,10 +351,13 @@ class GemStone:
     def event_comparison(self) -> EventComparison:
         """Fig. 6: matched-event ratios and BP accuracy."""
         if self._event_comparison is None:
-            self._event_comparison = compare_events(
-                self.dataset,
-                self.config.analysis_freq_hz,
-                self.workload_clusters,
+            self._event_comparison = self._materialise(
+                "event-comparison",
+                lambda: compare_events(
+                    self.dataset,
+                    self.config.analysis_freq_hz,
+                    self.workload_clusters,
+                ),
             )
         return self._event_comparison
 
@@ -289,7 +379,9 @@ class GemStone:
     def power_model(self) -> PowerModel:
         """The gem5-compatible power model (cached)."""
         if self._power_model is None:
-            self._power_model = self.build_power_model()
+            self._power_model = self._materialise(
+                "power-model", self.build_power_model
+            )
         return self._power_model
 
     @property
@@ -305,8 +397,11 @@ class GemStone:
     def power_energy(self) -> PowerEnergyComparison:
         """Fig. 7: power/energy error of the gem5-driven estimates."""
         if self._power_energy is None:
-            self._power_energy = compare_power_energy(
-                self.dataset, self.application, self.workload_clusters
+            self._power_energy = self._materialise(
+                "power-energy",
+                lambda: compare_power_energy(
+                    self.dataset, self.application, self.workload_clusters
+                ),
             )
         return self._power_energy
 
@@ -314,8 +409,11 @@ class GemStone:
     def dvfs(self) -> DvfsScaling:
         """Fig. 8: DVFS scaling, hardware vs model."""
         if self._dvfs is None:
-            self._dvfs = dvfs_scaling(
-                self.dataset, self.application, self.workload_clusters
+            self._dvfs = self._materialise(
+                "dvfs",
+                lambda: dvfs_scaling(
+                    self.dataset, self.application, self.workload_clusters
+                ),
             )
         return self._dvfs
 
@@ -339,7 +437,28 @@ class GemStone:
         return big_little_scaling(little.dataset, self.dataset)
 
     def report(self) -> str:
-        """The full text report covering every table and figure."""
+        """The full text report covering every table and figure.
+
+        With a checkpointed run state the rendered text itself is the
+        final phase: it is restored or checkpointed like any product, and
+        rendered *without* the wall-clock telemetry section so that an
+        interrupted-then-resumed run is byte-identical to an uninterrupted
+        one.
+        """
         from repro.core.report import render_full_report
 
-        return render_full_report(self)
+        if self.runstate is None:
+            return render_full_report(self)
+        restored = self.runstate.restore("report")
+        if restored is not None:
+            return restored["product"]
+        # Materialise the health-bearing phases first: a restored power
+        # model never pulls the power-dataset checkpoint on its own, and
+        # skipping it would drop that phase's collection-health snapshot
+        # from the rendered report.
+        _ = self.dataset
+        _ = self.power_dataset
+        text = render_full_report(self, include_telemetry=False)
+        self.runstate.checkpoint("report", {"product": text, "health": None})
+        self.runstate.journal("run-complete")
+        return text

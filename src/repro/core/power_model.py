@@ -201,14 +201,22 @@ class PowerModel:
     Attributes:
         core: Target cluster (``"A7"`` or ``"A15"``).
         terms: The selected event terms, in selection order.
-        per_opp: Fitted OLS model per frequency (Hz, rounded key).
+        per_opp: Fitted OLS model per frequency (Hz, rounded key).  A
+            degraded per-OPP fit may carry *fewer* regressors than
+            ``terms`` (dropped as constant/collinear on that OPP's
+            surviving observations); predictions look coefficients up by
+            name and treat a dropped term's contribution as zero.
         quality: Pooled validation statistics.
+        degraded: Notes recorded when selection or fitting degraded
+            (skipped candidates, intercept-only fallbacks, per-OPP term
+            drops); empty for a clean model.
     """
 
     core: str
     terms: tuple[EventTerm, ...]
     per_opp: dict[int, OlsResult]
     quality: PowerModelQuality | None = None
+    degraded: tuple[str, ...] = ()
 
     def _model_for(self, freq_hz: float) -> OlsResult:
         key = round(freq_hz)
@@ -223,18 +231,33 @@ class PowerModel:
     def predict(self, rates: Mapping[int, float], freq_hz: float) -> float:
         """Predicted cluster power from event rates at one OPP."""
         model = self._model_for(freq_hz)
-        x = np.array([term.rate(rates) for term in self.terms])
-        return float(model.predict(x)[0])
+        if len(model.names) == len(self.terms):
+            x = np.array([term.rate(rates) for term in self.terms])
+            return float(model.predict(x)[0])
+        # Degraded per-OPP fit: some terms were dropped; evaluate the
+        # surviving coefficients by name.
+        total = model.intercept
+        for term in self.terms:
+            if term.name in model.names:
+                total += model.coefficient(term.name) * term.rate(rates)
+        return float(total)
 
     def predict_components(
         self, rates: Mapping[int, float], freq_hz: float
     ) -> PowerEstimate:
-        """Prediction split into intercept + per-term contributions."""
+        """Prediction split into intercept + per-term contributions.
+
+        Terms dropped by a degraded per-OPP fit are reported with a zero
+        contribution so the component breakdown keeps a stable shape.
+        """
         model = self._model_for(freq_hz)
         components = {"intercept": model.intercept}
         total = model.intercept
-        for term, coef in zip(self.terms, model.coefficients):
-            watts = float(coef) * term.rate(rates)
+        for term in self.terms:
+            if term.name in model.names:
+                watts = model.coefficient(term.name) * term.rate(rates)
+            else:
+                watts = 0.0
             components[term.name] = watts
             total += watts
         return PowerEstimate(power_w=total, components=components)
@@ -266,7 +289,10 @@ class PowerModel:
         weights_per_opp: dict[int, dict[str, float]] = {}
         for key, fit in self.per_opp.items():
             weights: dict[str, float] = {}
-            for term, coef in zip(self.terms, fit.coefficients):
+            for term in self.terms:
+                if term.name not in fit.names:
+                    continue  # dropped by a degraded per-OPP fit
+                coef = fit.coefficient(term.name)
                 for sign, event in zip((1.0, -1.0), term.events()):
                     match = matches.get(event)
                     if match is None:
@@ -372,6 +398,13 @@ class PowerModelBuilder:
         selection see frequency-driven variance — which is why the cycle
         counter 0x11 emerges as the dominant term, as in the paper.
         """
+        selected, _ = self._select_events(observations)
+        return selected
+
+    def _select_events(
+        self, observations: Sequence[PowerObservation]
+    ) -> tuple[tuple[EventTerm, ...], list[str]]:
+        """Selection plus the degradation notes the stepwise pass recorded."""
         if not observations:
             raise ValueError("no observations")
         terms = self.candidate_terms(observations)
@@ -389,35 +422,60 @@ class PowerModelBuilder:
             vif_limit=self.vif_limit,
         )
         by_name = {term.name: term for term in terms}
-        return tuple(by_name[name] for name in result.selected)
+        notes = [f"event selection: {note}" for note in result.degraded]
+        return tuple(by_name[name] for name in result.selected), notes
 
     def fit(
         self,
         observations: Sequence[PowerObservation],
         terms: Sequence[EventTerm] | None = None,
     ) -> PowerModel:
-        """Fit per-OPP models for given (or freshly selected) terms."""
+        """Fit per-OPP models for given (or freshly selected) terms.
+
+        Raises:
+            ValueError: If explicitly given ``terms`` is empty.  A *fresh
+                selection* that accepts no term instead degrades to an
+                intercept-only model per OPP, with a note in the model's
+                ``degraded`` record.
+        """
         observations = list(observations)
+        notes: list[str] = []
         if terms is None:
-            terms = self.select_events(observations)
+            terms, notes = self._select_events(observations)
+            if not terms:
+                notes.append(
+                    "event selection accepted no terms; fitted an "
+                    "intercept-only power model per OPP"
+                )
+        else:
+            terms = tuple(terms)
+            if not terms:
+                raise ValueError("no model terms")
         terms = tuple(terms)
-        if not terms:
-            raise ValueError("no model terms")
 
         per_opp: dict[int, OlsResult] = {}
         frequencies = sorted({round(obs.freq_hz) for obs in observations})
         for key in frequencies:
             subset = [obs for obs in observations if round(obs.freq_hz) == key]
             x = np.array([[t.rate(obs.rates) for t in terms] for obs in subset])
+            x = x.reshape(len(subset), len(terms))
             y = np.array([obs.power_w for obs in subset])
             # Weight by 1/power: the board's workloads span a wide power
             # range (single-threaded micro-kernels to 4-thread PARSEC), and
             # the quality target is *percentage* error.
-            per_opp[key] = fit_ols(
+            fit = fit_ols(
                 x, y, names=tuple(t.name for t in terms), weights=1.0 / y
             )
+            per_opp[key] = fit
+            for note in fit.degraded:
+                notes.append(f"OPP {key / 1e6:.0f} MHz: {note}")
 
-        model = PowerModel(core=self.core, terms=terms, per_opp=per_opp)
+        model = PowerModel(
+            core=self.core,
+            terms=terms,
+            per_opp=per_opp,
+            degraded=tuple(notes),
+        )
         model.quality = validate_power_model(model, observations)
         return model
 

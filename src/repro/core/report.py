@@ -262,8 +262,16 @@ def render_power_model_summary(model) -> str:
     return "\n".join(lines)
 
 
-def render_full_report(gemstone) -> str:
-    """The complete GemStone report: every table and figure in order."""
+def render_full_report(gemstone, include_telemetry: bool = True) -> str:
+    """The complete GemStone report: every table and figure in order.
+
+    Args:
+        gemstone: The :class:`~repro.core.pipeline.GemStone` facade.
+        include_telemetry: Append the simulation-executor telemetry
+            section.  Checkpointed runs disable it: its wall-clock rows
+            are the one nondeterministic part of the report, and resumed
+            runs must produce byte-identical text.
+    """
     dataset = gemstone.dataset
     freq = gemstone.config.analysis_freq_hz
     sections = []
@@ -332,8 +340,14 @@ def render_full_report(gemstone) -> str:
     if health is not None and health.degraded:
         sections.append(render_collection_health(health))
 
+    degraded_fits = getattr(gemstone, "degraded_fits", None)
+    if degraded_fits is not None:
+        fits = degraded_fits()
+        if fits:
+            sections.append(render_degraded_fits(fits))
+
     executor = getattr(gemstone, "executor", None)
-    if executor is not None and executor.telemetry.jobs_submitted:
+    if include_telemetry and executor is not None and executor.telemetry.jobs_submitted:
         cache = getattr(executor, "cache", None)
         sections.append(
             render_sim_telemetry(
@@ -375,6 +389,21 @@ def render_sim_telemetry(telemetry, jobs: int, cache_telemetry=None) -> str:
         rows,
         title="Simulation executor telemetry",
     )
+
+
+def render_degraded_fits(fits) -> str:
+    """Degradation notes from the analysis layer, one line per note.
+
+    Rendered alongside the collection-health section: where that section
+    says which *data points* were lost, this one says how the *fits*
+    (clustering, stepwise regressions, power model) had to degrade —
+    dropped regressors, intercept-only fallbacks, trivial clusterings —
+    so a report over degraded data is explicit about its weakened models.
+    """
+    lines = [f"Degraded fits ({len(fits)} note(s))"]
+    for fit in fits:
+        lines.append(f"  [{fit.stage}] {fit.detail}")
+    return "\n".join(lines)
 
 
 def render_collection_health(health, max_failures: int = 12) -> str:

@@ -1,0 +1,445 @@
+"""Crash-safe, resumable pipeline runs: journal + phase checkpoints.
+
+A full GemStone evaluation is a long multi-phase pipeline (characterise ->
+simulate -> analyse -> report, Section VII).  The simulation layer already
+memoises per-(trace, machine) results on disk, but every *analysis* product
+above it was all-or-nothing: a crash or SIGTERM during ``GemStone.report()``
+threw away each completed phase.  This module makes a run restartable:
+
+* A :class:`RunManifest` fingerprints the *resolved* configuration — only
+  the fields that affect results (core, machine, workloads, frequencies,
+  trace length, analysis knobs, fault plan), never execution knobs like
+  ``jobs`` or ``cache_dir`` that are bit-identical by construction.  A
+  checkpoint directory written under a different fingerprint is detected
+  and quarantined, never reused.
+* A :class:`RunState` owns an append-only, checksummed JSONL **run
+  journal** (mode ``"a"`` writes, fsync'd per record; a torn tail line is
+  detected and dropped on read) and one **checkpoint artifact per phase**:
+  a JSON header line (schema, phase, fingerprint, payload checksum and
+  length) followed by the pickled payload, written via the shared
+  atomic-write helper (tmp file + fsync + rename).  A checkpoint failing
+  *any* header, checksum or unpickling check is quarantined to
+  ``<dir>/quarantine/`` and recomputed — corrupt state is never trusted.
+* :meth:`RunState.interruptible` installs SIGINT/SIGTERM handlers that
+  journal the interruption and exit; because every checkpoint is written
+  atomically *when its phase completes*, the state on disk is resumable at
+  any kill point.
+
+Journal records carry monotonic sequence numbers rather than timestamps:
+the run layer lives inside :mod:`repro.core`, where wall-clock reads are a
+determinism lint error (DET002) — and byte-identical resumed reports need
+no clocks anyway.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import signal
+import warnings
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.atomicio import atomic_write_bytes, atomic_write_text
+
+#: Bump when the journal/checkpoint envelope format changes; old artifacts
+#: are then quarantined and recomputed instead of being misread.
+RUNSTATE_SCHEMA_VERSION = 1
+
+#: Every checkpointable phase, in canonical pipeline order.
+PHASES = (
+    "dataset",
+    "power-dataset",
+    "workload-clusters",
+    "pmc-correlation",
+    "gem5-correlation",
+    "regression-hw",
+    "regression-gem5",
+    "event-comparison",
+    "power-model",
+    "power-energy",
+    "dvfs",
+    "report",
+)
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Identity of one run configuration, as stored in a checkpoint dir.
+
+    Attributes:
+        fingerprint: sha1 over the sorted-JSON ``description`` — the key
+            every checkpoint in the directory is bound to.
+        description: The resolved, result-affecting configuration fields
+            (kept human-readable in ``manifest.json`` for post-mortems).
+    """
+
+    fingerprint: str
+    description: dict
+
+    @classmethod
+    def from_config(cls, config: Any) -> "RunManifest":
+        """Fingerprint a resolved :class:`~repro.core.pipeline.GemStoneConfig`.
+
+        Only result-affecting fields participate: execution knobs (``jobs``,
+        ``retry``, ``sim_timeout_seconds``, ``cache_dir``, ``checkpoint_dir``,
+        ``resume``) are bit-identical by construction and deliberately
+        excluded, so re-running with more workers resumes the same state.
+        """
+        from repro.sim.result_cache import machine_fingerprint
+
+        faults = (
+            dataclasses.asdict(config.faults)
+            if config.faults is not None
+            else None
+        )
+        description = {
+            "runstate_schema": RUNSTATE_SCHEMA_VERSION,
+            "core": config.core,
+            "machine": machine_fingerprint(config.resolve_machine()),
+            "workloads": [p.name for p in config.resolve_workloads()],
+            "power_workloads": [
+                p.name for p in config.resolve_power_workloads()
+            ],
+            "frequencies": [float(f) for f in config.resolve_frequencies()],
+            "analysis_freq_hz": float(config.analysis_freq_hz),
+            "trace_instructions": int(config.trace_instructions),
+            "n_workload_clusters": int(config.n_workload_clusters),
+            "power_model_terms": int(config.power_model_terms),
+            "gem5_restrained_power_model": bool(
+                config.gem5_restrained_power_model
+            ),
+            "faults": faults,
+        }
+        payload = json.dumps(description, sort_keys=True)
+        return cls(
+            fingerprint=hashlib.sha1(payload.encode()).hexdigest(),
+            description=description,
+        )
+
+
+@dataclass
+class RunStateTelemetry:
+    """Counters for one run-state instance's lifetime."""
+
+    restored: int = 0
+    checkpointed: int = 0
+    quarantined: int = 0
+    journal_records_dropped: int = 0
+
+
+def _record_checksum(record: dict) -> str:
+    """Checksum of a journal record (everything but its ``sha1`` field)."""
+    return hashlib.sha1(
+        json.dumps(record, sort_keys=True).encode()
+    ).hexdigest()
+
+
+class RunState:
+    """One checkpoint directory bound to one :class:`RunManifest`.
+
+    Args:
+        directory: Checkpoint directory (created on demand).  When creation
+            or a write fails (read-only or full filesystem) the run state
+            degrades to *inert* — computation proceeds uncheckpointed —
+            after a single warning, mirroring the simulation cache.
+        manifest: Identity of the run; every artifact is bound to its
+            fingerprint.
+        resume: Restore checkpoints written by a previous run.  When
+            False, existing checkpoints are left on disk but never read;
+            fresh phases overwrite them atomically.
+
+    A directory holding a *different* fingerprint's artifacts is detected
+    on open: everything in it is quarantined and the run starts fresh.
+    """
+
+    def __init__(
+        self, directory: str, manifest: RunManifest, resume: bool = False
+    ):
+        self.directory = directory
+        self.manifest = manifest
+        self.resume = resume
+        self.telemetry = RunStateTelemetry()
+        self.inert = False
+        self._warned = False
+        self._seq = 0
+        try:
+            os.makedirs(directory, exist_ok=True)
+            existing = self._read_manifest_fingerprint()
+            if existing is not None and existing != manifest.fingerprint:
+                self._quarantine_all()
+                existing = None
+            if existing is None:
+                atomic_write_text(
+                    self.manifest_path,
+                    json.dumps(
+                        {
+                            "schema": RUNSTATE_SCHEMA_VERSION,
+                            "fingerprint": manifest.fingerprint,
+                            "config": manifest.description,
+                        },
+                        indent=2,
+                        sort_keys=True,
+                    ),
+                )
+        except OSError as exc:
+            self._degrade(exc)
+            return
+        records = self.read_journal()
+        if records:
+            self._seq = int(records[-1]["seq"]) + 1
+        self.journal(
+            "run-start",
+            fingerprint=manifest.fingerprint,
+            resume=bool(resume),
+        )
+
+    # ------------------------------------------------------------------ paths
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.directory, "manifest.json")
+
+    @property
+    def journal_path(self) -> str:
+        return os.path.join(self.directory, "journal.jsonl")
+
+    @property
+    def quarantine_dir(self) -> str:
+        """Where corrupt or stale artifacts are preserved for post-mortems."""
+        return os.path.join(self.directory, "quarantine")
+
+    def checkpoint_path(self, phase: str) -> str:
+        return os.path.join(self.directory, f"{phase}.ckpt")
+
+    def _read_manifest_fingerprint(self) -> str | None:
+        """Fingerprint recorded in the directory, or None when fresh.
+
+        A corrupt or unreadable manifest returns the empty string, which
+        never matches a real fingerprint — the directory is then treated
+        as stale and quarantined wholesale.
+        """
+        try:
+            with open(self.manifest_path) as handle:
+                data = json.load(handle)
+            fingerprint = data["fingerprint"]
+            if not isinstance(fingerprint, str):
+                raise TypeError("fingerprint must be a string")
+            return fingerprint
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            return ""
+
+    # -------------------------------------------------------------- degrading
+    def _degrade(self, exc: OSError) -> None:
+        self.inert = True
+        if not self._warned:
+            self._warned = True
+            warnings.warn(
+                f"checkpoint directory {self.directory} is unusable ({exc}); "
+                "continuing without checkpoints",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+    def _quarantine(self, path: str, reason: str) -> None:
+        """Move one corrupt artifact out of the way, keeping the bytes."""
+        self.telemetry.quarantined += 1
+        try:
+            os.makedirs(self.quarantine_dir, exist_ok=True)
+            dest = os.path.join(self.quarantine_dir, os.path.basename(path))
+            os.replace(path, dest)
+        except OSError:
+            with contextlib.suppress(OSError):
+                os.remove(path)
+        self.journal(
+            "quarantined", artifact=os.path.basename(path), reason=reason
+        )
+
+    def _quarantine_all(self) -> None:
+        """Quarantine every artifact of a stale (mismatched) run."""
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return
+        os.makedirs(self.quarantine_dir, exist_ok=True)
+        moved = 0
+        for name in sorted(names):
+            if not (name.endswith(".ckpt") or name in
+                    ("journal.jsonl", "manifest.json")):
+                continue
+            src = os.path.join(self.directory, name)
+            try:
+                os.replace(src, os.path.join(self.quarantine_dir, name))
+                moved += 1
+            except OSError:
+                with contextlib.suppress(OSError):
+                    os.remove(src)
+        self.telemetry.quarantined += moved
+
+    # ---------------------------------------------------------------- journal
+    def journal(self, event: str, **fields: Any) -> None:
+        """Append one checksummed record to the run journal (fsync'd)."""
+        if self.inert:
+            return
+        record: dict[str, Any] = {"seq": self._seq, "event": event, **fields}
+        record["sha1"] = _record_checksum(
+            {k: v for k, v in record.items() if k != "sha1"}
+        )
+        line = json.dumps(record, sort_keys=True)
+        try:
+            with open(self.journal_path, "a") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            self._degrade(exc)
+        else:
+            self._seq += 1
+
+    def read_journal(self) -> list[dict]:
+        """Verified journal records, oldest first.
+
+        A torn or corrupt line (a crash mid-append) invalidates itself and
+        everything after it — the journal is trusted only up to its last
+        intact prefix.
+        """
+        try:
+            with open(self.journal_path) as handle:
+                lines = handle.readlines()
+        except FileNotFoundError:
+            return []
+        except OSError:
+            return []
+        records: list[dict] = []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                expected = record["sha1"]
+                body = {k: v for k, v in record.items() if k != "sha1"}
+                if _record_checksum(body) != expected:
+                    raise ValueError("journal record checksum mismatch")
+            except (ValueError, KeyError, TypeError):
+                self.telemetry.journal_records_dropped += len(lines) - len(
+                    records
+                )
+                break
+            records.append(record)
+        return records
+
+    # ------------------------------------------------------------ checkpoints
+    def checkpoint(self, phase: str, payload: Any) -> bool:
+        """Atomically persist one phase's payload; True when written."""
+        if self.inert:
+            return False
+        body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        header = {
+            "schema": RUNSTATE_SCHEMA_VERSION,
+            "phase": phase,
+            "fingerprint": self.manifest.fingerprint,
+            "checksum": hashlib.sha1(body).hexdigest(),
+            "n_bytes": len(body),
+        }
+        data = json.dumps(header, sort_keys=True).encode() + b"\n" + body
+        try:
+            atomic_write_bytes(self.checkpoint_path(phase), data)
+        except OSError as exc:
+            self._degrade(exc)
+            return False
+        self.telemetry.checkpointed += 1
+        self.journal("checkpointed", phase=phase, n_bytes=len(body))
+        return True
+
+    def restore(self, phase: str) -> Any | None:
+        """The payload checkpointed for ``phase``, or None.
+
+        Only consulted on a ``resume`` run.  A checkpoint that fails any
+        header, fingerprint, checksum or unpickling check is quarantined
+        and None is returned — the phase is then recomputed.
+        """
+        if self.inert or not self.resume:
+            return None
+        path = self.checkpoint_path(phase)
+        try:
+            with open(path, "rb") as handle:
+                header_line = handle.readline()
+                body = handle.read()
+        except FileNotFoundError:
+            return None
+        except OSError:
+            self._quarantine(path, "unreadable")
+            return None
+        try:
+            header = json.loads(header_line)
+            if header["schema"] != RUNSTATE_SCHEMA_VERSION:
+                raise ValueError(f"schema {header['schema']}")
+            if header["phase"] != phase:
+                raise ValueError(f"phase {header['phase']!r}")
+            if header["fingerprint"] != self.manifest.fingerprint:
+                raise ValueError("fingerprint mismatch")
+            if header["n_bytes"] != len(body):
+                raise ValueError("truncated payload")
+            if hashlib.sha1(body).hexdigest() != header["checksum"]:
+                raise ValueError("checksum mismatch")
+            payload = pickle.loads(body)
+        except Exception as exc:  # noqa: BLE001 - any corruption -> recompute
+            self._quarantine(path, f"{type(exc).__name__}: {exc}")
+            return None
+        self.telemetry.restored += 1
+        self.journal("restored", phase=phase)
+        return payload
+
+    def completed_phases(self) -> list[str]:
+        """Phases with a checkpoint artifact on disk, in pipeline order."""
+        return [
+            phase
+            for phase in PHASES
+            if os.path.exists(self.checkpoint_path(phase))
+        ]
+
+    # ----------------------------------------------------------------- signals
+    @contextlib.contextmanager
+    def interruptible(self) -> Iterator[None]:
+        """Install SIGINT/SIGTERM handlers that leave a resumable state.
+
+        On either signal the journal records the interruption (fsync'd),
+        the previous handler is restored, and the process exits via
+        ``KeyboardInterrupt`` (SIGINT) or ``SystemExit(128 + signum)``
+        (SIGTERM).  Checkpoints are written atomically as phases complete,
+        so no flushing of partial state is needed — whatever finished is
+        already durable.  Outside the main thread (where ``signal`` is
+        unavailable) this is a no-op.
+        """
+        if self.inert:
+            yield
+            return
+        previous: dict[int, Any] = {}
+
+        def _handler(signum: int, frame: Any) -> None:
+            self.journal("interrupted", signal=int(signum))
+            with contextlib.suppress(ValueError, OSError):
+                signal.signal(signum, previous.get(signum, signal.SIG_DFL))
+            if signum == signal.SIGINT:
+                raise KeyboardInterrupt
+            raise SystemExit(128 + signum)
+
+        try:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                previous[signum] = signal.signal(signum, _handler)
+        except ValueError:
+            # Not the main thread: signals cannot be installed here.
+            yield
+            return
+        try:
+            yield
+        finally:
+            for signum, prev in previous.items():
+                with contextlib.suppress(ValueError, OSError):
+                    signal.signal(signum, prev)

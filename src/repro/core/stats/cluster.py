@@ -127,6 +127,22 @@ class ClusterResult:
         return {c: len(self.members(c)) for c in range(1, self.n_clusters + 1)}
 
 
+def trivial_clustering(item_names: list[str] | tuple[str, ...]) -> ClusterResult:
+    """Degenerate single-cluster result for fewer than two items.
+
+    HCA needs at least two items to merge; degraded collection campaigns
+    can legitimately leave zero or one surviving workload, and the caller
+    then needs a structurally valid (if trivial) :class:`ClusterResult`
+    rather than a crash.  Every item lands in cluster 1.
+    """
+    names = tuple(item_names)
+    return ClusterResult(
+        item_names=names,
+        labels=tuple(1 for _ in names),
+        dendrogram=Dendrogram(n_leaves=len(names), merges=()),
+    )
+
+
 def _distance_matrix(data: np.ndarray, metric: str, standardise: bool) -> np.ndarray:
     if metric == "euclidean":
         work = data.copy()

@@ -23,7 +23,9 @@ class OlsResult:
     """A fitted linear model ``y ~ intercept + X @ coef``.
 
     Attributes:
-        names: Regressor names (excluding the intercept).
+        names: Regressor names (excluding the intercept).  On a degraded
+            fit these are the *surviving* regressors only; dropped columns
+            are listed in ``degraded``.
         intercept / coefficients: Fitted parameters.
         std_errors: Standard errors, intercept first.
         t_values / p_values: Per-parameter t-statistics and two-sided
@@ -31,6 +33,9 @@ class OlsResult:
         r2 / adjusted_r2: Goodness of fit.
         ser: Standard error of regression (residual std. error).
         n_observations: Sample size.
+        degraded: Human-readable notes recorded when the fit had to drop
+            non-finite, constant or collinear columns (or rows, or shrink
+            the model to fit the sample); empty for a clean fit.
     """
 
     names: tuple[str, ...]
@@ -43,6 +48,7 @@ class OlsResult:
     adjusted_r2: float
     ser: float
     n_observations: int
+    degraded: tuple[str, ...] = ()
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         """Predict responses for a design matrix (columns match names)."""
@@ -108,9 +114,18 @@ def fit_ols(
             ``1/y`` minimises *relative* residuals — how the power models
             reach low MAPE across a wide power range.
 
+    The fit *degrades* rather than crashing on pathological design
+    matrices, which fault-injected collection campaigns can legitimately
+    produce: all-non-finite columns, rows with NaN/inf values, constant
+    columns and collinear duplicates are dropped by deterministic pivoted
+    selection (earlier columns win), and the model shrinks until the
+    surviving sample supports it.  Every drop is recorded in the result's
+    ``degraded`` notes; a clean design takes the exact historical code
+    path and yields bit-identical results.
+
     Raises:
-        ValueError: On shape mismatches, too few observations, or
-            non-positive weights.
+        ValueError: On shape mismatches, empty input, or non-positive
+            weights — programmer errors, not data degradation.
     """
     x = np.asarray(x, dtype=float)
     y = np.asarray(y, dtype=float)
@@ -119,21 +134,46 @@ def fit_ols(
     n, p = x.shape
     if y.shape != (n,):
         raise ValueError(f"y has shape {y.shape}, expected ({n},)")
-    if n <= p + 1:
-        raise ValueError(f"need n > p + 1 observations (n={n}, p={p})")
+    if n == 0:
+        raise ValueError("no observations")
     if names is None:
         names = tuple(f"x{i}" for i in range(p))
     names = tuple(names)
     if len(names) != p:
         raise ValueError(f"{len(names)} names for {p} regressors")
-
-    design = np.column_stack([np.ones(n), x])
     if weights is not None:
         weights = np.asarray(weights, dtype=float)
         if weights.shape != (n,):
             raise ValueError(f"weights have shape {weights.shape}, expected ({n},)")
         if np.any(weights <= 0):
             raise ValueError("weights must be positive")
+
+    x, y, weights, names, notes = _prune_design(x, y, weights, names)
+    n, p = x.shape
+    if n < 2:
+        # A single surviving observation cannot support even an
+        # intercept-only model's inferential statistics; report its mean
+        # with undefined errors rather than crashing the pipeline.
+        notes.append(
+            "single surviving observation: intercept-only fit with "
+            "undefined inferential statistics"
+        )
+        return OlsResult(
+            names=(),
+            intercept=float(y[0]),
+            coefficients=np.empty(0),
+            std_errors=np.full(1, np.nan),
+            t_values=np.full(1, np.nan),
+            p_values=np.full(1, np.nan),
+            r2=1.0,
+            adjusted_r2=float("nan"),
+            ser=float("nan"),
+            n_observations=1,
+            degraded=tuple(notes),
+        )
+
+    design = np.column_stack([np.ones(n), x])
+    if weights is not None:
         sqrt_w = np.sqrt(weights)
         solve_design = design * sqrt_w[:, None]
         solve_y = y * sqrt_w
@@ -175,7 +215,88 @@ def fit_ols(
         adjusted_r2=adj,
         ser=float(np.sqrt(sigma2)),
         n_observations=n,
+        degraded=tuple(notes),
     )
+
+
+def _prune_design(
+    x: np.ndarray,
+    y: np.ndarray,
+    weights: np.ndarray | None,
+    names: tuple[str, ...],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None, tuple[str, ...], list[str]]:
+    """Drop degenerate columns/rows so the OLS solve is well-posed.
+
+    Deterministic pivoted column dropping: earlier columns always win a
+    collinearity tie (matching stepwise selection order), and the notes
+    name exactly what was removed.  Clean inputs pass through untouched.
+    """
+    notes: list[str] = []
+    n, p = x.shape
+    keep = np.ones(p, dtype=bool)
+    finite = np.isfinite(x)
+
+    # Columns with no finite data at all (e.g. an all-NaN fault-injected
+    # event rate) are unusable; dropping them first preserves the rows.
+    for j in range(p):
+        if not finite[:, j].any():
+            keep[j] = False
+            notes.append(f"dropped regressor {names[j]!r}: no finite values")
+
+    # Rows holding NaN/inf in y or any surviving column.
+    row_ok = np.isfinite(y)
+    if keep.any():
+        row_ok &= finite[:, keep].all(axis=1)
+    if not row_ok.all():
+        notes.append(
+            f"dropped {int((~row_ok).sum())} observation(s) with "
+            "non-finite values"
+        )
+        x, y = x[row_ok], y[row_ok]
+        if weights is not None:
+            weights = weights[row_ok]
+        n = y.size
+        if n == 0:
+            raise ValueError("no finite observations")
+
+    # Constant columns are collinear with the intercept.
+    for j in range(p):
+        if keep[j] and np.ptp(x[:, j]) == 0:
+            keep[j] = False
+            notes.append(f"dropped constant regressor {names[j]!r}")
+
+    # Pivoted collinearity pruning: grow a unit-normalised basis starting
+    # from the intercept; a column that does not raise the rank is a
+    # linear combination of earlier ones and is dropped.
+    def unit(column: np.ndarray) -> np.ndarray:
+        norm = float(np.sqrt(column @ column))
+        return column / norm if norm > 0 else column
+
+    basis = [unit(np.ones(n))]
+    for j in range(p):
+        if not keep[j]:
+            continue
+        trial = np.column_stack(basis + [unit(x[:, j])])
+        if np.linalg.matrix_rank(trial) > len(basis):
+            basis.append(unit(x[:, j]))
+        else:
+            keep[j] = False
+            notes.append(f"dropped collinear regressor {names[j]!r}")
+
+    # Shrink the model until the sample supports it (n > p + 1), dropping
+    # the latest-pivoted columns first.
+    survivors = [j for j in range(p) if keep[j]]
+    while survivors and n <= len(survivors) + 1:
+        j = survivors.pop()
+        keep[j] = False
+        notes.append(
+            f"dropped regressor {names[j]!r}: too few observations (n={n})"
+        )
+
+    if not keep.all():
+        x = x[:, keep]
+        names = tuple(name for name, kept in zip(names, keep) if kept)
+    return x, y, weights, names, notes
 
 
 def variance_inflation_factors(x: np.ndarray) -> np.ndarray:

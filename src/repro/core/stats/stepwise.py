@@ -41,12 +41,16 @@ class StepwiseResult:
         steps: Per-step audit trail (what was added, fit quality after).
         mean_vif: Mean VIF of the final design (nan for single-regressor
             models, where VIF is undefined).
+        degraded: Notes recorded when the selection had to degrade —
+            candidates skipped for non-finite values, or an intercept-only
+            fallback because nothing was selectable; empty when clean.
     """
 
     selected: tuple[str, ...]
     model: OlsResult
     steps: tuple[StepwiseStep, ...]
     mean_vif: float
+    degraded: tuple[str, ...] = ()
 
 
 def forward_stepwise(
@@ -72,6 +76,12 @@ def forward_stepwise(
             the design past this value (None disables the restraint).
         min_improvement: Minimum score improvement to keep going.
 
+    Degradation: candidates containing NaN/inf values are skipped with a
+    note, constant candidates are skipped silently (they can never help),
+    and when nothing is selectable — every candidate degenerate, or no
+    candidate passing the acceptance rules — the result degrades to an
+    intercept-only model with an explanatory note instead of raising.
+
     Raises:
         ValueError: On empty candidates or length mismatches.
     """
@@ -79,15 +89,23 @@ def forward_stepwise(
         raise ValueError("no candidate regressors")
     y = np.asarray(y, dtype=float)
     n = y.size
+    notes: list[str] = []
     arrays: dict[str, np.ndarray] = {}
     for name, vec in candidates.items():
         arr = np.asarray(vec, dtype=float)
         if arr.shape != (n,):
             raise ValueError(f"candidate {name!r} has shape {arr.shape}, expected ({n},)")
+        if not np.isfinite(arr).all():
+            notes.append(f"skipped candidate {name!r}: non-finite values")
+            continue
         if np.std(arr) > 0:  # constant regressors can never help
             arrays[name] = arr
     if not arrays:
-        raise ValueError("all candidate regressors are constant")
+        notes.append(
+            "no usable candidate regressor (all constant or non-finite); "
+            "degraded to an intercept-only model"
+        )
+        return _intercept_only(y, notes)
 
     selected: list[str] = []
     steps: list[StepwiseStep] = []
@@ -106,6 +124,10 @@ def forward_stepwise(
             if design.shape[0] <= design.shape[1] + 1:
                 continue
             model = fit_ols(design, y, names=tuple(selected) + (name,))
+            if name not in model.names:
+                # The candidate was pruned as collinear with the current
+                # selection; accepting it would select a phantom term.
+                continue
             score = model.adjusted_r2 if use_adjusted_r2 else model.r2
             if score <= candidate_score + min_improvement:
                 continue
@@ -134,9 +156,11 @@ def forward_stepwise(
         )
 
     if best_model is None:
-        raise ValueError(
-            "stepwise selection accepted no regressor; relax the limits"
+        notes.append(
+            "stepwise selection accepted no regressor (limits rejected "
+            "every candidate); degraded to an intercept-only model"
         )
+        return _intercept_only(y, notes)
 
     if len(selected) >= 2:
         design = np.column_stack([arrays[s] for s in selected])
@@ -149,4 +173,17 @@ def forward_stepwise(
         model=best_model,
         steps=tuple(steps),
         mean_vif=mean_vif,
+        degraded=tuple(notes),
+    )
+
+
+def _intercept_only(y: np.ndarray, notes: list[str]) -> StepwiseResult:
+    """Degraded fallback: fit only the intercept and carry the notes."""
+    model = fit_ols(np.empty((y.size, 0)), y)
+    return StepwiseResult(
+        selected=(),
+        model=model,
+        steps=(),
+        mean_vif=float("nan"),
+        degraded=tuple(notes) + model.degraded,
     )

@@ -32,6 +32,25 @@ RECOVERABLE_ERRORS = (SimJobError, OSError, TimeoutError)
 
 
 @dataclass(frozen=True)
+class DegradedFit:
+    """One analysis stage that degraded instead of crashing.
+
+    Raised data quality problems (all-NaN event rates, collinear designs,
+    single-workload campaigns) no longer abort the analysis layer; each
+    stage records what it dropped or simplified, and the report renders
+    the collected notes alongside :class:`CollectionHealth`.
+
+    Attributes:
+        stage: The analysis product that degraded (e.g. ``"regression[hw]"``
+            or ``"power-model"``).
+        detail: Human-readable description of the degradation.
+    """
+
+    stage: str
+    detail: str
+
+
+@dataclass(frozen=True)
 class CollectionFailure:
     """One (workload, frequency) point that could not be collected."""
 
@@ -83,6 +102,24 @@ class CollectionHealth:
                 error=f"{type(error).__name__}: {error}",
             )
         )
+
+    def clone(self) -> CollectionHealth:
+        """An independent snapshot (checkpoint payloads must not alias)."""
+        dup = CollectionHealth()
+        dup.adopt(self)
+        return dup
+
+    def adopt(self, other: CollectionHealth) -> None:
+        """Overwrite this record in place with another's contents.
+
+        Restoring a checkpointed dataset must also restore the gap
+        accounting of the original campaign; mutating in place keeps every
+        existing reference to the facade's shared health object valid.
+        """
+        self.attempted = other.attempted
+        self.succeeded = other.succeeded
+        self.failures = list(other.failures)
+        self.power_samples_lost = other.power_samples_lost
 
     def summary(self) -> str:
         """One-line human summary for logs and error messages."""

@@ -30,6 +30,7 @@ import os
 import warnings
 from dataclasses import dataclass
 
+from repro.atomicio import atomic_write_text
 from repro.sim.cpu import SimResult
 from repro.sim.machine import MachineConfig
 from repro.workloads.trace import SyntheticTrace
@@ -216,16 +217,9 @@ class SimResultCache:
                     "payload": payload,
                 }
             )
-        tmp_path = f"{path}.tmp.{os.getpid()}"
         try:
-            with open(tmp_path, "w") as handle:
-                handle.write(body)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_path, path)
+            atomic_write_text(path, body)
         except OSError as exc:
-            with contextlib.suppress(OSError):
-                os.remove(tmp_path)
             self._degrade(exc)
 
     def clear(self) -> int:

@@ -128,7 +128,7 @@ class TestRegistry:
         assert set(REGISTRY) == {
             "DET001", "DET002", "DET003",
             "PURE001", "PURE002",
-            "ROB001",
+            "ROB001", "ROB002",
             "SUP001", "SUP002",
             "PARSE001",
         }

@@ -1,4 +1,4 @@
-"""Per-rule fixture tests for ROB001."""
+"""Per-rule fixture tests for ROB001 and ROB002."""
 
 from __future__ import annotations
 
@@ -54,3 +54,49 @@ class TestRob001SwallowedBaseException:
             "        return 0\n"
         )
         assert rule_ids(lint_snippet(snippet)) == ["ROB001"]
+
+
+class TestRob002NonAtomicWrite:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "def f(path):\n    with open(path, 'w') as h:\n        h.write('x')\n",
+            "def f(path):\n    with open(path, 'wb') as h:\n        h.write(b'x')\n",
+            "def f(path):\n    with open(path, 'x') as h:\n        h.write('x')\n",
+            "def f(path):\n    with open(path, mode='w') as h:\n        h.write('x')\n",
+            "import io\n\ndef f(path):\n    return io.open(path, 'w')\n",
+            "import os\n\ndef f(a, b):\n    os.rename(a, b)\n",
+            "from os import rename\n\ndef f(a, b):\n    rename(a, b)\n",
+        ],
+        ids=[
+            "write", "write-binary", "exclusive", "mode-kw",
+            "io-open", "os-rename", "from-import-rename",
+        ],
+    )
+    def test_flags_in_place_writes(self, snippet):
+        assert rule_ids(lint_snippet(snippet)) == ["ROB002"]
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            # Reads are fine, with or without an explicit mode.
+            "def f(path):\n    with open(path) as h:\n        return h.read()\n",
+            "def f(path):\n    with open(path, 'rb') as h:\n        return h.read()\n",
+            # Append-only journals are the sanctioned non-atomic pattern.
+            "def f(path):\n    with open(path, 'a') as h:\n        h.write('x')\n",
+            # A dynamic mode expression gets the benefit of the doubt.
+            "def f(path, mode):\n    return open(path, mode)\n",
+            # os.replace is the atomic spelling ROB002 asks for.
+            "import os\n\ndef f(a, b):\n    os.replace(a, b)\n",
+        ],
+        ids=["read", "read-binary", "append", "dynamic-mode", "os-replace"],
+    )
+    def test_allows_reads_appends_and_replace(self, snippet):
+        assert lint_snippet(snippet) == []
+
+    def test_out_of_scope_modules_are_not_checked(self):
+        snippet = "def f(path):\n    return open(path, 'w')\n"
+        assert lint_snippet(snippet, module="repro.workloads._snippet") == []
+        assert rule_ids(
+            lint_snippet(snippet, module="repro.core._snippet")
+        ) == ["ROB002"]

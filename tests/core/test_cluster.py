@@ -163,3 +163,20 @@ class TestInputValidation:
     def test_1d_data_rejected(self):
         with pytest.raises(ValueError):
             hierarchical_clustering(np.ones(3), ["a", "b", "c"], 2)
+
+
+class TestTrivialClustering:
+    def test_single_item_is_one_cluster(self):
+        from repro.core.stats.cluster import trivial_clustering
+
+        result = trivial_clustering(["only"])
+        assert result.item_names == ("only",)
+        assert result.labels == (1,)
+        assert result.dendrogram.merges == ()
+
+    def test_empty_input_is_tolerated(self):
+        from repro.core.stats.cluster import trivial_clustering
+
+        result = trivial_clustering([])
+        assert result.item_names == ()
+        assert result.labels == ()

@@ -139,3 +139,34 @@ class TestErrorRegression:
     def test_unknown_source(self, small_dataset):
         with pytest.raises(ValueError):
             error_regression(small_dataset, FREQ, source="mcpat")
+
+
+class TestDegradedClustering:
+    """Field-data hardening: sparse datasets degrade, never raise."""
+
+    def _subset(self, small_dataset, keep):
+        from repro.core.validation import ValidationDataset
+
+        return ValidationDataset(
+            core=small_dataset.core,
+            gem5_model=small_dataset.gem5_model,
+            runs=[r for r in small_dataset.runs if r.workload in keep],
+            workloads=small_dataset.workloads,
+            frequencies=small_dataset.frequencies,
+        )
+
+    def test_single_workload_degrades_to_one_cluster(self, small_dataset):
+        sparse = self._subset(small_dataset, {SMALL_WORKLOADS[0]})
+        analysis = cluster_workloads(sparse, FREQ, n_clusters=5)
+        assert analysis.clusters.labels == (1,)
+        assert any("single-cluster" in note for note in analysis.degraded)
+
+    def test_missing_workloads_are_noted(self, small_dataset):
+        keep = set(SMALL_WORKLOADS[:4])
+        sparse = self._subset(small_dataset, keep)
+        analysis = cluster_workloads(sparse, FREQ, n_clusters=3)
+        assert analysis.clusters.n_clusters == 3
+        assert any("uncollected" in note for note in analysis.degraded)
+
+    def test_full_dataset_carries_no_notes(self, workload_clusters):
+        assert workload_clusters.degraded == ()

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.model_io import (
+    ModelIoError,
     load_power_model,
     power_dataset_from_csv,
     power_dataset_to_csv,
@@ -75,9 +76,35 @@ class TestModelRoundTrip:
 
     def test_wrong_version_rejected(self, model):
         payload = power_model_to_dict(model)
-        payload["format_version"] = 99
+        payload["schema_version"] = 99
         with pytest.raises(ValueError, match="version"):
             power_model_from_dict(payload)
+
+    def test_legacy_format_rejected(self, model):
+        payload = power_model_to_dict(model)
+        del payload["schema_version"]
+        with pytest.raises(ModelIoError, match="legacy"):
+            power_model_from_dict(payload)
+
+    def test_missing_key_raises_model_io_error(self, model):
+        payload = power_model_to_dict(model)
+        del payload["per_opp"]
+        with pytest.raises(ModelIoError, match="corrupt"):
+            power_model_from_dict(payload)
+
+    def test_corrupt_json_file(self, tmp_path):
+        path = tmp_path / "model.json"
+        path.write_text('{"kind": "gemstone-power-model", truncated')
+        with pytest.raises(ModelIoError, match="corrupt"):
+            load_power_model(str(path))
+
+    def test_degraded_notes_round_trip(self, model):
+        payload = power_model_to_dict(model)
+        payload["degraded"] = ["OPP 600 MHz: dropped constant regressor '0x11'"]
+        restored = power_model_from_dict(payload)
+        assert restored.degraded == (
+            "OPP 600 MHz: dropped constant regressor '0x11'",
+        )
 
 
 class TestPowerDatasetCsv:
@@ -102,6 +129,32 @@ class TestPowerDatasetCsv:
     def test_bad_csv_rejected(self):
         with pytest.raises(ValueError, match="columns"):
             power_dataset_from_csv("a,b\n1,2\n")
+
+    def test_nan_power_round_trips_bit_identically(self, observations):
+        import dataclasses
+
+        nan = float("nan")
+        degraded = [
+            dataclasses.replace(
+                observations[0],
+                power_w=nan,
+                rates={**observations[0].rates, 0x08: nan},
+            )
+        ] + list(observations[1:])
+        restored = power_dataset_from_csv(power_dataset_to_csv(degraded))
+        import struct
+
+        def bits(value):
+            return struct.pack("<d", value)
+
+        assert bits(restored[0].power_w) == bits(nan)
+        assert bits(restored[0].rates[0x08]) == bits(nan)
+        # Infinities take the same canonical-token path.
+        inf_obs = dataclasses.replace(observations[0], power_w=float("inf"))
+        restored_inf = power_dataset_from_csv(
+            power_dataset_to_csv([inf_obs])
+        )
+        assert restored_inf[0].power_w == float("inf")
 
 
 class TestValidationCsv:

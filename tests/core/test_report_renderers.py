@@ -95,3 +95,29 @@ class TestFigureRenderersOnRealData:
     def test_fig8_renderer(self, small_gemstone):
         text = render_dvfs_figure(small_gemstone.dvfs)
         assert "HW speedup" in text and "model speedup" in text
+
+
+class TestDegradedFitsSection:
+    def test_notes_render_one_line_each(self):
+        from repro.core.report import render_degraded_fits
+        from repro.core.validation import DegradedFit
+
+        text = render_degraded_fits(
+            [
+                DegradedFit("workload-clusters", "only 1 workload survives"),
+                DegradedFit("power-model", "dropped constant regressor 'x'"),
+            ]
+        )
+        assert "Degraded fits (2 note(s))" in text
+        assert "[workload-clusters] only 1 workload survives" in text
+        assert "[power-model] dropped constant regressor 'x'" in text
+
+    def test_clean_run_report_has_no_degraded_section(self, small_gemstone):
+        assert "Degraded fits" not in small_gemstone.report()
+
+    def test_degraded_fits_never_trigger_computation(self):
+        from repro.core.pipeline import GemStone, GemStoneConfig
+
+        gs = GemStone(GemStoneConfig())
+        assert gs.degraded_fits() == []
+        assert gs._dataset is None  # collection was not kicked off

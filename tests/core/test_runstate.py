@@ -1,0 +1,242 @@
+"""Unit tests for the crash-safe run layer (repro.core.runstate).
+
+Covers manifest fingerprinting (what participates, what is excluded),
+journal append/verify/torn-tail semantics, checkpoint round trips,
+corruption quarantine, stale-directory quarantine, inert degradation on
+unusable directories, signal handling, and the shared atomic-write helper.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import signal
+
+import pytest
+
+from repro.atomicio import atomic_write_bytes, atomic_write_text
+from repro.core.pipeline import GemStoneConfig
+from repro.core.runstate import PHASES, RunManifest, RunState
+
+
+def _manifest(tag: str = "a") -> RunManifest:
+    return RunManifest(fingerprint=f"fp-{tag}", description={"tag": tag})
+
+
+class TestAtomicIo:
+    def test_text_round_trip(self, tmp_path):
+        path = tmp_path / "artifact.txt"
+        atomic_write_text(str(path), "hello")
+        assert path.read_text() == "hello"
+
+    def test_overwrite_leaves_no_tmp_file(self, tmp_path):
+        path = tmp_path / "artifact.bin"
+        atomic_write_bytes(str(path), b"one")
+        atomic_write_bytes(str(path), b"two")
+        assert path.read_bytes() == b"two"
+        assert os.listdir(tmp_path) == ["artifact.bin"]
+
+    def test_failed_write_cleans_up_and_raises(self, tmp_path):
+        missing = tmp_path / "nope" / "artifact.bin"
+        with pytest.raises(OSError):
+            atomic_write_bytes(str(missing), b"x")
+        assert not missing.exists()
+
+
+class TestRunManifest:
+    def test_fingerprint_is_stable(self):
+        config = GemStoneConfig(trace_instructions=9000)
+        assert (
+            RunManifest.from_config(config).fingerprint
+            == RunManifest.from_config(config).fingerprint
+        )
+
+    def test_result_affecting_fields_change_the_fingerprint(self):
+        base = RunManifest.from_config(GemStoneConfig(trace_instructions=9000))
+        changed = RunManifest.from_config(
+            GemStoneConfig(trace_instructions=9001)
+        )
+        assert base.fingerprint != changed.fingerprint
+
+    def test_execution_knobs_are_excluded(self):
+        base = RunManifest.from_config(GemStoneConfig(trace_instructions=9000))
+        tweaked = RunManifest.from_config(
+            GemStoneConfig(
+                trace_instructions=9000,
+                jobs=4,
+                cache_dir="/tmp/some-cache",
+                checkpoint_dir="/tmp/some-ckpt",
+                resume=True,
+            )
+        )
+        assert base.fingerprint == tweaked.fingerprint
+
+
+class TestJournal:
+    def test_append_and_read_round_trip(self, tmp_path):
+        state = RunState(str(tmp_path / "run"), _manifest())
+        state.journal("custom", detail="x")
+        records = state.read_journal()
+        assert [r["event"] for r in records] == ["run-start", "custom"]
+        assert [r["seq"] for r in records] == [0, 1]
+
+    def test_torn_tail_line_is_dropped(self, tmp_path):
+        state = RunState(str(tmp_path / "run"), _manifest())
+        state.journal("first")
+        with open(state.journal_path, "a") as handle:
+            handle.write('{"seq": 2, "event": "torn"')  # crash mid-append
+        records = state.read_journal()
+        assert [r["event"] for r in records] == ["run-start", "first"]
+        assert state.telemetry.journal_records_dropped == 1
+
+    def test_corrupt_record_invalidates_the_suffix(self, tmp_path):
+        state = RunState(str(tmp_path / "run"), _manifest())
+        state.journal("first")
+        lines = open(state.journal_path).readlines()
+        tampered = lines[0].replace("run-start", "run-stxrt")
+        with open(state.journal_path, "w") as handle:
+            handle.writelines([tampered, *lines[1:]])
+        assert state.read_journal() == []
+
+    def test_sequence_continues_across_instances(self, tmp_path):
+        directory = str(tmp_path / "run")
+        RunState(directory, _manifest()).journal("first")
+        second = RunState(directory, _manifest(), resume=True)
+        records = second.read_journal()
+        assert [r["seq"] for r in records] == [0, 1, 2]
+        assert records[-1]["event"] == "run-start"
+
+
+class TestCheckpoints:
+    def test_round_trip(self, tmp_path):
+        directory = str(tmp_path / "run")
+        writer = RunState(directory, _manifest())
+        assert writer.checkpoint("dataset", {"answer": 42})
+        reader = RunState(directory, _manifest(), resume=True)
+        assert reader.restore("dataset") == {"answer": 42}
+        assert reader.telemetry.restored == 1
+
+    def test_without_resume_checkpoints_are_never_read(self, tmp_path):
+        directory = str(tmp_path / "run")
+        RunState(directory, _manifest()).checkpoint("dataset", 1)
+        fresh = RunState(directory, _manifest(), resume=False)
+        assert fresh.restore("dataset") is None
+        assert fresh.telemetry.restored == 0
+
+    def test_missing_phase_restores_none(self, tmp_path):
+        state = RunState(str(tmp_path / "run"), _manifest(), resume=True)
+        assert state.restore("dvfs") is None
+        assert state.telemetry.quarantined == 0
+
+    def test_corrupt_checkpoint_is_quarantined(self, tmp_path):
+        directory = str(tmp_path / "run")
+        writer = RunState(directory, _manifest())
+        writer.checkpoint("dataset", {"answer": 42})
+        path = writer.checkpoint_path("dataset")
+        blob = bytearray(open(path, "rb").read())
+        blob[-1] ^= 0xFF
+        atomic_write_bytes(path, bytes(blob))
+        reader = RunState(directory, _manifest(), resume=True)
+        assert reader.restore("dataset") is None
+        assert reader.telemetry.quarantined == 1
+        assert not os.path.exists(path)
+        assert os.path.exists(
+            os.path.join(reader.quarantine_dir, "dataset.ckpt")
+        )
+        events = [r["event"] for r in reader.read_journal()]
+        assert "quarantined" in events
+
+    def test_truncated_checkpoint_is_quarantined(self, tmp_path):
+        directory = str(tmp_path / "run")
+        writer = RunState(directory, _manifest())
+        writer.checkpoint("dataset", list(range(100)))
+        path = writer.checkpoint_path("dataset")
+        blob = open(path, "rb").read()
+        atomic_write_bytes(path, blob[: len(blob) // 2])
+        reader = RunState(directory, _manifest(), resume=True)
+        assert reader.restore("dataset") is None
+        assert reader.telemetry.quarantined == 1
+
+    def test_completed_phases_are_in_pipeline_order(self, tmp_path):
+        state = RunState(str(tmp_path / "run"), _manifest())
+        state.checkpoint("dvfs", 1)
+        state.checkpoint("dataset", 2)
+        assert state.completed_phases() == ["dataset", "dvfs"]
+        assert set(state.completed_phases()) <= set(PHASES)
+
+
+class TestStaleDirectory:
+    def test_mismatched_fingerprint_quarantines_everything(self, tmp_path):
+        directory = str(tmp_path / "run")
+        old = RunState(directory, _manifest("old"))
+        old.checkpoint("dataset", 1)
+        fresh = RunState(directory, _manifest("new"), resume=True)
+        assert fresh.restore("dataset") is None
+        assert fresh.telemetry.restored == 0
+        quarantined = sorted(os.listdir(fresh.quarantine_dir))
+        assert quarantined == ["dataset.ckpt", "journal.jsonl", "manifest.json"]
+        manifest = json.load(open(fresh.manifest_path))
+        assert manifest["fingerprint"] == "fp-new"
+
+    def test_corrupt_manifest_counts_as_stale(self, tmp_path):
+        directory = str(tmp_path / "run")
+        old = RunState(directory, _manifest())
+        old.checkpoint("dataset", 1)
+        atomic_write_text(old.manifest_path, "{not json")
+        fresh = RunState(directory, _manifest(), resume=True)
+        assert fresh.restore("dataset") is None
+        assert "dataset.ckpt" in os.listdir(fresh.quarantine_dir)
+
+
+class TestDegradation:
+    def test_unusable_directory_degrades_to_inert(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where the directory should go")
+        with pytest.warns(RuntimeWarning, match="continuing without"):
+            state = RunState(str(blocker / "run"), _manifest())
+        assert state.inert
+        assert not state.checkpoint("dataset", 1)
+        assert state.restore("dataset") is None
+        state.journal("ignored")  # must not raise
+        assert state.read_journal() == []
+
+
+class TestInterruptible:
+    def test_sigterm_exits_resumable(self, tmp_path):
+        state = RunState(str(tmp_path / "run"), _manifest())
+        with pytest.raises(SystemExit) as excinfo:
+            with state.interruptible():
+                os.kill(os.getpid(), signal.SIGTERM)
+        assert excinfo.value.code == 128 + signal.SIGTERM
+        records = state.read_journal()
+        assert records[-1]["event"] == "interrupted"
+        assert records[-1]["signal"] == int(signal.SIGTERM)
+
+    def test_handlers_are_restored_on_exit(self, tmp_path):
+        state = RunState(str(tmp_path / "run"), _manifest())
+        before = signal.getsignal(signal.SIGTERM)
+        with state.interruptible():
+            assert signal.getsignal(signal.SIGTERM) is not before
+        assert signal.getsignal(signal.SIGTERM) is before
+
+    def test_inert_state_is_a_no_op(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("x")
+        with pytest.warns(RuntimeWarning):
+            state = RunState(str(blocker / "run"), _manifest())
+        before = signal.getsignal(signal.SIGTERM)
+        with state.interruptible():
+            assert signal.getsignal(signal.SIGTERM) is before
+
+
+def test_fault_plan_participates_in_the_fingerprint():
+    from repro.sim.faults import FaultPlan
+
+    base = RunManifest.from_config(GemStoneConfig(trace_instructions=9000))
+    faulty = RunManifest.from_config(
+        GemStoneConfig(
+            trace_instructions=9000, faults=FaultPlan.crash_job(0)
+        )
+    )
+    assert base.fingerprint != faulty.fingerprint

@@ -95,11 +95,42 @@ class TestValidation:
         )
         assert result.selected == ("x",)
 
-    def test_all_constant_rejected(self):
-        with pytest.raises(ValueError, match="constant"):
-            forward_stepwise({"c": np.ones(10)}, np.ones(10))
+    def test_all_constant_degrades_to_intercept_only(self):
+        result = forward_stepwise({"c": np.ones(10)}, np.ones(10))
+        assert result.selected == ()
+        assert result.model.intercept == pytest.approx(1.0)
+        assert any("intercept-only" in note for note in result.degraded)
 
     def test_audit_trail_matches_selection(self, candidates):
         pool, y = candidates
         result = forward_stepwise(pool, y, max_terms=3)
         assert tuple(s.added for s in result.steps) == result.selected
+
+
+class TestDegradedCandidatePools:
+    """Field-data hardening: NaN/constant candidates degrade, never raise."""
+
+    def test_nan_candidate_is_skipped_with_a_note(self, candidates):
+        pool, y = candidates
+        pool = dict(pool)
+        pool["broken"] = np.full(y.size, np.nan)
+        result = forward_stepwise(pool, y, max_terms=4)
+        assert "broken" not in result.selected
+        assert "b" in result.selected
+        assert any("'broken'" in note for note in result.degraded)
+
+    def test_all_degenerate_pool_degrades_to_intercept_only(self):
+        y = np.array([2.0, 4.0, 6.0])
+        pool = {"broken": np.full(3, np.nan), "flat": np.ones(3)}
+        result = forward_stepwise(pool, y, max_terms=4)
+        assert result.selected == ()
+        assert result.model.intercept == pytest.approx(4.0)
+        assert result.degraded != ()
+
+    def test_literally_empty_pool_is_a_programmer_error(self):
+        with pytest.raises(ValueError, match="no candidate"):
+            forward_stepwise({}, np.array([1.0, 2.0]))
+
+    def test_clean_pools_carry_no_notes(self, candidates):
+        pool, y = candidates
+        assert forward_stepwise(pool, y, max_terms=4).degraded == ()
