@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-chaos bench bench-smoke lint check
+.PHONY: test test-chaos trace-smoke bench bench-smoke lint check
 
 # Tier-1: the full unit/integration suite (includes the chaos scenarios).
 test:
@@ -14,6 +14,12 @@ test:
 # every phase and the --resume run must produce a byte-identical report.
 test-chaos:
 	$(PYTHON) -m pytest -q -m chaos
+
+# Observability smoke: one tiny traced pipeline run end-to-end, asserting
+# the exported Chrome trace validates, tracing never changes a report
+# byte, and the span tree is deterministic modulo wall-clock.
+trace-smoke:
+	$(PYTHON) -m pytest -q -m obs tests/obs/test_trace_smoke.py
 
 # One tiny parallel collection end-to-end (pool + disk cache + dataset),
 # so executor regressions surface without the full benchmark suite.

@@ -7,6 +7,11 @@ each module's ``@rule`` decorators populate
 
 from __future__ import annotations
 
-from repro.analysis.checkers import determinism, purity, robustness
+from repro.analysis.checkers import (
+    determinism,
+    observability,
+    purity,
+    robustness,
+)
 
-__all__ = ["determinism", "purity", "robustness"]
+__all__ = ["determinism", "observability", "purity", "robustness"]

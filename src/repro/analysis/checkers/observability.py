@@ -1,0 +1,76 @@
+"""Observability rule: OBS001 (print / root-logger diagnostics in library code).
+
+The library's diagnostics flow through :func:`repro.obs.log.get_logger`
+(namespaced under ``repro``, silent until ``configure_logging`` installs a
+handler).  A ``print()`` in library code writes to stdout — corrupting
+piped report output — and a root-logger call (``logging.warning(...)``)
+bypasses the ``repro`` hierarchy, so ``--log-level``/``--log-json`` cannot
+route or silence it.  The user-facing surfaces (the CLI front ends and the
+report/reporter renderers, whose *product* is printed text) are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Severity
+from repro.analysis.rules import BaseChecker, rule
+
+#: Modules whose job is to print: CLI front ends and text renderers.
+_EXEMPT_MODULES = (
+    "repro.cli",
+    "repro.analysis.cli",
+    "repro.analysis.reporters",
+    "repro.core.report",
+)
+
+#: Module-level ``logging.X(...)`` calls that talk to the root logger (or
+#: mutate global logging state) instead of the ``repro`` hierarchy.
+_ROOT_LOGGER_CALLS = frozenset(
+    f"logging.{name}"
+    for name in (
+        "debug", "info", "warning", "warn", "error", "critical",
+        "exception", "log", "basicConfig",
+    )
+)
+
+
+@rule(
+    "OBS001",
+    "print / root-logger call in library code",
+    Severity.WARNING,
+    "Library diagnostics must flow through repro.obs.log.get_logger: "
+    "print() corrupts piped report output on stdout, and root-logger "
+    "calls (logging.warning(...)) bypass the repro hierarchy so "
+    "--log-level/--log-json cannot route or silence them.  CLI front "
+    "ends and report renderers, whose product is printed text, are "
+    "exempt.",
+    scope=("repro",),
+)
+class LibraryPrintChecker(BaseChecker):
+    """Flags ``print`` and root-logger calls outside the exempt surfaces."""
+
+    def _exempt(self) -> bool:
+        module = self.ctx.module
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in _EXEMPT_MODULES
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if not self._exempt():
+            name = self.ctx.imports.resolve(node.func)
+            if name in ("print", "builtins.print"):
+                self.report(
+                    node,
+                    "print() in library code writes to stdout; use "
+                    "repro.obs.log.get_logger(__name__) instead",
+                )
+            elif name in _ROOT_LOGGER_CALLS:
+                self.report(
+                    node,
+                    f"{name}() talks to the root logger, bypassing the "
+                    "repro hierarchy; use "
+                    "repro.obs.log.get_logger(__name__) instead",
+                )
+        self.generic_visit(node)

@@ -9,14 +9,18 @@ Mirrors the workflow of the paper's released software::
     gemstone power-model --core A15                      # Section V model
     gemstone bp-fix                                      # Section VII swing
     gemstone lint src tests                              # determinism linter
+    gemstone report --trace-out trace/                   # + Perfetto trace
+    gemstone trace summary trace/                        # run-health tables
 
 All commands are offline and deterministic; ``--instructions`` trades
-fidelity for speed.
+fidelity for speed.  ``--log-level INFO`` (optionally ``--log-json``)
+surfaces the library's structured diagnostics on stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.core.pipeline import GemStone, GemStoneConfig
@@ -30,6 +34,16 @@ from repro.core.report import (
     render_workload_mpe_figure,
     text_table,
 )
+from repro.obs.exporters import (
+    CHROME_FILE,
+    EVENTS_FILE,
+    read_event_stream,
+    slowest_spans,
+    summarize_spans,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.log import LEVELS, configure_logging
 from repro.sim.machine import machine_by_name
 from repro.workloads.microbench import memory_latency_sweep
 
@@ -71,6 +85,18 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="per-job timeout for pooled simulations; a job exceeding it "
         "is rerun serially in the parent",
     )
+    parser.add_argument(
+        "--log-level",
+        choices=LEVELS,
+        default=None,
+        help="emit the library's structured diagnostics on stderr",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="log as JSON lines instead of text (implies --log-level "
+        "warning when none is given)",
+    )
 
 
 def _gemstone(args: argparse.Namespace) -> GemStone:
@@ -89,6 +115,7 @@ def _gemstone(args: argparse.Namespace) -> GemStone:
             sim_timeout_seconds=getattr(args, "job_timeout", None),
             checkpoint_dir=getattr(args, "checkpoint_dir", None),
             resume=getattr(args, "resume", False),
+            trace_dir=getattr(args, "trace_out", None),
         )
     )
 
@@ -116,6 +143,10 @@ def cmd_report(args: argparse.Namespace) -> int:
             text = gs.report()
     else:
         text = gs.report()
+    if args.trace_out:
+        paths = gs.export_trace()
+        gs.tracer.close()
+        print(f"wrote {paths['chrome']} and {paths['metrics']}", file=sys.stderr)
     _emit(text, args.out)
     return 0
 
@@ -262,6 +293,63 @@ def cmd_runtime_power(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Inspect or re-export a ``--trace-out`` directory (run health).
+
+    ``summary`` aggregates spans by name; ``slowest`` lists the longest
+    individual spans; ``export`` rebuilds (and schema-validates) the
+    Chrome trace-event JSON from the raw event stream.
+    """
+    stream = os.path.join(args.trace_dir, EVENTS_FILE)
+    try:
+        records = read_event_stream(stream)
+    except FileNotFoundError:
+        print(f"no trace stream at {stream}", file=sys.stderr)
+        return 1
+    segments = sorted(
+        {r["segment"] for r in records if r.get("kind") == "segment-start"}
+    )
+    if args.action == "summary":
+        rows = [
+            [e["name"], e["count"], e["total_ms"], e["mean_ms"], e["max_ms"]]
+            for e in summarize_spans(records)
+        ]
+        _emit(
+            text_table(
+                ["span", "count", "total ms", "mean ms", "max ms"],
+                rows,
+                title=(
+                    f"{len(records)} trace records across "
+                    f"{max(len(segments), 1)} run segment(s)"
+                ),
+            ),
+            args.out,
+        )
+    elif args.action == "slowest":
+        rows = [
+            [r["path"], r.get("segment", 0), r.get("status", "ok"),
+             float(r["dur_us"]) / 1000.0]
+            for r in slowest_spans(records, top=args.top)
+        ]
+        _emit(
+            text_table(
+                ["span path", "segment", "status", "ms"],
+                rows,
+                title=f"slowest {len(rows)} spans",
+            ),
+            args.out,
+        )
+    else:  # export
+        path = args.out or os.path.join(args.trace_dir, CHROME_FILE)
+        n_events = write_chrome_trace(records, path)
+        from json import load
+
+        with open(path) as handle:
+            validate_chrome_trace(load(handle))
+        print(f"wrote {path} ({n_events} events, schema OK)")
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run the determinism & worker-purity linter (``repro-lint``)."""
     from repro.analysis.cli import main as lint_main
@@ -292,6 +380,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="restore completed phases from --checkpoint-dir instead of "
         "recomputing them; corrupt or stale checkpoints are quarantined "
         "and recomputed",
+    )
+    p.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="DIR",
+        help="stream a span trace into DIR/events.jsonl and export a "
+        "Perfetto-loadable Chrome trace plus a metrics snapshot there "
+        "(out-of-band: the report itself is unchanged)",
     )
     p.set_defaults(func=cmd_report)
 
@@ -343,6 +439,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_runtime_power)
 
     p = sub.add_parser(
+        "trace",
+        help="inspect a --trace-out directory: span summary, slowest "
+        "spans, Chrome-trace re-export",
+    )
+    p.add_argument("action", choices=("summary", "slowest", "export"))
+    p.add_argument("trace_dir", metavar="DIR")
+    p.add_argument("--top", type=int, default=10,
+                   help="spans to list for 'slowest'")
+    p.add_argument("--out", default=None, help="write output to a file")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
         "lint",
         help="static analysis: determinism & worker-purity rules "
         "(everything after 'lint' is passed to repro-lint)",
@@ -364,7 +472,19 @@ def main(argv: list[str] | None = None) -> int:
 
         return lint_main(arg_list[1:])
     args = build_parser().parse_args(arg_list)
-    return args.func(args)
+    if getattr(args, "log_level", None) or getattr(args, "log_json", False):
+        configure_logging(
+            getattr(args, "log_level", None) or "warning",
+            json_lines=getattr(args, "log_json", False),
+        )
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream closed early (e.g. ``gemstone trace summary | head``);
+        # exit quietly with the conventional SIGPIPE status.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":

@@ -14,6 +14,7 @@ one simulation pass per (workload, machine).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 
 from repro.core.energy import (
@@ -42,6 +43,16 @@ from repro.core.power_model import (
     restraint_pool_gem5,
 )
 from repro.core.runstate import RunManifest, RunState
+from repro.obs.exporters import (
+    CHROME_FILE,
+    EVENTS_FILE,
+    METRICS_FILE,
+    write_chrome_trace,
+    write_prometheus_snapshot,
+)
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
 from repro.core.stats.correlate import CorrelationResult
 from repro.core.validation import (
     CollectionHealth,
@@ -62,6 +73,8 @@ from repro.sim.machine import (
 from repro.sim.platform import HardwarePlatform
 from repro.workloads.profile import WorkloadProfile
 from repro.workloads.suites import power_modelling_workloads, validation_workloads
+
+logger = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -101,6 +114,12 @@ class GemStoneConfig:
             recomputing them.  Checkpoints are bound to a fingerprint of
             the resolved config — a directory written under a different
             configuration is quarantined and fully recomputed.
+        trace: Enable in-memory span tracing (see :mod:`repro.obs`).
+            Off by default; tracing never affects results, and like the
+            execution knobs it is excluded from the run fingerprint.
+        trace_dir: Stream trace records to ``<trace_dir>/events.jsonl`` as
+            they close (implies ``trace``); :meth:`GemStone.export_trace`
+            writes the Chrome-trace and metrics snapshots there too.
 
     Raises:
         ValueError: Immediately on construction for an unknown ``core``.
@@ -123,6 +142,8 @@ class GemStoneConfig:
     faults: FaultPlan | None = None
     checkpoint_dir: str | None = None
     resume: bool = False
+    trace: bool = False
+    trace_dir: str | None = None
 
     def __post_init__(self) -> None:
         # Fail at construction, not deep inside resolve_machine/platform
@@ -168,6 +189,19 @@ class GemStone:
                 f"gem5 model {machine.name} models a {machine.core}, "
                 f"but the config targets the {self.config.core}"
             )
+        # One registry and one tracer span the whole run: the executor,
+        # the result cache and the run state all account into them, and
+        # export_trace() snapshots them out-of-band of any report.
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(
+            enabled=bool(self.config.trace or self.config.trace_dir),
+            stream_path=(
+                os.path.join(self.config.trace_dir, EVENTS_FILE)
+                if self.config.trace_dir is not None
+                else None
+            ),
+            metrics=self.metrics,
+        )
         # One executor serves both engines: (workload x machine) jobs from
         # the hardware platform and the gem5 model share its dedup, disk
         # cache, retry policy and telemetry, and dataset collection batches
@@ -178,6 +212,8 @@ class GemStone:
             retry=self.config.retry,
             timeout_seconds=self.config.sim_timeout_seconds,
             faults=self.config.faults,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
         # One health record spans the validation and power campaigns; the
         # report surfaces it whenever anything was lost.
@@ -203,6 +239,8 @@ class GemStone:
                 self.config.checkpoint_dir,
                 RunManifest.from_config(self.config),
                 resume=self.config.resume,
+                tracer=self.tracer,
+                metrics=self.metrics,
             )
         self._dataset: ValidationDataset | None = None
         self._power_dataset: list[PowerObservation] | None = None
@@ -225,22 +263,28 @@ class GemStone:
         so a resumed run renders the identical health section without
         re-collecting anything.
         """
-        if self.runstate is not None:
-            restored = self.runstate.restore(phase)
-            if restored is not None:
-                if track_health and restored.get("health") is not None:
-                    self.health.adopt(restored["health"])
-                return restored["product"]
-        product = compute()
-        if self.runstate is not None:
-            self.runstate.checkpoint(
-                phase,
-                {
-                    "product": product,
-                    "health": self.health.clone() if track_health else None,
-                },
-            )
-        return product
+        with self.tracer.span(f"phase:{phase}", kind="phase") as phase_span:
+            if self.runstate is not None:
+                restored = self.runstate.restore(phase)
+                if restored is not None:
+                    if track_health and restored.get("health") is not None:
+                        self.health.adopt(restored["health"])
+                    phase_span.set(restored=True)
+                    self.metrics.counter("pipeline.phases_restored").inc()
+                    logger.info("phase %s: restored from checkpoint", phase)
+                    return restored["product"]
+            logger.info("phase %s: computing", phase)
+            product = compute()
+            self.metrics.counter("pipeline.phases_computed").inc()
+            if self.runstate is not None:
+                self.runstate.checkpoint(
+                    phase,
+                    {
+                        "product": product,
+                        "health": self.health.clone() if track_health else None,
+                    },
+                )
+            return product
 
     def degraded_fits(self) -> list[DegradedFit]:
         """Degradation notes of every *computed* analysis product.
@@ -448,9 +492,11 @@ class GemStone:
         from repro.core.report import render_full_report
 
         if self.runstate is None:
-            return render_full_report(self)
+            with self.tracer.span("phase:report", kind="phase"):
+                return render_full_report(self)
         restored = self.runstate.restore("report")
         if restored is not None:
+            self.tracer.event("report-restored")
             return restored["product"]
         # Materialise the health-bearing phases first: a restored power
         # model never pulls the power-dataset checkpoint on its own, and
@@ -458,7 +504,41 @@ class GemStone:
         # from the rendered report.
         _ = self.dataset
         _ = self.power_dataset
-        text = render_full_report(self, include_telemetry=False)
+        with self.tracer.span("phase:report", kind="phase"):
+            text = render_full_report(self, include_telemetry=False)
         self.runstate.checkpoint("report", {"product": text, "health": None})
         self.runstate.journal("run-complete")
         return text
+
+    def export_trace(self, directory: str | None = None) -> dict[str, str]:
+        """Write the Chrome-trace and metrics exports for this run.
+
+        Args:
+            directory: Destination; defaults to the config's ``trace_dir``.
+                When the run streamed to ``events.jsonl`` there, the Chrome
+                export covers *every* segment in the stream (an interrupted
+                then resumed run renders as two aligned process tracks);
+                otherwise it covers this process's in-memory records.
+
+        Returns:
+            ``{"chrome": path, "metrics": path}`` of the written files.
+
+        Raises:
+            ValueError: When no directory is given or configured.
+        """
+        from repro.obs.exporters import read_event_stream
+
+        if directory is None:
+            directory = self.config.trace_dir
+        if directory is None:
+            raise ValueError("no trace directory given or configured")
+        os.makedirs(directory, exist_ok=True)
+        stream = os.path.join(directory, EVENTS_FILE)
+        records = read_event_stream(stream, missing_ok=True)
+        if not records:
+            records = self.tracer.records
+        chrome_path = os.path.join(directory, CHROME_FILE)
+        metrics_path = os.path.join(directory, METRICS_FILE)
+        write_chrome_trace(records, chrome_path)
+        write_prometheus_snapshot(self.metrics, metrics_path)
+        return {"chrome": chrome_path, "metrics": metrics_path}

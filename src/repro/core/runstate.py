@@ -45,6 +45,8 @@ from dataclasses import dataclass
 from typing import Any, Iterator
 
 from repro.atomicio import atomic_write_bytes, atomic_write_text
+from repro.obs.metrics import MetricsRegistry, MetricView
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 #: Bump when the journal/checkpoint envelope format changes; old artifacts
 #: are then quarantined and recomputed instead of being misread.
@@ -122,14 +124,21 @@ class RunManifest:
         )
 
 
-@dataclass
-class RunStateTelemetry:
-    """Counters for one run-state instance's lifetime."""
+class RunStateTelemetry(MetricView):
+    """Counters for one run-state instance's lifetime.
 
-    restored: int = 0
-    checkpointed: int = 0
-    quarantined: int = 0
-    journal_records_dropped: int = 0
+    A view over the ``core.runstate.*`` counters of a
+    :class:`~repro.obs.metrics.MetricsRegistry`; the attribute API is
+    unchanged.
+    """
+
+    _fields = {
+        name: f"core.runstate.{name}"
+        for name in (
+            "restored", "checkpointed", "quarantined",
+            "journal_records_dropped",
+        )
+    }
 
 
 def _record_checksum(record: dict) -> str:
@@ -152,18 +161,28 @@ class RunState:
         resume: Restore checkpoints written by a previous run.  When
             False, existing checkpoints are left on disk but never read;
             fresh phases overwrite them atomically.
+        tracer: Optional :class:`~repro.obs.tracer.Tracer`; checkpoint,
+            restore, quarantine and interruption become trace events.
+        metrics: Shared :class:`~repro.obs.metrics.MetricsRegistry` the
+            ``core.runstate.*`` counters live in; private when not given.
 
     A directory holding a *different* fingerprint's artifacts is detected
     on open: everything in it is quarantined and the run starts fresh.
     """
 
     def __init__(
-        self, directory: str, manifest: RunManifest, resume: bool = False
+        self,
+        directory: str,
+        manifest: RunManifest,
+        resume: bool = False,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.directory = directory
         self.manifest = manifest
         self.resume = resume
-        self.telemetry = RunStateTelemetry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.telemetry = RunStateTelemetry(metrics)
         self.inert = False
         self._warned = False
         self._seq = 0
@@ -258,6 +277,11 @@ class RunState:
                 os.remove(path)
         self.journal(
             "quarantined", artifact=os.path.basename(path), reason=reason
+        )
+        self.tracer.event(
+            "runstate-quarantined",
+            artifact=os.path.basename(path),
+            reason=reason,
         )
 
     def _quarantine_all(self) -> None:
@@ -355,6 +379,7 @@ class RunState:
             return False
         self.telemetry.checkpointed += 1
         self.journal("checkpointed", phase=phase, n_bytes=len(body))
+        self.tracer.event("checkpointed", phase=phase, n_bytes=len(body))
         return True
 
     def restore(self, phase: str) -> Any | None:
@@ -394,6 +419,7 @@ class RunState:
             return None
         self.telemetry.restored += 1
         self.journal("restored", phase=phase)
+        self.tracer.event("restored", phase=phase)
         return payload
 
     def completed_phases(self) -> list[str]:
@@ -424,6 +450,7 @@ class RunState:
 
         def _handler(signum: int, frame: Any) -> None:
             self.journal("interrupted", signal=int(signum))
+            self.tracer.event("interrupted", signal=int(signum))
             with contextlib.suppress(ValueError, OSError):
                 signal.signal(signum, previous.get(signum, signal.SIG_DFL))
             if signum == signal.SIGINT:

@@ -1,0 +1,64 @@
+"""Unified observability: structured tracing, metrics, exporters, logging.
+
+The pipeline's measurement story used to live in three disconnected ad-hoc
+records (the executor's ``SimTelemetry``, the result cache's
+``CacheTelemetry``, the run-state journal).  ``repro.obs`` replaces that
+with one subsystem, designed around the same constraint as the paper's
+methodology: measurement must be low-overhead and must never perturb the
+thing being measured.
+
+* :mod:`repro.obs.metrics` — a process-local registry of counters, gauges
+  and histograms.  The legacy telemetry dataclasses survive as thin views
+  over the registry, so nothing downstream had to change.
+* :mod:`repro.obs.tracer` — a hierarchical span tracer with a
+  context-manager API.  Span identities derive from the span path and a
+  monotonic counter — never from wall-clock or PIDs — so the span *tree*
+  of a run is deterministic; only the ``start_us``/``dur_us`` fields carry
+  wall-clock.  Disabled tracing (the default) costs one attribute check
+  per span.
+* :mod:`repro.obs.exporters` — out-of-band trace/metric files written via
+  :mod:`repro.atomicio`: a JSONL event stream (append-only, torn tail
+  dropped on read), Chrome trace-event JSON loadable in Perfetto or
+  ``chrome://tracing``, and a Prometheus-style text snapshot.
+* :mod:`repro.obs.log` — structured stderr logging (text or JSON lines)
+  behind ``gemstone --log-level/--log-json``; library code gets its
+  loggers from :func:`get_logger` (rule ``OBS001`` bans ``print`` and the
+  root logger in library modules).
+
+Nothing in this package ever feeds back into results: a report rendered
+with tracing on is byte-identical to one rendered with tracing off.
+"""
+
+from repro.obs.exporters import (
+    chrome_trace_document,
+    prometheus_snapshot,
+    read_event_stream,
+    slowest_spans,
+    summarize_spans,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_prometheus_snapshot,
+)
+from repro.obs.log import configure_logging, get_logger
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
+    "chrome_trace_document",
+    "configure_logging",
+    "get_logger",
+    "prometheus_snapshot",
+    "read_event_stream",
+    "slowest_spans",
+    "summarize_spans",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_prometheus_snapshot",
+]

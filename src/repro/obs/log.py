@@ -1,0 +1,96 @@
+"""Structured stderr logging for the library and the CLI.
+
+Library modules obtain loggers with :func:`get_logger` (always namespaced
+under ``repro``); rule ``OBS001`` bans ``print`` and root-logger calls in
+library code so diagnostics stay routable.  By default nothing is emitted
+(a ``NullHandler`` on the ``repro`` logger); ``gemstone --log-level INFO``
+(optionally ``--log-json``) installs a stderr handler via
+:func:`configure_logging`.
+
+The JSON mode emits one object per line (``ts`` is seconds since the
+handler was installed — a monotonic offset, so log files stay free of
+absolute wall-clock just like trace files keep it out of reports).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from time import perf_counter
+from typing import Any, TextIO
+
+_ROOT_NAME = "repro"
+
+#: Accepted ``--log-level`` spellings.
+LEVELS = ("debug", "info", "warning", "error", "critical")
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger namespaced under ``repro`` (never the root logger).
+
+    ``get_logger("repro.sim.executor")`` and ``get_logger("executor")``
+    both land under the ``repro`` hierarchy, so one handler configuration
+    covers the whole library.
+    """
+    if name == _ROOT_NAME or name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+class _JsonFormatter(logging.Formatter):
+    """One JSON object per record: level, logger, message, extras."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._epoch = perf_counter()
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": round(perf_counter() - self._epoch, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc_type"] = record.exc_info[0].__name__
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def configure_logging(
+    level: str | None = "warning",
+    json_lines: bool = False,
+    stream: TextIO | None = None,
+) -> logging.Logger:
+    """(Re)install the ``repro`` stderr handler; returns the root logger.
+
+    Args:
+        level: One of :data:`LEVELS` (case-insensitive); ``None`` removes
+            the handler and silences the library again.
+        json_lines: Emit JSON lines instead of ``level name: message``.
+        stream: Destination stream (default ``sys.stderr``).
+
+    Raises:
+        ValueError: For an unknown level name.
+    """
+    root = logging.getLogger(_ROOT_NAME)
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    root.addHandler(logging.NullHandler())
+    if level is None:
+        return root
+    normalized = level.lower()
+    if normalized not in LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; expected one of {LEVELS}"
+        )
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    if json_lines:
+        handler.setFormatter(_JsonFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter("%(levelname).1s %(name)s: %(message)s")
+        )
+    root.addHandler(handler)
+    root.setLevel(normalized.upper())
+    return root

@@ -25,9 +25,13 @@ The executor owns the whole memoisation *and* recovery story for a batch:
 * **serial fallback** — ``jobs=1`` (the default everywhere) never spawns a
   process, and a pool that cannot even be constructed (pickling-hostile
   environment) degrades to the serial path with the identical results;
-* **telemetry** — a :class:`SimTelemetry` record counts jobs, hits,
-  retries, timeouts and crashes, surfaced by
-  :func:`repro.core.report.render_sim_telemetry` in the full report.
+* **observability** — job accounting lives in a
+  :class:`~repro.obs.metrics.MetricsRegistry` (:class:`SimTelemetry` is a
+  thin view over it, surfaced by
+  :func:`repro.core.report.render_sim_telemetry` in the full report), and
+  an optional :class:`~repro.obs.tracer.Tracer` records per-batch and
+  per-job spans — including spans recorded *inside* worker processes,
+  shipped back with the results and stitched into the parent tree.
 """
 
 from __future__ import annotations
@@ -41,10 +45,15 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Iterable, Sequence
 
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry, MetricView
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.cpu import SimResult, simulate
 from repro.sim.machine import MachineConfig
 from repro.sim.result_cache import SimResultCache, cache_key
 from repro.workloads.trace import SyntheticTrace
+
+logger = get_logger(__name__)
 
 #: One simulation job: the executor's unit of work.
 SimJob = tuple[SyntheticTrace, MachineConfig]
@@ -104,9 +113,14 @@ class SimJobError(RuntimeError):
         )
 
 
-@dataclass
-class SimTelemetry:
+class SimTelemetry(MetricView):
     """Counters and per-stage wall-clock for one executor's lifetime.
+
+    Since the ``repro.obs`` unification this is a *view* over a
+    :class:`~repro.obs.metrics.MetricsRegistry` (the single source of
+    truth, exported by the Prometheus snapshot); every attribute below
+    reads — and ``+=`` writes — the ``sim.executor.*`` counter of the
+    same name, so the legacy API is unchanged.
 
     Attributes:
         jobs_submitted: Jobs requested across all ``run_many`` batches.
@@ -133,21 +147,26 @@ class SimTelemetry:
             and fanning results back to the submitted slots.
     """
 
-    jobs_submitted: int = 0
-    jobs_deduplicated: int = 0
-    cache_hits: int = 0
-    jobs_run: int = 0
-    parallel_jobs_run: int = 0
-    serial_fallbacks: int = 0
-    jobs_isolated: int = 0
-    job_retries: int = 0
-    job_timeouts: int = 0
-    worker_crashes: int = 0
-    jobs_failed: int = 0
-    batches: int = 0
-    probe_seconds: float = 0.0
-    simulate_seconds: float = 0.0
-    reap_seconds: float = 0.0
+    _fields = {
+        name: f"sim.executor.{name}"
+        for name in (
+            "jobs_submitted",
+            "jobs_deduplicated",
+            "cache_hits",
+            "jobs_run",
+            "parallel_jobs_run",
+            "serial_fallbacks",
+            "jobs_isolated",
+            "job_retries",
+            "job_timeouts",
+            "worker_crashes",
+            "jobs_failed",
+            "batches",
+            "probe_seconds",
+            "simulate_seconds",
+            "reap_seconds",
+        )
+    }
 
     @property
     def wall_seconds(self) -> float:
@@ -169,23 +188,40 @@ class SimTelemetry:
 def _run_job(payload):
     """Worker-side entry point: simulate one job.
 
-    ``payload`` is ``(trace, machine, cache_dir, faults, ordinal, attempt)``.
-    Any fault matching (ordinal, attempt) fires first — a ``crash`` fault
-    hard-kills this worker so the parent observes a genuine broken pool.
+    ``payload`` is ``(trace, machine, cache_dir, faults, ordinal, attempt,
+    want_spans)``.  Any fault matching (ordinal, attempt) fires first — a
+    ``crash`` fault hard-kills this worker so the parent observes a
+    genuine broken pool.
 
     With a cache directory the worker writes its entry atomically (via the
-    cache's temp-file + rename protocol) and returns ``None`` so only a
-    tiny token crosses the process boundary; the parent reaps the entry
-    from disk.  Without a cache the result itself is returned in-band.
+    cache's temp-file + rename protocol) and ships only a tiny token
+    across the process boundary; the parent reaps the entry from disk.
+    Without a cache the result itself is returned in-band.  Either way the
+    return value is a ``(token_or_result, span_records)`` pair: when the
+    parent traces, the worker records its own child spans on a throwaway
+    tracer and the parent stitches them into its tree.
     """
-    trace, machine, cache_dir, faults, ordinal, attempt = payload
-    if faults is not None:
-        faults.apply_job_fault(ordinal, trace.name, attempt, in_worker=True)
-    result = simulate(trace, machine)
-    if cache_dir is not None:
-        SimResultCache(cache_dir, faults=faults).put(trace, machine, result)
-        return None
-    return result
+    trace, machine, cache_dir, faults, ordinal, attempt, want_spans = payload
+    tracer = Tracer(enabled=want_spans)
+    with tracer.span(
+        "sim-job",
+        kind="job",
+        workload=trace.name,
+        machine=machine.name,
+        ordinal=ordinal,
+        attempt=attempt,
+        in_worker=True,
+    ):
+        if faults is not None:
+            faults.apply_job_fault(ordinal, trace.name, attempt, in_worker=True)
+        result = simulate(trace, machine)
+        if cache_dir is not None:
+            with tracer.span("cache-put", kind="cache"):
+                SimResultCache(cache_dir, faults=faults).put(
+                    trace, machine, result
+                )
+            result = None
+    return result, (tracer.records if want_spans else None)
 
 
 class SimExecutor:
@@ -203,6 +239,13 @@ class SimExecutor:
             Serial attempts are never interrupted.
         faults: Optional :class:`~repro.sim.faults.FaultPlan` injected into
             jobs and cache writes (chaos testing only).
+        tracer: Optional :class:`~repro.obs.tracer.Tracer`; when enabled,
+            batches, cache probes/reaps and every job (worker-side
+            included) record spans.  Defaults to the shared disabled
+            tracer, whose per-span cost is one attribute check.
+        metrics: Shared :class:`~repro.obs.metrics.MetricsRegistry`; one
+            is created privately when not given.  :attr:`telemetry` (and
+            the cache's) are views over it.
 
     Raises:
         ValueError: For a non-positive explicit ``jobs`` or timeout.
@@ -215,6 +258,8 @@ class SimExecutor:
         retry: RetryPolicy | None = None,
         timeout_seconds: float | None = None,
         faults=None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         if jobs is None:
             jobs = os.cpu_count() or 1
@@ -226,10 +271,15 @@ class SimExecutor:
         self.retry = retry if retry is not None else RetryPolicy()
         self.timeout_seconds = timeout_seconds
         self.faults = faults
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics.gauge("sim.executor.workers").set(self.jobs)
         self.cache = (
-            SimResultCache(cache_dir, faults=faults) if cache_dir is not None else None
+            SimResultCache(cache_dir, faults=faults, metrics=self.metrics)
+            if cache_dir is not None
+            else None
         )
-        self.telemetry = SimTelemetry()
+        self.telemetry = SimTelemetry(self.metrics)
         #: Terminal failures from the most recent ``run_many`` batch.
         self.last_failures: list[SimJobFailure] = []
         self._next_ordinal = 0
@@ -271,38 +321,56 @@ class SimExecutor:
         results: list[SimResult | None] = [None] * len(pairs)
         self.last_failures: list[SimJobFailure] = []
 
-        started = perf_counter()
-        # Deduplicate in-flight jobs: slots maps each unique cache key to
-        # every submitted index wanting its result.
-        slots: dict[str, list[int]] = {}
-        for index, (trace, machine) in enumerate(pairs):
-            slots.setdefault(cache_key(trace, machine), []).append(index)
-        telemetry.jobs_deduplicated += len(pairs) - len(slots)
-
-        pending: list[tuple[str, SyntheticTrace, MachineConfig]] = []
-        for key, indices in slots.items():
-            trace, machine = pairs[indices[0]]
-            cached = self.cache.get(trace, machine) if self.cache else None
-            if cached is not None:
-                telemetry.cache_hits += 1
-                for index in indices:
-                    results[index] = cached
-            else:
-                pending.append((key, trace, machine))
-        telemetry.probe_seconds += perf_counter() - started
-
-        if pending:
-            computed = self._execute(pending)
+        with self.tracer.span(
+            "executor-batch", kind="executor", n_jobs=len(pairs)
+        ) as batch_span:
             started = perf_counter()
-            for (key, _, _), outcome in zip(pending, computed):
-                if isinstance(outcome, SimJobFailure):
-                    self.last_failures.append(outcome)
-                    continue
-                for index in slots[key]:
-                    results[index] = outcome
-            telemetry.reap_seconds += perf_counter() - started
-            if self.last_failures and raise_on_error:
-                raise SimJobError(self.last_failures[0])
+            # Deduplicate in-flight jobs: slots maps each unique cache key
+            # to every submitted index wanting its result.
+            slots: dict[str, list[int]] = {}
+            for index, (trace, machine) in enumerate(pairs):
+                slots.setdefault(cache_key(trace, machine), []).append(index)
+            telemetry.jobs_deduplicated += len(pairs) - len(slots)
+
+            pending: list[tuple[str, SyntheticTrace, MachineConfig]] = []
+            with self.tracer.span("cache-probe", kind="cache"):
+                for key, indices in slots.items():
+                    trace, machine = pairs[indices[0]]
+                    cached = self.cache.get(trace, machine) if self.cache else None
+                    if cached is not None:
+                        telemetry.cache_hits += 1
+                        for index in indices:
+                            results[index] = cached
+                    else:
+                        pending.append((key, trace, machine))
+            telemetry.probe_seconds += perf_counter() - started
+            batch_span.set(
+                unique_jobs=len(slots), simulated=len(pending)
+            )
+            logger.debug(
+                "batch: %d job(s), %d unique, %d to simulate",
+                len(pairs), len(slots), len(pending),
+            )
+
+            if pending:
+                computed = self._execute(pending)
+                started = perf_counter()
+                with self.tracer.span("reap", kind="executor"):
+                    for (key, _, _), outcome in zip(pending, computed):
+                        if isinstance(outcome, SimJobFailure):
+                            self.last_failures.append(outcome)
+                            continue
+                        for index in slots[key]:
+                            results[index] = outcome
+                telemetry.reap_seconds += perf_counter() - started
+                if self.last_failures:
+                    batch_span.set(failed=len(self.last_failures))
+                    logger.warning(
+                        "batch finished with %d permanently failed job(s)",
+                        len(self.last_failures),
+                    )
+                    if raise_on_error:
+                        raise SimJobError(self.last_failures[0])
         return results
 
     # --------------------------------------------------------------- internals
@@ -334,10 +402,20 @@ class SimExecutor:
             # Pickling-hostile environment: the jobs are pure, so running
             # serially gives the identical results.
             telemetry.serial_fallbacks += 1
+            self.tracer.event("serial-fallback", reason="pool-construction")
             return self._execute_serial(pending, ordinals)
 
+        want_spans = self.tracer.enabled
+        pool_span = self.tracer.span(
+            "simulate-pool",
+            kind="executor",
+            n_jobs=len(pending),
+            workers=min(self.jobs, len(pending)),
+        )
+        pool_span.__enter__()
         started = perf_counter()
         in_band: dict[int, object] = {}
+        worker_spans: dict[int, list] = {}
         failed_kind: dict[int, str] = {}
         failed_error: dict[int, str] = {}
         pool_broken = False
@@ -346,7 +424,8 @@ class SimExecutor:
                 futures = {
                     i: pool.submit(
                         _run_job,
-                        (trace, machine, cache_dir, self.faults, ordinal, 1),
+                        (trace, machine, cache_dir, self.faults, ordinal, 1,
+                         want_spans),
                     )
                     for i, ((_, trace, machine), ordinal) in enumerate(
                         zip(pending, ordinals)
@@ -355,10 +434,14 @@ class SimExecutor:
             except Exception:
                 telemetry.serial_fallbacks += 1
                 telemetry.simulate_seconds += perf_counter() - started
+                pool_span.__exit__(None, None, None)
+                self.tracer.event("serial-fallback", reason="submit-failure")
                 return self._execute_serial(pending, ordinals)
             for i, future in futures.items():
                 try:
-                    in_band[i] = future.result(timeout=self.timeout_seconds)
+                    in_band[i], worker_spans[i] = future.result(
+                        timeout=self.timeout_seconds
+                    )
                 except concurrent.futures.TimeoutError:
                     telemetry.job_timeouts += 1
                     future.cancel()
@@ -366,20 +449,48 @@ class SimExecutor:
                     failed_error[i] = (
                         f"no result within {self.timeout_seconds} s"
                     )
+                    self.tracer.event(
+                        "job-timeout",
+                        workload=pending[i][1].name,
+                        timeout_seconds=self.timeout_seconds,
+                    )
                 except BrokenProcessPool as exc:
                     if not pool_broken:
                         telemetry.worker_crashes += 1
                         pool_broken = True
+                        self.tracer.event("worker-crash")
+                        logger.warning(
+                            "worker process died; isolating affected jobs"
+                        )
                     failed_kind[i] = "crash"
                     failed_error[i] = str(exc) or "worker process died"
                 except Exception as exc:  # a poisoned job's own exception
                     failed_kind[i] = "error"
                     failed_error[i] = f"{type(exc).__name__}: {exc}"
+                    self.tracer.event(
+                        "job-error",
+                        workload=pending[i][1].name,
+                        error=type(exc).__name__,
+                    )
         finally:
             # Never block on a hung worker: abandoned processes finish (or
             # die) on their own; their cache writes are atomic and idempotent.
             pool.shutdown(wait=False, cancel_futures=True)
+        # Stitch the workers' span records into the parent tree before the
+        # pool span closes: each worker lane becomes a Chrome-trace tid,
+        # re-based to the pool span's start (worker clocks are their own).
+        if want_spans:
+            workers = min(self.jobs, len(pending))
+            for i in sorted(worker_spans):
+                records = worker_spans[i]
+                if records:
+                    self.tracer.adopt(
+                        records,
+                        rebase_us=pool_span.start_us,
+                        tid=1 + (i % workers),
+                    )
         telemetry.simulate_seconds += perf_counter() - started
+        pool_span.__exit__(None, None, None)
         telemetry.parallel_jobs_run += len(in_band)
 
         outcomes: list[SimResult | SimJobFailure | None] = [None] * len(pending)
@@ -450,32 +561,57 @@ class SimExecutor:
     ) -> SimResult | SimJobFailure:
         """One job through the retry policy, in the parent process."""
         attempt = first_attempt
-        while True:
-            try:
-                if self.faults is not None:
-                    self.faults.apply_job_fault(
-                        ordinal, trace.name, attempt, in_worker=False
+        with self.tracer.span(
+            "sim-job",
+            kind="job",
+            workload=trace.name,
+            machine=machine.name,
+            ordinal=ordinal,
+            in_worker=False,
+        ) as job_span:
+            while True:
+                try:
+                    if self.faults is not None:
+                        self.faults.apply_job_fault(
+                            ordinal, trace.name, attempt, in_worker=False
+                        )
+                    result = simulate(trace, machine)
+                except Exception as exc:
+                    if attempt >= self.retry.max_attempts:
+                        self.telemetry.jobs_failed += 1
+                        job_span.set(
+                            failed=True, attempts=attempt,
+                            error=type(exc).__name__,
+                        )
+                        logger.warning(
+                            "job %s on %s failed permanently after %d "
+                            "attempt(s): %s", trace.name, machine.name,
+                            attempt, exc,
+                        )
+                        return SimJobFailure(
+                            trace_name=trace.name,
+                            machine_name=machine.name,
+                            attempts=attempt,
+                            kind="crash",
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                    self.telemetry.job_retries += 1
+                    delay = self.retry.delay(attempt)
+                    job_span.event(
+                        "job-retry",
+                        workload=trace.name,
+                        attempt=attempt,
+                        delay_seconds=delay,
+                        error=type(exc).__name__,
                     )
-                result = simulate(trace, machine)
-            except Exception as exc:
-                if attempt >= self.retry.max_attempts:
-                    self.telemetry.jobs_failed += 1
-                    return SimJobFailure(
-                        trace_name=trace.name,
-                        machine_name=machine.name,
-                        attempts=attempt,
-                        kind="crash",
-                        error=f"{type(exc).__name__}: {exc}",
-                    )
-                self.telemetry.job_retries += 1
-                delay = self.retry.delay(attempt)
-                if delay > 0:
-                    time.sleep(delay)
-                attempt += 1
-                continue
-            if self.cache is not None:
-                self.cache.put(trace, machine, result)
-            return result
+                    if delay > 0:
+                        time.sleep(delay)
+                    attempt += 1
+                    continue
+                if self.cache is not None:
+                    self.cache.put(trace, machine, result)
+                job_span.set(attempts=attempt)
+                return result
 
 
 def prime_engines(

@@ -28,9 +28,9 @@ import hashlib
 import json
 import os
 import warnings
-from dataclasses import dataclass
 
 from repro.atomicio import atomic_write_text
+from repro.obs.metrics import MetricsRegistry, MetricView
 from repro.sim.cpu import SimResult
 from repro.sim.machine import MachineConfig
 from repro.workloads.trace import SyntheticTrace
@@ -67,9 +67,12 @@ def _payload_checksum(payload: dict) -> str:
     ).hexdigest()
 
 
-@dataclass
-class CacheTelemetry:
+class CacheTelemetry(MetricView):
     """Counters for one cache instance's lifetime.
+
+    A view over the ``sim.cache.*`` counters of a
+    :class:`~repro.obs.metrics.MetricsRegistry` (shared with the executor
+    when the cache is built by one); the attribute API is unchanged.
 
     Attributes:
         hits: Reads answered from a verified entry.
@@ -78,10 +81,10 @@ class CacheTelemetry:
         put_failures: Writes abandoned because the directory is unusable.
     """
 
-    hits: int = 0
-    misses: int = 0
-    quarantined: int = 0
-    put_failures: int = 0
+    _fields = {
+        name: f"sim.cache.{name}"
+        for name in ("hits", "misses", "quarantined", "put_failures")
+    }
 
 
 class SimResultCache:
@@ -95,12 +98,19 @@ class SimResultCache:
         faults: Optional :class:`~repro.sim.faults.FaultPlan`; its
             ``corrupt-cache`` faults garble matching writes so the
             quarantine path can be exercised deterministically.
+        metrics: Shared :class:`~repro.obs.metrics.MetricsRegistry` the
+            ``sim.cache.*`` counters live in; private when not given.
     """
 
-    def __init__(self, directory: str, faults=None):
+    def __init__(
+        self,
+        directory: str,
+        faults=None,
+        metrics: MetricsRegistry | None = None,
+    ):
         self.directory = directory
         self.faults = faults
-        self.telemetry = CacheTelemetry()
+        self.telemetry = CacheTelemetry(metrics)
         self.degraded = False
         self._warned = False
         self._put_counts: dict[str, int] = {}

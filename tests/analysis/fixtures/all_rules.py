@@ -2,9 +2,9 @@
 
 Linted with ``--assume-module repro.sim._fixture`` so the scoped
 determinism rules apply; tests assert the reported rule ids are exactly
-{DET001, DET002, DET003, PURE001, PURE002, ROB001, ROB002}, one finding
-each.  This file is never imported and is excluded from every self-clean
-run.
+{DET001, DET002, DET003, OBS001, PURE001, PURE002, ROB001, ROB002}, one
+finding each.  This file is never imported and is excluded from every
+self-clean run.
 """
 
 import random
@@ -50,3 +50,7 @@ def rob001():
 def rob002(path, payload):
     with open(path, "w") as handle:
         handle.write(payload)
+
+
+def obs001(value):
+    print(value)

@@ -26,11 +26,11 @@ class TestFixtureFiles:
         assert exit_code == 1
         # One finding per core rule, nothing else.
         assert sorted(reported) == [
-            "DET001", "DET002", "DET003",
+            "DET001", "DET002", "DET003", "OBS001",
             "PURE001", "PURE002", "ROB001", "ROB002",
         ]
         assert document["counts"] == {
-            "DET001": 1, "DET002": 1, "DET003": 1,
+            "DET001": 1, "DET002": 1, "DET003": 1, "OBS001": 1,
             "PURE001": 1, "PURE002": 1, "ROB001": 1, "ROB002": 1,
         }
 
@@ -84,7 +84,7 @@ class TestExitCodesAndFlags:
         document = json.loads(capsys.readouterr().out)
         assert exit_code == 1
         assert sorted(document["counts"]) == [
-            "DET001", "DET002", "PURE002", "ROB001", "ROB002",
+            "DET001", "DET002", "OBS001", "PURE002", "ROB001", "ROB002",
         ]
 
     def test_exclude_skips_the_fixture_tree(self, capsys):
@@ -99,7 +99,7 @@ class TestExitCodesAndFlags:
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in (
-            "DET001", "DET002", "DET003", "PURE001", "PURE002",
+            "DET001", "DET002", "DET003", "OBS001", "PURE001", "PURE002",
             "ROB001", "ROB002", "SUP001", "SUP002", "PARSE001",
         ):
             assert rule_id in out
@@ -109,7 +109,7 @@ class TestExitCodesAndFlags:
         out = capsys.readouterr().out
         assert exit_code == 1
         assert "all_rules.py:18:12: DET001" in out
-        assert out.strip().endswith("6 error(s), 1 warning(s)")
+        assert out.strip().endswith("6 error(s), 2 warning(s)")
 
 
 class TestGemstoneLintSubcommand:
@@ -119,7 +119,7 @@ class TestGemstoneLintSubcommand:
         )
         document = json.loads(capsys.readouterr().out)
         assert exit_code == 1
-        assert document["total"] == 7
+        assert document["total"] == 8
 
     def test_gemstone_lint_clean_exits_zero(self, tmp_path, capsys):
         clean = tmp_path / "clean.py"

@@ -127,6 +127,7 @@ class TestRegistry:
     def test_catalogue_is_complete(self):
         assert set(REGISTRY) == {
             "DET001", "DET002", "DET003",
+            "OBS001",
             "PURE001", "PURE002",
             "ROB001", "ROB002",
             "SUP001", "SUP002",

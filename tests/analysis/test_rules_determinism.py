@@ -123,7 +123,7 @@ class TestDet003SetIterationOrder:
         "snippet",
         [
             "def f(names):\n    return [n for n in sorted(set(names))]\n",
-            "def f(names):\n    for n in sorted({x for x in names}):\n        print(n)\n",
+            "def f(names):\n    for n in sorted({x for x in names}):\n        n.strip()\n",
             "def f(names, s):\n    return [n for n in names if n in set(s)]\n",
             # Aggregations are order-insensitive.
             "def f(s):\n    return sum(set(s)) + len(set(s)) + max(set(s))\n",

@@ -1,0 +1,75 @@
+"""OBS001: print / root-logger diagnostics in library code."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import LintConfig
+from tests.analysis import lint_snippet, rule_ids
+
+OBS = LintConfig(select=frozenset({"OBS001"}))
+
+
+class TestObs001Flags:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "def f(x):\n    print(x)\n",
+            "import builtins\ndef f(x):\n    builtins.print(x)\n",
+            "import logging\ndef f(x):\n    logging.warning('bad %s', x)\n",
+            "import logging\ndef f(x):\n    logging.info(x)\n",
+            "import logging\ndef f():\n    logging.basicConfig()\n",
+            "import logging as lg\ndef f(x):\n    lg.error(x)\n",
+        ],
+        ids=[
+            "print", "builtins-print", "root-warning", "root-info",
+            "basicConfig", "aliased-root",
+        ],
+    )
+    def test_flags_in_library_modules(self, snippet):
+        assert rule_ids(lint_snippet(snippet, config=OBS)) == ["OBS001"]
+
+    def test_severity_is_warning(self):
+        (finding,) = lint_snippet("print(1)\n", config=OBS)
+        assert finding.severity.value == "warning"
+
+
+class TestObs001Allows:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            # The sanctioned path.
+            "from repro.obs.log import get_logger\n"
+            "logger = get_logger(__name__)\n"
+            "def f(x):\n    logger.warning('x=%s', x)\n",
+            # getLogger with an explicit name is not the root logger.
+            "import logging\nlog = logging.getLogger('repro.x')\n"
+            "def f(x):\n    log.info(x)\n",
+            # A local function called print-ish is not builtins.print.
+            "def pprint(x):\n    return x\ndef f(x):\n    pprint(x)\n",
+        ],
+        ids=["get-logger", "named-logger", "local-helper"],
+    )
+    def test_allows_routed_logging(self, snippet):
+        assert lint_snippet(snippet, config=OBS) == []
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.cli",
+            "repro.analysis.cli",
+            "repro.analysis.reporters",
+            "repro.core.report",
+        ],
+    )
+    def test_exempts_user_facing_surfaces(self, module):
+        snippet = "def f(x):\n    print(x)\n"
+        assert lint_snippet(snippet, module=module, config=OBS) == []
+
+    def test_out_of_scope_modules_are_ignored(self):
+        snippet = "def f(x):\n    print(x)\n"
+        assert lint_snippet(snippet, module="tests.helpers", config=OBS) == []
+
+    def test_suppressible_inline(self):
+        snippet = "def f(x):\n    print(x)  # repro: noqa[OBS001]\n"
+        assert lint_snippet(snippet, config=OBS) == []

@@ -1,0 +1,1 @@
+"""Tests for the unified tracing & metrics layer (:mod:`repro.obs`)."""

@@ -1,0 +1,58 @@
+"""The ``gemstone trace`` subcommand over a synthesized trace directory."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.cli import main
+from repro.obs.exporters import CHROME_FILE, EVENTS_FILE, validate_chrome_trace
+from repro.obs.tracer import Tracer
+
+
+def _trace_dir(tmp_path) -> str:
+    directory = str(tmp_path / "trace")
+    tracer = Tracer(
+        enabled=True, stream_path=os.path.join(directory, EVENTS_FILE)
+    )
+    with tracer.span("phase:dataset", kind="phase"):
+        with tracer.span("executor-batch", kind="executor"):
+            with tracer.span("sim-job", kind="job"):
+                pass
+        tracer.event("job-retry", attempt=1)
+    tracer.close()
+    return directory
+
+
+class TestTraceSubcommand:
+    def test_summary_prints_span_table(self, tmp_path, capsys):
+        assert main(["trace", "summary", _trace_dir(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "run segment(s)" in out
+        assert "phase:dataset" in out
+        assert "sim-job" in out
+
+    def test_slowest_honours_top(self, tmp_path, capsys):
+        assert main(["trace", "slowest", _trace_dir(tmp_path), "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "slowest 1 spans" in out
+
+    def test_export_writes_and_validates_default_path(self, tmp_path, capsys):
+        directory = _trace_dir(tmp_path)
+        assert main(["trace", "export", directory]) == 0
+        assert "schema OK" in capsys.readouterr().out
+        with open(os.path.join(directory, CHROME_FILE)) as handle:
+            assert validate_chrome_trace(json.load(handle)) > 0
+
+    def test_export_honours_out(self, tmp_path, capsys):
+        directory = _trace_dir(tmp_path)
+        target = str(tmp_path / "elsewhere.json")
+        assert main(["trace", "export", directory, "--out", target]) == 0
+        assert target in capsys.readouterr().out
+        with open(target) as handle:
+            assert validate_chrome_trace(json.load(handle)) > 0
+        assert not os.path.exists(os.path.join(directory, CHROME_FILE))
+
+    def test_missing_stream_fails_cleanly(self, tmp_path, capsys):
+        assert main(["trace", "summary", str(tmp_path / "absent")]) == 1
+        assert "no trace stream" in capsys.readouterr().err

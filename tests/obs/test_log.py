@@ -1,0 +1,92 @@
+"""Structured stderr logging: namespacing, levels, JSON lines."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.log import configure_logging, get_logger
+
+
+@pytest.fixture(autouse=True)
+def _reset_logging():
+    yield
+    configure_logging(level=None)
+
+
+class TestGetLogger:
+    def test_names_are_namespaced_under_repro(self):
+        assert get_logger("executor").name == "repro.executor"
+        assert get_logger("repro.sim.executor").name == "repro.sim.executor"
+        assert get_logger("repro").name == "repro"
+
+    def test_silent_by_default(self, capsys):
+        configure_logging(level=None)
+        get_logger("quiet").warning("nothing should appear")
+        captured = capsys.readouterr()
+        assert captured.out == "" and captured.err == ""
+
+
+class TestConfigureLogging:
+    def test_text_format_goes_to_the_given_stream(self):
+        stream = io.StringIO()
+        configure_logging(level="info", stream=stream)
+        get_logger("sim.executor").info("probing %d jobs", 3)
+        assert stream.getvalue() == "I repro.sim.executor: probing 3 jobs\n"
+
+    def test_level_filters_records(self):
+        stream = io.StringIO()
+        configure_logging(level="error", stream=stream)
+        get_logger("x").warning("dropped")
+        get_logger("x").error("kept")
+        assert "dropped" not in stream.getvalue()
+        assert "kept" in stream.getvalue()
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging(level="loud")
+
+    def test_reconfiguring_replaces_the_handler(self):
+        stream = io.StringIO()
+        configure_logging(level="info", stream=stream)
+        configure_logging(level="info", stream=stream)
+        get_logger("x").info("once")
+        assert stream.getvalue().count("once") == 1
+
+    def test_none_silences_again(self):
+        stream = io.StringIO()
+        configure_logging(level="info", stream=stream)
+        configure_logging(level=None)
+        get_logger("x").info("gone")
+        assert stream.getvalue() == ""
+
+    def test_never_touches_the_root_logger(self):
+        before = list(logging.getLogger().handlers)
+        configure_logging(level="debug", stream=io.StringIO())
+        assert logging.getLogger().handlers == before
+
+
+class TestJsonLines:
+    def test_records_are_one_json_object_per_line(self):
+        stream = io.StringIO()
+        configure_logging(level="warning", json_lines=True, stream=stream)
+        get_logger("sim.cache").warning("degraded: %s", "full disk")
+        (line,) = stream.getvalue().splitlines()
+        payload = json.loads(line)
+        assert payload["level"] == "warning"
+        assert payload["logger"] == "repro.sim.cache"
+        assert payload["message"] == "degraded: full disk"
+        assert isinstance(payload["ts"], float)
+
+    def test_exception_type_is_captured(self):
+        stream = io.StringIO()
+        configure_logging(level="error", json_lines=True, stream=stream)
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            get_logger("x").exception("failed")
+        payload = json.loads(stream.getvalue().splitlines()[0])
+        assert payload["exc_type"] == "RuntimeError"
