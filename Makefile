@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-chaos trace-smoke bench bench-smoke lint check
+.PHONY: test test-chaos trace-smoke bench bench-smoke bench-replay lint check
 
 # Tier-1: the full unit/integration suite (includes the chaos scenarios).
 test:
@@ -25,6 +25,12 @@ trace-smoke:
 # so executor regressions surface without the full benchmark suite.
 bench-smoke:
 	$(PYTHON) -m pytest -q -m bench_smoke tests/sim/test_executor.py
+
+# Columnar replay speedup floor: scalar vs columnar and the decode-once
+# DVFS sweep, asserting the >=4x steady-state floor and refreshing
+# BENCH_replay.json at the repo root.
+bench-replay:
+	$(PYTHON) -m pytest -q -s -m bench_replay benchmarks/test_bench_replay_speedup.py
 
 # Full paper-figure benchmark suite, including the throughput benchmark.
 bench:

@@ -10,8 +10,15 @@ from __future__ import annotations
 from repro.analysis.checkers import (
     determinism,
     observability,
+    performance,
     purity,
     robustness,
 )
 
-__all__ = ["determinism", "observability", "purity", "robustness"]
+__all__ = [
+    "determinism",
+    "observability",
+    "performance",
+    "purity",
+    "robustness",
+]

@@ -86,6 +86,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "is rerun serially in the parent",
     )
     parser.add_argument(
+        "--engine",
+        choices=("auto", "columnar", "scalar"),
+        default="auto",
+        help="replay engine for every simulation (auto picks columnar; "
+        "both engines are bit-identical)",
+    )
+    parser.add_argument(
         "--log-level",
         choices=LEVELS,
         default=None,
@@ -113,6 +120,7 @@ def _gemstone(args: argparse.Namespace) -> GemStone:
             jobs=None if jobs == 0 else jobs,
             retry=RetryPolicy(max_attempts=max(1, retries)),
             sim_timeout_seconds=getattr(args, "job_timeout", None),
+            engine=getattr(args, "engine", "auto"),
             checkpoint_dir=getattr(args, "checkpoint_dir", None),
             resume=getattr(args, "resume", False),
             trace_dir=getattr(args, "trace_out", None),

@@ -60,6 +60,7 @@ from repro.core.validation import (
     ValidationDataset,
     collect_validation_dataset,
 )
+from repro.sim.cpu import ENGINES
 from repro.sim.dvfs import experiment_frequencies
 from repro.sim.executor import RetryPolicy, SimExecutor
 from repro.sim.faults import FaultPlan
@@ -107,6 +108,10 @@ class GemStoneConfig:
             exceeding it is rerun serially in the parent.
         faults: Optional :class:`~repro.sim.faults.FaultPlan` injected into
             the executor, cache and platform (chaos testing only).
+        engine: Replay engine for every simulation in the run (``"auto"``,
+            ``"columnar"`` or ``"scalar"``, see :func:`repro.sim.simulate`).
+            Both engines are bit-identical, so like ``jobs`` this is an
+            execution knob excluded from the run fingerprint.
         checkpoint_dir: Directory for the crash-safe run state (journal +
             per-phase checkpoints, see :mod:`repro.core.runstate`); ``None``
             disables checkpointing.
@@ -140,6 +145,7 @@ class GemStoneConfig:
     retry: RetryPolicy | None = None
     sim_timeout_seconds: float | None = None
     faults: FaultPlan | None = None
+    engine: str = "auto"
     checkpoint_dir: str | None = None
     resume: bool = False
     trace: bool = False
@@ -151,6 +157,10 @@ class GemStoneConfig:
         if self.core not in ("A7", "A15"):
             raise ValueError(
                 f"core must be 'A7' or 'A15', got {self.core!r}"
+            )
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
             )
 
     def resolve_machine(self) -> MachineConfig:
@@ -214,6 +224,7 @@ class GemStone:
             faults=self.config.faults,
             tracer=self.tracer,
             metrics=self.metrics,
+            engine=self.config.engine,
         )
         # One health record spans the validation and power campaigns; the
         # report surfaces it whenever anything was lost.
@@ -224,12 +235,14 @@ class GemStone:
             cache_dir=self.config.cache_dir,
             executor=self.executor,
             faults=self.config.faults,
+            engine=self.config.engine,
         )
         self.gem5 = Gem5Simulation(
             machine,
             trace_instructions=self.config.trace_instructions,
             cache_dir=self.config.cache_dir,
             executor=self.executor,
+            engine=self.config.engine,
         )
         # Optional crash-safe run state: every memoised product below is
         # checkpointed as its phase completes, and restored on --resume.

@@ -17,7 +17,13 @@
   hangs, cache corruption, power-sample loss) for chaos testing.
 """
 
-from repro.sim.cpu import CpuSimulator, SimResult, simulate
+from repro.sim.cpu import (
+    CpuSimulator,
+    DvfsPointResult,
+    SimResult,
+    simulate,
+    simulate_dvfs_sweep,
+)
 from repro.sim.dvfs import OperatingPoint, OppTable, opp_table_for
 from repro.sim.executor import (
     RetryPolicy,
@@ -44,8 +50,10 @@ from repro.sim.power_ground_truth import PowerGroundTruth
 
 __all__ = [
     "CpuSimulator",
+    "DvfsPointResult",
     "SimResult",
     "simulate",
+    "simulate_dvfs_sweep",
     "OperatingPoint",
     "OppTable",
     "opp_table_for",

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import zlib
 from collections import deque
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -109,23 +110,41 @@ class SimResult:
         return 1.0 - self.counts.get("branch_mispredicts", 0.0) / branches
 
 
-class CpuSimulator:
-    """Reusable simulator bound to one machine configuration."""
+@dataclass
+class _SimState:
+    """All mutable micro-architectural state for one simulation pass.
 
-    def __init__(self, machine: MachineConfig):
-        self.machine = machine
+    Building predictor tables and cache/TLB set lists dominates the cost
+    of short runs; :class:`CpuSimulator` allocates one bundle and
+    :meth:`reset` restores it to the exact cold-construction state between
+    runs, so sweeps don't pay the allocation per run.  The golden and
+    reuse tests assert reset-and-reuse is bit-identical to cold start.
+    """
 
-    def run(self, trace: SyntheticTrace) -> SimResult:
-        """Simulate one trace pass; state is rebuilt per run (cold start)."""
-        return _simulate(trace, self.machine)
+    machine: MachineConfig
+    l1i: SetAssociativeCache
+    l1d: SetAssociativeCache
+    l2: SetAssociativeCache
+    l2_prefetcher: StridePrefetcher
+    tlb: TlbHierarchy
+    predictor: object
+    ras: ReturnAddressStack
+    shadow_stack: deque
+    indirect: IndirectPredictor
+
+    def reset(self) -> None:
+        self.l1i.reset()
+        self.l1d.reset()
+        self.l2.reset()
+        self.l2_prefetcher.reset()
+        self.tlb.reset()
+        self.predictor.reset()
+        self.ras.reset()
+        self.shadow_stack.clear()
+        self.indirect.reset()
 
 
-def simulate(trace: SyntheticTrace, machine: MachineConfig) -> SimResult:
-    """Simulate ``trace`` on ``machine``; see :class:`SimResult`."""
-    return _simulate(trace, machine)
-
-
-def _simulate(trace: SyntheticTrace, machine: MachineConfig) -> SimResult:
+def _make_state(machine: MachineConfig) -> _SimState:
     l1i = SetAssociativeCache(
         "l1i", machine.l1i.size_bytes, machine.l1i.line_bytes, machine.l1i.assoc
     )
@@ -139,14 +158,140 @@ def _simulate(trace: SyntheticTrace, machine: MachineConfig) -> SimResult:
     l2 = SetAssociativeCache(
         "l2", machine.l2.size_bytes, machine.l2.line_bytes, machine.l2.assoc
     )
-    l2_prefetcher = StridePrefetcher(l2, machine.l2.prefetch_degree)
-    tlb = TlbHierarchy(machine.tlb)
-    predictor = make_predictor(
-        machine.predictor, machine.predictor_table_bits, machine.predictor_history_bits
+    return _SimState(
+        machine=machine,
+        l1i=l1i,
+        l1d=l1d,
+        l2=l2,
+        l2_prefetcher=StridePrefetcher(l2, machine.l2.prefetch_degree),
+        tlb=TlbHierarchy(machine.tlb),
+        predictor=make_predictor(
+            machine.predictor,
+            machine.predictor_table_bits,
+            machine.predictor_history_bits,
+        ),
+        ras=ReturnAddressStack(),
+        shadow_stack=deque(maxlen=_SHADOW_STACK_DEPTH),
+        indirect=IndirectPredictor(),
     )
-    ras = ReturnAddressStack()
-    shadow_stack: deque[int] = deque(maxlen=_SHADOW_STACK_DEPTH)
-    indirect = IndirectPredictor()
+
+
+#: Engine names accepted by :func:`simulate` / :class:`CpuSimulator`.
+ENGINES = ("auto", "columnar", "scalar")
+
+
+class CpuSimulator:
+    """Reusable simulator bound to one machine configuration.
+
+    Allocates the micro-architectural state once and resets it between
+    runs, and (with the default columnar engine) shares each trace's
+    decoded columnar form through the trace-level memo — so sweeping one
+    trace over many configurations or many traces over one configuration
+    pays neither repeated decode nor repeated allocation.
+    """
+
+    def __init__(self, machine: MachineConfig, engine: str = "auto"):
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        self.machine = machine
+        self.engine = engine
+        self._state: _SimState | None = None
+
+    def run(self, trace: SyntheticTrace) -> SimResult:
+        """Simulate one trace pass, reusing state across calls."""
+        if self._state is None:
+            self._state = _make_state(self.machine)
+        else:
+            self._state.reset()
+        return _dispatch(trace, self.machine, self.engine, self._state)
+
+
+@dataclass(frozen=True)
+class DvfsPointResult:
+    """One DVFS operating point of a decode-once sweep."""
+
+    freq_hz: float
+    result: SimResult
+    time_seconds: float
+    cycles: float
+
+
+def simulate_dvfs_sweep(
+    trace: SyntheticTrace,
+    machine: MachineConfig,
+    freqs_hz: Sequence[float] | None = None,
+    engine: str = "auto",
+) -> list[DvfsPointResult]:
+    """Replay one trace at every DVFS operating point of ``machine``.
+
+    The trace is decoded once; each point replays through one reused
+    :class:`CpuSimulator`, so after the first replay the columnar engine's
+    verified memos make the remaining points nearly free (the event counts
+    are frequency-invariant; only the timing projection changes).  With no
+    explicit ``freqs_hz``, the paper's Experiment-1 sweep frequencies for
+    the machine's core are used.
+    """
+    if freqs_hz is None:
+        from repro.sim.dvfs import experiment_frequencies
+
+        freqs_hz = experiment_frequencies(machine.core)
+    sim = CpuSimulator(machine, engine=engine)
+    points = []
+    for freq_hz in freqs_hz:
+        result = sim.run(trace)
+        points.append(
+            DvfsPointResult(
+                freq_hz=float(freq_hz),
+                result=result,
+                time_seconds=result.time_seconds(freq_hz),
+                cycles=result.cycles(freq_hz),
+            )
+        )
+    return points
+
+
+def simulate(
+    trace: SyntheticTrace, machine: MachineConfig, engine: str = "auto"
+) -> SimResult:
+    """Simulate ``trace`` on ``machine``; see :class:`SimResult`.
+
+    ``engine`` selects the replay implementation: ``"columnar"`` (the
+    vectorized engine), ``"scalar"`` (the per-block reference loop), or
+    ``"auto"`` (columnar).  Both engines produce bit-identical results;
+    the golden and randomized equivalence suites enforce it.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    return _dispatch(trace, machine, engine, None)
+
+
+def _dispatch(
+    trace: SyntheticTrace,
+    machine: MachineConfig,
+    engine: str,
+    state: _SimState | None,
+) -> SimResult:
+    if engine == "scalar":
+        return _simulate(trace, machine, state)
+    from repro.sim.columnar import simulate_columnar
+
+    return simulate_columnar(trace, machine, state)
+
+
+def _simulate(
+    trace: SyntheticTrace, machine: MachineConfig, state: _SimState | None = None
+) -> SimResult:
+    if state is None:
+        state = _make_state(machine)
+    l1i = state.l1i
+    l1d = state.l1d
+    l2 = state.l2
+    l2_prefetcher = state.l2_prefetcher
+    tlb = state.tlb
+    predictor = state.predictor
+    ras = state.ras
+    shadow_stack = state.shadow_stack
+    indirect = state.indirect
 
     _prewarm(trace, l1i, l1d, l2, tlb)
 
@@ -400,12 +545,16 @@ def _simulate(trace: SyntheticTrace, machine: MachineConfig) -> SimResult:
     return _finalise(
         trace,
         machine,
-        l1i=l1i,
-        l1d=l1d,
-        l2=l2,
-        tlb=tlb,
-        ras=ras,
-        indirect=indirect,
+        l1i_stats=l1i.stats,
+        l1d_stats=l1d.stats,
+        l2_stats=l2.stats,
+        itlb_stats=tlb.itlb.stats,
+        dtlb_stats=tlb.dtlb.stats,
+        l2_itlb_stats=tlb.l2_itlb.stats,
+        l2_dtlb_stats=tlb.l2_dtlb.stats,
+        walks_inst=tlb.walks_inst,
+        walks_data=tlb.walks_data,
+        ras_incorrect=ras.incorrect,
         branch_mispredicts=branch_mispredicts,
         cond_branches=cond_branches,
         cond_mispredicts=cond_mispredicts,
@@ -465,7 +614,24 @@ def _prewarm(
     # simulation itself.  Per-stream footprints are generated as arange
     # ramps and concatenated so each cache/TLB again sees a single bulk
     # fill in the original stream order.
-    l2_capacity_lines = l2.size_bytes // line_bytes
+    l2_warm, l1d_warm, data_pages = _data_warm_arrays(trace, l2.size_bytes)
+    if l2_warm is not None:
+        l2.warm_fill_many(l2_warm)
+        l1d.warm_fill_many(l1d_warm)
+        tlb.l2_dtlb.fill_many(data_pages)
+        tlb.dtlb.fill_many(data_pages)
+
+
+def _data_warm_arrays(trace: SyntheticTrace, l2_size_bytes: int):
+    """Data-side warm sequences shared by both engines.
+
+    Returns ``(l2_warm, l1d_warm, data_pages)`` line/page arrays in the
+    original stream order (every fourth warmed line — offset
+    ``% (step * 4) == 0`` — also lands in the L1D), or ``(None, None,
+    None)`` for a trace without data streams.
+    """
+    line_bytes = CACHE_LINE_BYTES
+    l2_capacity_lines = l2_size_bytes // line_bytes
     warm_budget = 2 * l2_capacity_lines
     l2_warm: list[np.ndarray] = []
     l1d_warm: list[np.ndarray] = []
@@ -479,31 +645,34 @@ def _prewarm(
         warm_budget = max(warm_budget - span_lines // step, 256)
         base_line = stream.base // line_bytes
         l2_warm.append(base_line + np.arange(0, span_lines, step, dtype=np.int64))
-        # Every fourth warmed line (offset % (step * 4) == 0) also lands
-        # in the L1D, matching the interleaved loop's subset exactly.
         l1d_warm.append(base_line + np.arange(0, span_lines, step * 4, dtype=np.int64))
         span_pages = max(1, stream.span // PAGE_BYTES)
         page_step = max(1, span_pages // 1024)
         base_page = stream.base // PAGE_BYTES
         page_warm.append(base_page + np.arange(0, span_pages, page_step, dtype=np.int64))
-    if l2_warm:
-        l2.warm_fill_many(np.concatenate(l2_warm))
-        l1d.warm_fill_many(np.concatenate(l1d_warm))
-        data_pages = np.concatenate(page_warm)
-        tlb.l2_dtlb.fill_many(data_pages)
-        tlb.dtlb.fill_many(data_pages)
+    if not l2_warm:
+        return None, None, None
+    return (
+        np.concatenate(l2_warm),
+        np.concatenate(l1d_warm),
+        np.concatenate(page_warm),
+    )
 
 
 def _finalise(
     trace: SyntheticTrace,
     machine: MachineConfig,
     *,
-    l1i: SetAssociativeCache,
-    l1d: SetAssociativeCache,
-    l2: SetAssociativeCache,
-    tlb: TlbHierarchy,
-    ras: ReturnAddressStack,
-    indirect: IndirectPredictor,
+    l1i_stats,
+    l1d_stats,
+    l2_stats,
+    itlb_stats,
+    dtlb_stats,
+    l2_itlb_stats,
+    l2_dtlb_stats,
+    walks_inst: int,
+    walks_data: int,
+    ras_incorrect: int,
     branch_mispredicts: int,
     cond_branches: int,
     cond_mispredicts: int,
@@ -579,41 +748,41 @@ def _finalise(
         "calls": float(calls),
         "indirect_branches": float(indirect_branches),
         "indirect_mispredicts": float(indirect_mispredicts),
-        "ras_incorrect": float(ras.incorrect),
+        "ras_incorrect": float(ras_incorrect),
         "spec_instructions": float(n_instrs) * spec_inflation,
         "wrongpath_instructions": float(wrongpath_instructions),
         "unaligned_accesses": float(unaligned),
         # Instruction side.
         "l1i_fetch_accesses": float(l1i_fetch_accesses),
         "l1i_instr_accesses": float(n_instrs + wrongpath_instructions),
-        "l1i_misses": float(l1i.stats.read_misses),
-        "itlb_lookups": float(tlb.itlb.stats.lookups),
-        "itlb_misses": float(tlb.itlb.stats.misses),
+        "l1i_misses": float(l1i_stats.read_misses),
+        "itlb_lookups": float(itlb_stats.lookups),
+        "itlb_misses": float(itlb_stats.misses),
         "itlb_wrongpath_misses": float(itlb_wrongpath_misses),
-        "l2tlb_i_accesses": float(tlb.l2_itlb.stats.lookups),
-        "l2tlb_i_hits": float(tlb.l2_itlb.stats.hits),
-        "l2tlb_i_misses": float(tlb.l2_itlb.stats.misses),
-        "itlb_walks": float(tlb.walks_inst),
+        "l2tlb_i_accesses": float(l2_itlb_stats.lookups),
+        "l2tlb_i_hits": float(l2_itlb_stats.hits),
+        "l2tlb_i_misses": float(l2_itlb_stats.misses),
+        "itlb_walks": float(walks_inst),
         # Data side.
-        "dtlb_lookups": float(tlb.dtlb.stats.lookups),
-        "dtlb_misses": float(tlb.dtlb.stats.misses),
-        "l2tlb_d_accesses": float(tlb.l2_dtlb.stats.lookups),
-        "l2tlb_d_misses": float(tlb.l2_dtlb.stats.misses),
-        "dtlb_walks": float(tlb.walks_data),
-        "l1d_rd_accesses": float(l1d.stats.read_accesses),
-        "l1d_wr_accesses": float(l1d.stats.write_accesses),
-        "l1d_rd_misses": float(l1d.stats.read_misses),
-        "l1d_wr_misses": float(l1d.stats.write_misses),
-        "l1d_wr_refills": float(l1d.stats.write_refills),
-        "l1d_writebacks": float(l1d.stats.writebacks),
-        "l1d_streaming_stores": float(l1d.stats.streaming_stores),
+        "dtlb_lookups": float(dtlb_stats.lookups),
+        "dtlb_misses": float(dtlb_stats.misses),
+        "l2tlb_d_accesses": float(l2_dtlb_stats.lookups),
+        "l2tlb_d_misses": float(l2_dtlb_stats.misses),
+        "dtlb_walks": float(walks_data),
+        "l1d_rd_accesses": float(l1d_stats.read_accesses),
+        "l1d_wr_accesses": float(l1d_stats.write_accesses),
+        "l1d_rd_misses": float(l1d_stats.read_misses),
+        "l1d_wr_misses": float(l1d_stats.write_misses),
+        "l1d_wr_refills": float(l1d_stats.write_refills),
+        "l1d_writebacks": float(l1d_stats.writebacks),
+        "l1d_streaming_stores": float(l1d_stats.streaming_stores),
         # Shared L2 and memory.
-        "l2_rd_accesses": float(l2.stats.read_accesses),
-        "l2_wr_accesses": float(l2.stats.write_accesses),
-        "l2_rd_misses": float(l2.stats.read_misses),
-        "l2_wr_misses": float(l2.stats.write_misses),
-        "l2_writebacks": float(l2.stats.writebacks),
-        "l2_prefetches": float(l2.stats.prefetches_issued),
+        "l2_rd_accesses": float(l2_stats.read_accesses),
+        "l2_wr_accesses": float(l2_stats.write_accesses),
+        "l2_rd_misses": float(l2_stats.read_misses),
+        "l2_wr_misses": float(l2_stats.write_misses),
+        "l2_writebacks": float(l2_stats.writebacks),
+        "l2_prefetches": float(l2_stats.prefetches_issued),
         "dram_reads": float(dram_reads),
         "dram_writes": float(dram_writes),
     }

@@ -48,7 +48,7 @@ from typing import Iterable, Sequence
 from repro.obs.log import get_logger
 from repro.obs.metrics import MetricsRegistry, MetricView
 from repro.obs.tracer import NULL_TRACER, Tracer
-from repro.sim.cpu import SimResult, simulate
+from repro.sim.cpu import ENGINES, SimResult, simulate
 from repro.sim.machine import MachineConfig
 from repro.sim.result_cache import SimResultCache, cache_key
 from repro.workloads.trace import SyntheticTrace
@@ -189,7 +189,7 @@ def _run_job(payload):
     """Worker-side entry point: simulate one job.
 
     ``payload`` is ``(trace, machine, cache_dir, faults, ordinal, attempt,
-    want_spans)``.  Any fault matching (ordinal, attempt) fires first — a
+    want_spans, engine)``.  Any fault matching (ordinal, attempt) fires first — a
     ``crash`` fault hard-kills this worker so the parent observes a
     genuine broken pool.
 
@@ -201,7 +201,7 @@ def _run_job(payload):
     parent traces, the worker records its own child spans on a throwaway
     tracer and the parent stitches them into its tree.
     """
-    trace, machine, cache_dir, faults, ordinal, attempt, want_spans = payload
+    trace, machine, cache_dir, faults, ordinal, attempt, want_spans, engine = payload
     tracer = Tracer(enabled=want_spans)
     with tracer.span(
         "sim-job",
@@ -214,7 +214,7 @@ def _run_job(payload):
     ):
         if faults is not None:
             faults.apply_job_fault(ordinal, trace.name, attempt, in_worker=True)
-        result = simulate(trace, machine)
+        result = simulate(trace, machine, engine)
         if cache_dir is not None:
             with tracer.span("cache-put", kind="cache"):
                 SimResultCache(cache_dir, faults=faults).put(
@@ -260,7 +260,12 @@ class SimExecutor:
         faults=None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        engine: str = "auto",
     ):
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
         if jobs is None:
             jobs = os.cpu_count() or 1
         if jobs < 1:
@@ -268,6 +273,7 @@ class SimExecutor:
         if timeout_seconds is not None and timeout_seconds <= 0:
             raise ValueError(f"timeout_seconds must be positive, got {timeout_seconds}")
         self.jobs = int(jobs)
+        self.engine = engine
         self.retry = retry if retry is not None else RetryPolicy()
         self.timeout_seconds = timeout_seconds
         self.faults = faults
@@ -425,7 +431,7 @@ class SimExecutor:
                     i: pool.submit(
                         _run_job,
                         (trace, machine, cache_dir, self.faults, ordinal, 1,
-                         want_spans),
+                         want_spans, self.engine),
                     )
                     for i, ((_, trace, machine), ordinal) in enumerate(
                         zip(pending, ordinals)
@@ -505,7 +511,7 @@ class SimExecutor:
             if result is None:
                 # Reap failed (entry evicted or corrupted underneath us) —
                 # recompute in the parent; determinism makes this safe.
-                result = simulate(trace, machine)
+                result = simulate(trace, machine, self.engine)
                 if self.cache is not None:
                     self.cache.put(trace, machine, result)
             outcomes[i] = result
@@ -575,7 +581,7 @@ class SimExecutor:
                         self.faults.apply_job_fault(
                             ordinal, trace.name, attempt, in_worker=False
                         )
-                    result = simulate(trace, machine)
+                    result = simulate(trace, machine, self.engine)
                 except Exception as exc:
                     if attempt >= self.retry.max_attempts:
                         self.telemetry.jobs_failed += 1

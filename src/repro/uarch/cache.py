@@ -11,6 +11,9 @@ gem5 model's over-aggressive L2 prefetching is another Fig. 6 divergence).
 
 from __future__ import annotations
 
+import heapq
+from bisect import bisect_right
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -115,8 +118,15 @@ class SetAssociativeCache:
 
     def reset(self) -> None:
         """Clear contents and counters."""
-        self._sets = [[] for _ in range(self.n_sets)]
-        self._dirty = [set() for _ in range(self.n_sets)]
+        # Clear in place: rebuilding thousands of per-set lists dominates
+        # reset cost on large L2s, and after a columnar run they are
+        # usually still empty.
+        for s in self._sets:
+            if s:
+                s.clear()
+        for d in self._dirty:
+            if d:
+                d.clear()
         self.stats = CacheStats()
         self._stream_trackers = []
         self._stream_victim = 0
@@ -290,6 +300,681 @@ class SetAssociativeCache:
         return True
 
 
+# --------------------------------------------------------------------------
+# Batched LRU replay (columnar engine)
+# --------------------------------------------------------------------------
+#
+# A pure-LRU set (every access moves its line to MRU, every miss allocates)
+# has a closed-form hit rule: an access hits iff its *stack distance* — the
+# number of distinct other lines touched in the same set since the line's
+# previous access — is below the associativity.  The machinery below
+# resolves a whole access stream at once:
+#
+# 1. ops are partitioned by set (stably, so each set's span stays in time
+#    order) and adjacent same-key repeats are collapsed: a repeat of the
+#    current MRU entry always hits and leaves LRU state untouched;
+# 2. the collapsed stream obeys a *gap shortcut*: an op closer than
+#    ``assoc`` collapsed ops to the previous access of its key cannot have
+#    seen ``assoc`` distinct keys in between, so it hits — and because
+#    adjacent collapsed ops always differ, a gap of ``assoc`` or more in a
+#    2-way structure always proves a miss, making the shortcut complete
+#    for 2-way (and trivially for direct-mapped) geometries;
+# 3. the remainder (long gaps in wider structures) is resolved exactly by
+#    counting *window firsts* — ops whose own previous access precedes the
+#    window, one per distinct key — in vectorised chunks with early exit
+#    once the count reaches ``assoc``;
+# 4. writebacks come from residency chains (one key's run of accesses
+#    between consecutive misses): a dirty chain's victim leaves at the
+#    ``assoc``-th window first after the chain's last touch, located by
+#    the same chunked scan.
+#
+# Caches that break the pure-LRU premise (the Cortex-A15's streaming
+# stores do not allocate; the L2 prefetcher inserts without refreshing
+# recency on hit) are handled by verified fixpoint iterations layered on
+# top of this primitive.
+
+_CHUNK = 16          # initial window-first scan width per vectorised step
+_CHUNK_MAX = 256     # chunk width doubles per step up to this cap
+_MAX_CHUNK_STEPS = 64  # beyond this, unresolved rows take one exact slice
+
+
+def _stable_set_order(sets: np.ndarray, n_sets: int) -> np.ndarray:
+    """Stable argsort by set index, using the narrowest radix that fits."""
+    if n_sets <= np.iinfo(np.uint16).max:
+        sets = sets.astype(np.uint16)
+    elif n_sets <= np.iinfo(np.uint32).max:
+        sets = sets.astype(np.uint32)
+    return np.argsort(sets, kind="stable")
+
+
+def _stable_key_order(keys: np.ndarray) -> np.ndarray:
+    """Stable argsort of key values, remapped to a narrow dtype when possible."""
+    if len(keys) == 0:
+        return np.empty(0, dtype=np.int64)
+    kmin = int(keys.min())
+    if int(keys.max()) - kmin <= np.iinfo(np.uint32).max:
+        return np.argsort((keys - kmin).astype(np.uint32), kind="stable")
+    return np.argsort(keys, kind="stable")
+
+
+def _count_window_firsts(
+    prev: np.ndarray, p: np.ndarray, end: np.ndarray, limit: int
+) -> np.ndarray:
+    """Count ``k in (p, end)`` with ``prev[k] <= p``, early-exiting at ``limit``.
+
+    Returns per-query counts that are exact below ``limit`` and clipped-or-
+    overshot at/above it (callers only compare against ``limit``).  The scan
+    walks each window in vectorised chunks, dropping queries as soon as they
+    resolve, so the cost tracks the stack depth actually needed rather than
+    the raw window length.
+    """
+    nq = len(p)
+    cnt = np.zeros(nq, dtype=np.int64)
+    if nq == 0 or len(prev) == 0:
+        return cnt
+    lo = p + 1
+    act = np.flatnonzero(lo < end)
+    m = len(prev)
+    # Most queries resolve within a few ops (window firsts are dense), so
+    # start with narrow chunks and widen for the stragglers.
+    chunk = _CHUNK
+    steps = 0
+    while act.size:
+        steps += 1
+        window = lo[act, None] + np.arange(chunk, dtype=np.int64)
+        valid = window < end[act, None]
+        np.clip(window, 0, m - 1, out=window)
+        hits = (prev[window] <= p[act, None]) & valid
+        cnt[act] += hits.sum(axis=1)
+        lo[act] += chunk
+        undecided = (cnt[act] < limit) & (lo[act] < end[act])
+        act = act[undecided]
+        chunk = min(chunk * 2, _CHUNK_MAX)
+        if steps >= _MAX_CHUNK_STEPS:
+            break
+    for qi in act.tolist():  # pathological windows: one exact slice each
+        seg = prev[lo[qi] : end[qi]]
+        cnt[qi] += int(np.count_nonzero(seg <= p[qi]))
+    return cnt
+
+
+def _nth_window_first(
+    prev: np.ndarray, boundary: np.ndarray, end: np.ndarray, nth: int
+) -> np.ndarray:
+    """Position of the ``nth`` ``k in (boundary, end)`` with
+    ``prev[k] <= boundary``, or -1 when fewer than ``nth`` exist."""
+    nq = len(boundary)
+    out = np.full(nq, -1, dtype=np.int64)
+    if nq == 0 or len(prev) == 0:
+        return out
+    need = np.full(nq, nth, dtype=np.int64)
+    lo = boundary + 1
+    act = np.flatnonzero(lo < end)
+    m = len(prev)
+    chunk = _CHUNK
+    while act.size:
+        window = lo[act, None] + np.arange(chunk, dtype=np.int64)
+        valid = window < end[act, None]
+        np.clip(window, 0, m - 1, out=window)
+        firsts = (prev[window] <= boundary[act, None]) & valid
+        csum = np.cumsum(firsts, axis=1)
+        total = csum[:, -1]
+        reached = total >= need[act]
+        if reached.any():
+            rows = np.flatnonzero(reached)
+            hit_rows = act[rows]
+            off = (csum[rows] >= need[hit_rows][:, None]).argmax(axis=1)
+            out[hit_rows] = lo[hit_rows] + off
+        need[act] -= total
+        lo[act] += chunk
+        act = act[~reached]
+        act = act[lo[act] < end[act]]
+        chunk = min(chunk * 2, _CHUNK_MAX)
+    return out
+
+
+def warm_content_rows(lines, n_sets: int, assoc: int) -> np.ndarray:
+    """Compress a silent warm-fill sequence to equivalent mutating rows.
+
+    Counter-silent fills only matter through the final LRU state: per set,
+    the last ``assoc`` distinct fills, most recent last.  Replaying the
+    returned rows (oldest resident first) as ordinary mutating accesses on
+    an empty structure reproduces that state exactly, shrinking a warm
+    prefix of arbitrary length to at most ``n_sets * assoc`` rows.
+    """
+    arr = np.asarray(lines, dtype=np.int64)
+    if arr.size == 0:
+        return arr
+    rev = arr[::-1]
+    _, keep = np.unique(rev, return_index=True)
+    keep.sort()
+    mru = rev[keep]  # distinct lines, most recent first
+    sets = mru % n_sets if n_sets > 1 else np.zeros(len(mru), dtype=np.int64)
+    order = _stable_set_order(sets, n_sets)
+    s_sets = sets[order]
+    run_start = np.empty(len(order), dtype=bool)
+    if len(order):
+        run_start[0] = True
+        np.not_equal(s_sets[1:], s_sets[:-1], out=run_start[1:])
+    rank = np.arange(len(order), dtype=np.int64)
+    base = np.maximum.accumulate(np.where(run_start, rank, -1))
+    resident = (rank - base) < assoc
+    survivors = order[resident]          # positions into mru, per set
+    survivors = np.sort(survivors)[::-1]  # oldest fill first
+    return mru[survivors]
+
+
+@dataclass
+class BatchLruResult:
+    """Outcome of one :func:`batch_lru_replay` over an access stream."""
+
+    hit: np.ndarray          # bool per op (queries included)
+    wrote_back: np.ndarray | None = None  # bool per op; True at evicting ops
+
+
+def _fullassoc_lru_replay(
+    keys: np.ndarray, assoc: int, mutating: np.ndarray | None
+) -> BatchLruResult:
+    """Exact LRU replay of one fully-associative set via an OrderedDict.
+
+    Wide single-set structures (the gem5 64-entry TLBs) defeat the gap
+    shortcut — most accesses sit farther than ``assoc`` collapsed ops from
+    their previous touch, pushing every decision into the chunked window
+    scans.  A recency-ordered dict is O(1) per op with all the work in C,
+    which beats the vectorised path outright on such streams.
+    """
+    n = len(keys)
+    if n == 0:
+        return BatchLruResult(np.zeros(0, dtype=bool), None)
+    # Small-alphabet fast path: when the stream's distinct keys all fit in
+    # the structure at once, nothing is ever evicted — presence reduces to
+    # "was this key allocated before", with no LRU bookkeeping at all.
+    order = _stable_key_order(keys)
+    sk = keys[order]
+    new_seg = np.empty(n, dtype=bool)
+    new_seg[0] = True
+    np.not_equal(sk[1:], sk[:-1], out=new_seg[1:])
+    if int(np.count_nonzero(new_seg)) <= assoc:
+        hit = np.empty(n, dtype=bool)
+        if mutating is None:
+            hit_sorted = np.ones(n, dtype=bool)
+            hit_sorted[new_seg] = False
+        else:
+            # Hit iff an earlier op on the same key allocated it.  The
+            # stable key sort keeps positions ordered inside a segment,
+            # so the exclusive per-segment cumsum of mutate flags counts
+            # prior allocations.
+            m_sorted = mutating[order].astype(np.int64)
+            excl = np.cumsum(m_sorted) - m_sorted
+            starts = np.flatnonzero(new_seg)
+            seg_len = np.diff(np.append(starts, n))
+            hit_sorted = (excl - np.repeat(excl[starts], seg_len)) > 0
+        hit[order] = hit_sorted
+        return BatchLruResult(hit, None)
+    # Collapse runs of identical adjacent keys: only a run's first op can
+    # miss, and the run's net LRU effect is one touch (if any op in it
+    # mutates).  Page streams are dominated by such runs, so the python
+    # loop shrinks by the run-length factor.
+    rep_mask = np.empty(n, dtype=bool)
+    rep_mask[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=rep_mask[1:])
+    rep_idx = np.flatnonzero(rep_mask)
+    rep_keys = keys[rep_idx]
+    if mutating is None:
+        rep_mut = None
+    else:
+        # A run mutates iff any of its ops does.
+        csm = np.concatenate([[0], np.cumsum(mutating, dtype=np.int64)])
+        ends = np.append(rep_idx[1:], n)
+        rep_mut = (csm[ends] - csm[rep_idx]) > 0
+    od: OrderedDict[int, None] = OrderedDict()
+    move = od.move_to_end
+    pop = od.popitem
+    rep_hit = np.zeros(len(rep_idx), dtype=bool)
+    hits: list[int] = []
+    if rep_mut is None:
+        for i, k in enumerate(rep_keys.tolist()):
+            if k in od:
+                move(k)
+                hits.append(i)
+            else:
+                od[k] = None
+                if len(od) > assoc:
+                    pop(last=False)
+    else:
+        for i, (k, mut) in enumerate(zip(rep_keys.tolist(), rep_mut.tolist())):
+            if k in od:
+                if mut:
+                    move(k)
+                hits.append(i)
+            elif mut:
+                od[k] = None
+                if len(od) > assoc:
+                    pop(last=False)
+    rep_hit[hits] = True
+    if len(rep_idx) == n:
+        return BatchLruResult(rep_hit, None)
+    rid = np.cumsum(rep_mask) - 1
+    hit = rep_hit[rid]
+    if mutating is not None:
+        # Later ops in a run hit once any earlier op in the run allocated.
+        start = rep_idx[rid]
+        hit |= (csm[np.arange(n)] - csm[start]) > 0
+    else:
+        hit[~rep_mask] = True
+    return BatchLruResult(hit, None)
+
+
+def batch_lru_replay(
+    keys: np.ndarray,
+    n_sets: int,
+    assoc: int,
+    mutating: np.ndarray | None = None,
+    is_write: np.ndarray | None = None,
+    track_writebacks: bool = False,
+) -> BatchLruResult:
+    """Replay a pure-LRU set-associative structure over a whole stream.
+
+    Args:
+        keys: Line/page identifiers in global time order; the set of key
+            ``k`` is ``k % n_sets``.
+        n_sets / assoc: Geometry (matching the scalar models' mapping).
+        mutating: Per-op mask; False rows are non-mutating presence probes
+            (or non-allocating streamed stores) that read the state without
+            touching recency.  Default: every op mutates.
+        is_write: Needed with ``track_writebacks`` to resolve dirty
+            residencies (a residency is dirty when any mutating access in
+            it is a write).
+        track_writebacks: Also compute, per op, whether the op's
+            allocation evicted a dirty victim.
+
+    Returns:
+        Hit flags (and writeback flags) bit-identical to driving the
+        scalar :class:`SetAssociativeCache`/``Tlb`` models op by op,
+        provided every mutating access allocates on miss and inserts at
+        MRU.
+    """
+    n = len(keys)
+    hit = np.zeros(n, dtype=bool)
+    wb = np.zeros(n, dtype=bool) if track_writebacks else None
+    if track_writebacks and is_write is None:
+        raise ValueError("track_writebacks requires is_write")
+    if n == 0:
+        return BatchLruResult(hit, wb)
+    keys = np.asarray(keys, dtype=np.int64)
+
+    if n_sets == 1 and assoc > 2 and not track_writebacks:
+        mut = None if mutating is None else np.asarray(mutating, bool)
+        return _fullassoc_lru_replay(keys, assoc, mut)
+
+    # Partition by set: each set's ops stay contiguous and in time order,
+    # so every same-key window below lies inside one set's span.
+    if n_sets > 1:
+        order = _stable_set_order(keys % n_sets, n_sets)
+        s_keys = keys[order]
+    else:
+        order = None
+        s_keys = keys
+
+    # Mutation subsequence (probes drop out of the state evolution).
+    if mutating is None:
+        mut_pos = None
+        mut_keys = s_keys
+    else:
+        s_mut = mutating[order] if order is not None else np.asarray(mutating, bool)
+        mut_pos = np.flatnonzero(s_mut)
+        mut_keys = s_keys[mut_pos]
+    m_all = len(mut_keys)
+
+    # Collapse adjacent same-key mutations: repeats are guaranteed hits.
+    rep = np.empty(m_all, dtype=bool)
+    if m_all:
+        rep[0] = True
+        np.not_equal(mut_keys[1:], mut_keys[:-1], out=rep[1:])
+    starts = np.flatnonzero(rep)
+    c_keys = mut_keys[starts]
+    M = len(c_keys)
+
+    # Previous collapsed access of the same key, via one stable key sort.
+    ksort = _stable_key_order(c_keys)
+    kk = c_keys[ksort]
+    same = kk[1:] == kk[:-1] if M else np.empty(0, dtype=bool)
+    c_prev = np.full(M, -1, dtype=np.int64)
+    if M:
+        c_prev[ksort[1:][same]] = ksort[:-1][same]
+
+    # Gap shortcut plus exact residue.
+    ordinal = np.arange(M, dtype=np.int64)
+    gap = ordinal - c_prev - 1
+    have_prev = c_prev >= 0
+    c_hit = have_prev & (gap < assoc)
+    if assoc > 2:
+        res = np.flatnonzero(have_prev & (gap >= assoc))
+        if res.size:
+            cnt = _count_window_firsts(c_prev, c_prev[res], res, assoc)
+            c_hit[res] = cnt < assoc
+
+    # Scatter back: collapsed results to survivors, True to repeats.
+    mut_hit = np.ones(m_all, dtype=bool)
+    mut_hit[starts] = c_hit
+
+    if mut_pos is None:
+        s_hit = mut_hit
+    else:
+        s_hit = np.zeros(n, dtype=bool)
+        s_hit[mut_pos] = mut_hit
+        qry_pos = np.flatnonzero(~s_mut)
+        if qry_pos.size:
+            # Collapsed-mutation count before each layout position.
+            surv = np.zeros(n, dtype=np.int64)
+            surv[mut_pos[starts]] = 1
+            cm = np.cumsum(surv) - surv
+            r = cm[qry_pos]
+            q_keys = s_keys[qry_pos]
+            # Last collapsed mutation of the same key before the probe.
+            composite = kk * np.int64(M + 1) + ksort
+            loc = np.searchsorted(composite, q_keys * np.int64(M + 1) + r,
+                                  side="left") - 1
+            valid = loc >= 0
+            qp = np.full(len(qry_pos), -1, dtype=np.int64)
+            if M:
+                safe = np.maximum(loc, 0)
+                valid &= kk[safe] == q_keys
+                qp[valid] = ksort[safe][valid]
+            vi = np.flatnonzero(valid)
+            if vi.size:
+                pj = qp[vi]
+                rj = r[vi]
+                gq = rj - pj - 1
+                qh = gq < assoc
+                if assoc > 2:
+                    resq = np.flatnonzero(~qh)
+                    if resq.size:
+                        cnt = _count_window_firsts(
+                            c_prev, pj[resq], rj[resq], assoc
+                        )
+                        qh[resq] = cnt < assoc
+                s_hit[qry_pos[vi]] = qh
+
+    if order is None:
+        hit = s_hit.copy() if s_hit is mut_hit else s_hit
+    else:
+        hit[order] = s_hit
+
+    if not track_writebacks:
+        return BatchLruResult(hit, wb)
+    if M == 0:
+        return BatchLruResult(hit, wb)
+
+    # Dirty flag per collapsed run (repeats fold their writes in).
+    sw = np.asarray(is_write, bool)
+    w_lay = sw[order] if order is not None else sw
+    w_mut = w_lay[mut_pos] if mut_pos is not None else w_lay
+    cw = np.logical_or.reduceat(w_mut, starts)
+
+    # Residency chains in key-sorted order: a chain runs while the next
+    # same-key access still hits; a miss re-allocates and opens a new one.
+    k_hit = c_hit[ksort]
+    chain_start = np.empty(M, dtype=bool)
+    chain_start[0] = True
+    chain_start[1:] = ~same | ~k_hit[1:]
+    cs_idx = np.flatnonzero(chain_start)
+    chain_dirty = np.logical_or.reduceat(cw[ksort], cs_idx)
+    chain_end = np.append(cs_idx[1:], M)
+    j_last = ksort[chain_end - 1]
+    cand = np.flatnonzero(chain_dirty)
+    if cand.size == 0:
+        return BatchLruResult(hit, wb)
+
+    # Per-collapsed-op set span upper bound, to clamp the eviction scan.
+    if n_sets > 1:
+        c_sets = c_keys % n_sets
+        bnd = np.flatnonzero(c_sets[1:] != c_sets[:-1]) + 1
+        uppers = np.append(bnd, M)
+        lowers = np.insert(bnd, 0, 0)
+        set_end = np.repeat(uppers, uppers - lowers)
+    else:
+        set_end = np.full(M, M, dtype=np.int64)
+
+    jl = j_last[cand]
+    evict_at = _nth_window_first(c_prev, jl, set_end[jl], assoc)
+    found = evict_at >= 0
+    if found.any():
+        ev = evict_at[found]
+        orig = starts[ev] if mut_pos is None else mut_pos[starts[ev]]
+        wb[order[orig] if order is not None else orig] = True
+    return BatchLruResult(hit, wb)
+
+
+@dataclass
+class BatchL1dResult:
+    """Per-op outcome of :func:`batch_l1d_replay` (warm prefix included)."""
+
+    hit: np.ndarray
+    streamed: np.ndarray     # write misses that bypassed allocation
+    wrote_back: np.ndarray
+    rounds: int              # fixpoint iterations (0 = no streaming path)
+
+
+def _build_line_ops(lines: np.ndarray, is_write: np.ndarray) -> dict:
+    """Per-line op index for the sparse streaming derive.
+
+    Maps each line that is ever stored to the positions (and write flags)
+    of all ops touching it — reads included, since a demand read is what
+    re-allocates a streamed-out line.  Depends only on the access stream,
+    so callers replaying the same stream repeatedly memoise it.
+    """
+    written = np.unique(lines[is_write])
+    cand_idx = np.flatnonzero(is_write | np.isin(lines, written))
+    cl = lines[cand_idx]
+    order = _stable_key_order(cl)
+    sl = cl[order]
+    sp = cand_idx[order]
+    sw = is_write[cand_idx][order]
+    line_ops: dict = {}
+    if len(sl) == 0:
+        return line_ops
+    bounds = np.flatnonzero(sl[1:] != sl[:-1]) + 1
+    edges = [0, *bounds.tolist(), len(sl)]
+    # Plain python lists: the derive loop does many tiny point lookups,
+    # where list indexing + bisect beat numpy scalar calls by ~10x.
+    sp_list = sp.tolist()
+    sw_list = sw.tolist()
+    for a, b in zip(edges[:-1], edges[1:]):
+        line_ops[int(sl[a])] = (sp_list[a:b], sw_list[a:b])
+    return line_ops
+
+
+def _derive_stream_decisions(
+    miss_idx: list,
+    miss_lines: list,
+    line_ops: dict,
+    train: int,
+    n_trackers: int,
+    n: int,
+) -> np.ndarray:
+    """Replay the streaming detectors against one round's hit outcomes.
+
+    A clone of ``SetAssociativeCache._stream_check`` driven by the round's
+    store misses, with an *absent overlay*: a streamed store leaves its
+    line out of the cache, so the line's next ops behave differently from
+    what the stale hit flags claim — a follow-on store really misses (and
+    trains the detectors), a read really misses and re-allocates.  Those
+    overlay ops are injected sparsely through a heap of per-line cursors
+    instead of scanning every candidate op, so a round costs
+    O(store misses + ops on absent lines).
+
+    On an outcome prefix that matches real execution both the hit flags
+    and the overlay are exact, so the derived decisions are exact at least
+    one step beyond the prefix — which is what makes the outer fixpoint
+    both exact and convergent.
+    """
+    streamed = np.zeros(n, dtype=bool)
+    trackers: list[list[int]] = []
+    victim = 0
+    streamed_idx: list[int] = []
+    absent: set[int] = set()
+    done: set[int] = set()  # positions already replayed as training events
+    # (position, line, index into line's op list) of injected overlay ops
+    heap: list[tuple[int, int, int]] = []
+    mi = 0
+    nm = len(miss_idx)
+
+    def push_next(line: int, after: int) -> None:
+        pos_list, _ = line_ops[line]
+        k = bisect_right(pos_list, after)
+        if k < len(pos_list):
+            heapq.heappush(heap, (pos_list[k], line, k))
+
+    while mi < nm or heap:
+        if heap and (mi >= nm or heap[0][0] <= miss_idx[mi]):
+            pos, line, k = heapq.heappop(heap)
+            if line not in absent or pos in done:
+                continue
+            if not line_ops[line][1][k]:
+                # A read of an absent line misses and re-allocates it.
+                absent.discard(line)
+                continue
+        else:
+            pos, line = miss_idx[mi], miss_lines[mi]
+            mi += 1
+            if pos in done:
+                continue
+        # Store miss in real execution: train the detectors.
+        done.add(pos)
+        stream = False
+        matched = False
+        for tracker in trackers:
+            if line == tracker[0] + 1:
+                tracker[0] = line
+                tracker[1] += 1
+                stream = tracker[1] >= train
+                matched = True
+                break
+            if line == tracker[0]:
+                stream = tracker[1] >= train
+                matched = True
+                break
+        if not matched:
+            if len(trackers) < n_trackers:
+                trackers.append([line, 0])
+            else:
+                trackers[victim] = [line, 0]
+                victim = (victim + 1) % n_trackers
+        if stream:
+            streamed_idx.append(pos)
+            absent.add(line)
+            push_next(line, pos)
+        else:
+            absent.discard(line)
+    streamed[streamed_idx] = True
+    return streamed
+
+
+def _scalar_l1d_replay(
+    lines: np.ndarray,
+    is_write: np.ndarray,
+    n_warm: int,
+    cache: SetAssociativeCache,
+) -> BatchL1dResult:
+    """Exact scalar fallback: drive a throwaway cache op by op."""
+    n = len(lines)
+    hit = np.zeros(n, dtype=bool)
+    streamed = np.zeros(n, dtype=bool)
+    wrote_back = np.zeros(n, dtype=bool)
+    for i in range(n_warm):
+        cache.fill(int(lines[i]))
+    for i in range(n_warm, n):
+        h, wb, allocated = cache.access(int(lines[i]), bool(is_write[i]))
+        hit[i] = h
+        wrote_back[i] = wb
+        streamed[i] = is_write[i] and not h and not allocated
+    return BatchL1dResult(hit, streamed, wrote_back, rounds=-1)
+
+
+def batch_l1d_replay(
+    lines: np.ndarray,
+    is_write: np.ndarray,
+    n_warm: int,
+    geometry: SetAssociativeCache,
+    max_rounds: int = 12,
+    seed_streamed: np.ndarray | None = None,
+    aux_memo: dict | None = None,
+) -> BatchL1dResult:
+    """Batched replay of an L1D access stream, streaming stores included.
+
+    ``lines``/``is_write`` cover the whole stream in time order; the first
+    ``n_warm`` ops are counter-silent warm fills (``is_write`` False there).
+    ``geometry`` supplies ``n_sets``/``assoc``/streaming parameters; it is
+    *not* mutated.
+
+    Streaming-store caches are not pure LRU — whether a store allocates
+    depends on detector state, which depends on earlier hit outcomes, which
+    depend on earlier allocation decisions.  The loop below iterates on the
+    set of streamed stores: replay under the current guess, re-derive the
+    detector decisions from the resulting outcomes, repeat until the guess
+    reproduces itself.  Any fixpoint equals real execution (induction on
+    the first disagreement), and each round extends the exact prefix by at
+    least one decision, so the iteration terminates; a scalar fallback
+    covers pathological streams that exhaust ``max_rounds``.
+
+    ``seed_streamed`` optionally seeds the initial guess — callers that
+    replay the same stream repeatedly (executor sweeps, repeated runs) can
+    pass a previously converged decision set, reducing steady state to a
+    single verification round.  A wrong seed only costs rounds, never
+    correctness: the result is accepted only once the guess reproduces
+    itself.  ``aux_memo``, likewise stream-keyed by the caller, caches the
+    per-line op index the derive step needs.
+    """
+    n = len(lines)
+    lines = np.asarray(lines, dtype=np.int64)
+    n_sets, assoc = geometry.n_sets, geometry.assoc
+    if not geometry.write_allocate:
+        fresh = SetAssociativeCache(
+            geometry.name, geometry.size_bytes, geometry.line_bytes,
+            geometry.assoc, write_allocate=False,
+            write_streaming=geometry.write_streaming,
+        )
+        return _scalar_l1d_replay(lines, is_write, n_warm, fresh)
+    if not geometry.write_streaming:
+        res = batch_lru_replay(lines, n_sets, assoc, is_write=is_write,
+                               track_writebacks=True)
+        return BatchL1dResult(res.hit, np.zeros(n, bool), res.wrote_back, rounds=0)
+
+    if aux_memo is not None and "line_ops" in aux_memo:
+        line_ops = aux_memo["line_ops"]
+    else:
+        line_ops = _build_line_ops(lines, is_write)
+        if aux_memo is not None:
+            aux_memo["line_ops"] = line_ops
+
+    if seed_streamed is not None and len(seed_streamed) == n:
+        streamed = seed_streamed.astype(bool, copy=True)
+    else:
+        streamed = np.zeros(n, dtype=bool)
+    train, n_trackers = geometry.STREAM_TRAIN, geometry.N_STREAM_TRACKERS
+    for round_no in range(1, max_rounds + 1):
+        res = batch_lru_replay(lines, n_sets, assoc, mutating=~streamed,
+                               is_write=is_write & ~streamed,
+                               track_writebacks=True)
+        miss_idx = np.flatnonzero(is_write & ~res.hit)
+        derived = _derive_stream_decisions(
+            miss_idx.tolist(), lines[miss_idx].tolist(), line_ops,
+            train, n_trackers, n,
+        )
+        if np.array_equal(derived, streamed):
+            hit = res.hit.copy()
+            hit[streamed] = False  # streamed stores report as misses
+            return BatchL1dResult(hit, streamed, res.wrote_back, rounds=round_no)
+        streamed = derived
+    fresh = SetAssociativeCache(
+        geometry.name, geometry.size_bytes, geometry.line_bytes,
+        geometry.assoc, write_allocate=True,
+        write_streaming=True,
+    )
+    return _scalar_l1d_replay(lines, is_write, n_warm, fresh)
+
+
 class StridePrefetcher:
     """A degree-N stride prefetcher attached to one cache level.
 
@@ -305,6 +990,12 @@ class StridePrefetcher:
             raise ValueError("degree must be non-negative")
         self.cache = cache
         self.degree = degree
+        self._last_line = -1
+        self._last_delta = 0
+        self._confidence = 0
+
+    def reset(self) -> None:
+        """Clear training state (the attached cache is reset separately)."""
         self._last_line = -1
         self._last_delta = 0
         self._confidence = 0

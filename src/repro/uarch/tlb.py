@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.uarch.cache import batch_lru_replay
+
 
 @dataclass
 class TlbStats:
@@ -41,7 +43,9 @@ class Tlb:
         self._sets: list[list[int]] = [[] for _ in range(self.n_sets)]
 
     def reset(self) -> None:
-        self._sets = [[] for _ in range(self.n_sets)]
+        for s in self._sets:
+            if s:
+                s.clear()
         self.stats = TlbStats()
 
     def lookup(self, page: int) -> bool:
@@ -112,6 +116,23 @@ class Tlb:
                 fresh += [tag for tag in ways if tag not in fresh_tags]
             del fresh[assoc:]
             sets[s] = fresh
+
+
+def batch_tlb_replay(
+    pages: np.ndarray,
+    tlb: Tlb,
+    mutating: np.ndarray | None = None,
+) -> np.ndarray:
+    """Batched L1-TLB replay over a whole page stream.
+
+    Returns per-op hit flags bit-identical to calling ``lookup`` (mutating
+    rows) / ``contains`` (non-mutating probe rows) in a loop, for the
+    stream in time order.  Warm ``fill``/``fill_many`` pages are modelled
+    as mutating rows at the head of the stream, since a counter-silent
+    fill has exactly a lookup's effect on LRU state.  ``tlb`` only
+    supplies geometry and is not touched.
+    """
+    return batch_lru_replay(pages, tlb.n_sets, tlb.assoc, mutating=mutating).hit
 
 
 @dataclass(frozen=True)

@@ -110,6 +110,58 @@ class Stream:
 
 
 @dataclass
+class ColumnarTrace:
+    """Struct-of-arrays decode of one trace's dynamic execution.
+
+    The columnar replay engine consumes whole event streams as numpy
+    arrays instead of dispatching per instruction: the dynamic block
+    sequence is expanded once into the exact instruction-side page/line
+    fetch events (with the cross-block first-page/first-line dedup the
+    scalar loop performs baked in), the flat data-side line/page/write
+    columns, and the conditional-branch subsequence the branch predictor
+    sees.  Everything here is machine-independent, so one decode serves
+    every machine configuration and every DVFS point of a sweep.
+
+    ``*_pos`` columns give the dynamic block index of each event and
+    ``*_intra`` its ordinal within the block's phase; together with a
+    phase code they reconstruct the scalar engine's exact program order.
+    """
+
+    n_dyn: int
+    block_seq: np.ndarray        # int32, dynamic block ids
+    taken_seq: np.ndarray        # int8
+    target_seq: np.ndarray       # int16
+    class_seq: np.ndarray        # int8, branch class per dynamic block
+    addr_seq: np.ndarray         # int64, branch PC per dynamic block
+    backward_seq: np.ndarray     # bool
+    wp_near_seq: np.ndarray      # int64, near wrong-path page per dynamic block
+    # Instruction-side fetch events (dedup against the previous block applied).
+    ipage_page: np.ndarray       # int64
+    ipage_pos: np.ndarray        # int32
+    ipage_intra: np.ndarray      # int32
+    iline_line: np.ndarray       # int64
+    iline_pos: np.ndarray        # int32
+    iline_intra: np.ndarray      # int32
+    # Data-side columns, one row per dynamic memory operation.
+    mem_line: np.ndarray         # int64
+    mem_page: np.ndarray         # int64
+    mem_write: np.ndarray        # bool
+    mem_pos: np.ndarray          # int32
+    mem_intra: np.ndarray        # int32
+    # Conditional-branch subsequence (branch classes LOOP..RANDOM).
+    cond_pos: np.ndarray         # int32, dynamic positions
+    cond_pc: np.ndarray          # int64
+    cond_taken: np.ndarray       # int8
+    cond_backward: np.ndarray    # bool
+    # Converged fixpoint guesses from prior replays, keyed by geometry
+    # tuple.  Purely an accelerator: replaying the same trace on the same
+    # geometry (executor sweeps, DVFS points, repeated runs) seeds the
+    # streaming/prefetch fixpoints with their known solution, which the
+    # engine still verifies before accepting.
+    fixpoint_seeds: dict = field(default_factory=dict)
+
+
+@dataclass
 class ReplayTables:
     """Machine-independent replay tables derived from one trace.
 
@@ -125,6 +177,10 @@ class ReplayTables:
     and lines within a block are distinct and visited in order, so only a
     block's *first* page/line can coincide with the previously fetched
     one — the tail can be replayed without dedup checks.
+
+    The columnar decode used by the vectorized engine hangs off the same
+    memo (:meth:`columnar`), so the struct-of-arrays expansion is also
+    performed exactly once per trace.
     """
 
     block_seq: list[int]
@@ -146,6 +202,13 @@ class ReplayTables:
     mem_write_per_block: list[tuple[bool, ...]]
     code_lines: list[int]
     code_pages: list[int]
+    _columnar: "ColumnarTrace | None" = None
+
+    def columnar(self, trace: "SyntheticTrace") -> ColumnarTrace:
+        """The struct-of-arrays decode, built on first use and memoised."""
+        if self._columnar is None:
+            self._columnar = build_columnar_trace(trace, self)
+        return self._columnar
 
 
 _KIND_STORE = KIND_INDEX["store"]
@@ -186,6 +249,134 @@ def build_replay_tables(trace: "SyntheticTrace") -> ReplayTables:
     )
 
 
+def _expand_csr(
+    starts: np.ndarray, counts: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gather indices for per-row variable-length slices, plus intra offsets.
+
+    Given per-row slice starts and lengths into some flat array, returns
+    ``(indices, intra)`` where ``flat[indices]`` concatenates the slices in
+    row order and ``intra`` numbers each element within its row.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    out_off = np.zeros(len(counts) + 1, dtype=np.int64)
+    np.cumsum(counts, out=out_off[1:])
+    base = np.repeat(out_off[:-1], counts)
+    intra = np.arange(total, dtype=np.int64) - base
+    indices = np.repeat(starts.astype(np.int64), counts) + intra
+    return indices, intra
+
+
+def build_columnar_trace(
+    trace: "SyntheticTrace", tables: ReplayTables | None = None
+) -> ColumnarTrace:
+    """Decode one trace into :class:`ColumnarTrace` struct-of-arrays form."""
+    if tables is None:
+        tables = trace.replay_tables()
+    bs = np.asarray(trace.block_seq, dtype=np.int32)
+    n_dyn = int(bs.size)
+    taken = np.asarray(trace.taken_seq, dtype=np.int8)
+    targets = np.asarray(trace.indirect_target_seq, dtype=np.int16)
+
+    # Per-static-block flat page/line pools with CSR offsets.
+    pages_flat = np.asarray(
+        [page for pages in tables.block_pages for page in pages], dtype=np.int64
+    )
+    lines_flat = np.asarray(
+        [line for lines in tables.block_lines for line in lines], dtype=np.int64
+    )
+    pages_len = np.asarray([len(p) for p in tables.block_pages], dtype=np.int64)
+    lines_len = np.asarray([len(li) for li in tables.block_lines], dtype=np.int64)
+    pages_off = np.zeros(len(pages_len) + 1, dtype=np.int64)
+    np.cumsum(pages_len, out=pages_off[1:])
+    lines_off = np.zeros(len(lines_len) + 1, dtype=np.int64)
+    np.cumsum(lines_len, out=lines_off[1:])
+    first_page = pages_flat[pages_off[:-1]] if pages_flat.size else pages_flat
+    first_line = lines_flat[lines_off[:-1]] if lines_flat.size else lines_flat
+    last_page = np.asarray(tables.block_last_page, dtype=np.int64)
+    last_line = np.asarray(tables.block_last_line, dtype=np.int64)
+
+    # Cross-block dedup: the scalar loop skips a block's first page/line when
+    # it equals the previously fetched one.
+    drop_page = np.zeros(n_dyn, dtype=np.int64)
+    drop_line = np.zeros(n_dyn, dtype=np.int64)
+    if n_dyn > 1:
+        drop_page[1:] = first_page[bs[1:]] == last_page[bs[:-1]]
+        drop_line[1:] = first_line[bs[1:]] == last_line[bs[:-1]]
+    page_counts = pages_len[bs] - drop_page
+    line_counts = lines_len[bs] - drop_line
+    page_idx, ipage_intra = _expand_csr(pages_off[:-1][bs] + drop_page, page_counts)
+    line_idx, iline_intra = _expand_csr(lines_off[:-1][bs] + drop_line, line_counts)
+    dyn_ids = np.arange(n_dyn, dtype=np.int32)
+    ipage_pos = np.repeat(dyn_ids, page_counts)
+    iline_pos = np.repeat(dyn_ids, line_counts)
+
+    # Data side: mem_lines/mem_pages are already flat in program order.
+    mem_line = np.asarray(tables.mem_lines, dtype=np.int64)
+    mem_page = np.asarray(tables.mem_pages, dtype=np.int64)
+    write_flat = np.asarray(
+        [w for ws in tables.mem_write_per_block for w in ws], dtype=bool
+    )
+    n_mem_len = np.asarray(tables.block_n_mem, dtype=np.int64)
+    n_mem_off = np.zeros(len(n_mem_len) + 1, dtype=np.int64)
+    np.cumsum(n_mem_len, out=n_mem_off[1:])
+    mem_counts = n_mem_len[bs]
+    mem_idx, mem_intra = _expand_csr(n_mem_off[:-1][bs], mem_counts)
+    mem_write = (
+        write_flat[mem_idx] if write_flat.size else np.zeros(0, dtype=bool)
+    )
+    mem_pos = np.repeat(dyn_ids, mem_counts)
+
+    class_seq = np.asarray(tables.block_class, dtype=np.int8)[bs]
+    addr_seq = np.asarray(tables.block_addr, dtype=np.int64)[bs]
+    backward_seq = np.asarray(tables.block_backward, dtype=bool)[bs]
+    wp_near_seq = np.asarray(tables.wp_near_page, dtype=np.int64)[bs]
+
+    cond_mask = class_seq <= int(BranchClass.RANDOM)
+    cond_pos = np.flatnonzero(cond_mask).astype(np.int32)
+
+    return ColumnarTrace(
+        n_dyn=n_dyn,
+        block_seq=bs,
+        taken_seq=taken,
+        target_seq=targets,
+        class_seq=class_seq,
+        addr_seq=addr_seq,
+        backward_seq=backward_seq,
+        wp_near_seq=wp_near_seq,
+        ipage_page=pages_flat[page_idx],
+        ipage_pos=ipage_pos,
+        ipage_intra=ipage_intra.astype(np.int32),
+        iline_line=lines_flat[line_idx],
+        iline_pos=iline_pos,
+        iline_intra=iline_intra.astype(np.int32),
+        mem_line=mem_line,
+        mem_page=mem_page,
+        mem_write=mem_write,
+        mem_pos=mem_pos,
+        mem_intra=mem_intra.astype(np.int32),
+        cond_pos=cond_pos,
+        cond_pc=addr_seq[cond_mask],
+        cond_taken=taken[cond_mask],
+        cond_backward=backward_seq[cond_mask],
+    )
+
+
+#: Process-wide replay-table memo keyed by trace identity.  A campaign that
+#: simulates the same workload across machines, DVFS points and executor
+#: jobs decodes each trace exactly once per process: executor workers
+#: receive traces pickled without their decode (see
+#: ``SyntheticTrace.__getstate__``) and re-attach the shared tables here.
+_REPLAY_MEMO: dict[tuple[str, int, int, int], ReplayTables] = {}
+_REPLAY_MEMO_MAX = 64
+
+
+def _trace_identity(trace: "SyntheticTrace") -> tuple[str, int, int, int]:
+    return (trace.name, trace.seed, trace.n_instrs, int(len(trace.block_seq)))
+
+
 @dataclass
 class SyntheticTrace:
     """A compiled, machine-independent dynamic instruction trace.
@@ -224,10 +415,38 @@ class SyntheticTrace:
     )
 
     def replay_tables(self) -> ReplayTables:
-        """The flattened replay tables, built on first use and memoised."""
+        """The flattened replay tables, built on first use and memoised.
+
+        The memo is shared process-wide by trace identity (name, seed,
+        instruction count, dynamic length), so re-compiled or unpickled
+        copies of the same trace — executor jobs, platform vs gem5 layers,
+        DVFS sweeps — all reuse one decode.
+        """
         if self._replay is None:
-            self._replay = build_replay_tables(self)
+            key = _trace_identity(self)
+            tables = _REPLAY_MEMO.get(key)
+            if tables is None:
+                tables = build_replay_tables(self)
+                if len(_REPLAY_MEMO) >= _REPLAY_MEMO_MAX:
+                    _REPLAY_MEMO.pop(next(iter(_REPLAY_MEMO)))
+                _REPLAY_MEMO[key] = tables
+            self._replay = tables
         return self._replay
+
+    def columnar(self) -> ColumnarTrace:
+        """The struct-of-arrays decode (shared via the replay-table memo)."""
+        return self.replay_tables().columnar(self)
+
+    def __getstate__(self):
+        # Replay tables are derived data and can be megabytes of numpy
+        # arrays; drop them from pickles (executor job submission) and let
+        # the receiving process rebuild or reuse its own shared memo.
+        state = self.__dict__.copy()
+        state["_replay"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
 
     @property
     def n_branches(self) -> int:

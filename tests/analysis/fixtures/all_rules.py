@@ -1,14 +1,16 @@
 """Known-bad fixture: exactly one finding for each core repro-lint rule.
 
 Linted with ``--assume-module repro.sim._fixture`` so the scoped
-determinism rules apply; tests assert the reported rule ids are exactly
-{DET001, DET002, DET003, OBS001, PURE001, PURE002, ROB001, ROB002}, one
-finding each.  This file is never imported and is excluded from every
-self-clean run.
+determinism and performance rules apply; tests assert the reported rule
+ids are exactly {DET001, DET002, DET003, OBS001, PERF001, PURE001,
+PURE002, ROB001, ROB002}, one finding each.  This file is never imported
+and is excluded from every self-clean run.
 """
 
 import random
 import time
+
+import numpy as np
 from concurrent.futures import ProcessPoolExecutor
 
 _tally = {"calls": 0}
@@ -54,3 +56,8 @@ def rob002(path, payload):
 
 def obs001(value):
     print(value)
+
+
+def perf001(values):
+    keys = np.asarray(values)
+    return [key + 1 for key in keys]

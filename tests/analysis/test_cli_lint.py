@@ -26,12 +26,13 @@ class TestFixtureFiles:
         assert exit_code == 1
         # One finding per core rule, nothing else.
         assert sorted(reported) == [
-            "DET001", "DET002", "DET003", "OBS001",
+            "DET001", "DET002", "DET003", "OBS001", "PERF001",
             "PURE001", "PURE002", "ROB001", "ROB002",
         ]
         assert document["counts"] == {
             "DET001": 1, "DET002": 1, "DET003": 1, "OBS001": 1,
-            "PURE001": 1, "PURE002": 1, "ROB001": 1, "ROB002": 1,
+            "PERF001": 1, "PURE001": 1, "PURE002": 1, "ROB001": 1,
+            "ROB002": 1,
         }
 
     def test_suppressed_fixture_exercises_suppression_paths(self, capsys):
@@ -84,7 +85,8 @@ class TestExitCodesAndFlags:
         document = json.loads(capsys.readouterr().out)
         assert exit_code == 1
         assert sorted(document["counts"]) == [
-            "DET001", "DET002", "OBS001", "PURE002", "ROB001", "ROB002",
+            "DET001", "DET002", "OBS001", "PERF001", "PURE002",
+            "ROB001", "ROB002",
         ]
 
     def test_exclude_skips_the_fixture_tree(self, capsys):
@@ -99,8 +101,8 @@ class TestExitCodesAndFlags:
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in (
-            "DET001", "DET002", "DET003", "OBS001", "PURE001", "PURE002",
-            "ROB001", "ROB002", "SUP001", "SUP002", "PARSE001",
+            "DET001", "DET002", "DET003", "OBS001", "PERF001", "PURE001",
+            "PURE002", "ROB001", "ROB002", "SUP001", "SUP002", "PARSE001",
         ):
             assert rule_id in out
 
@@ -108,8 +110,8 @@ class TestExitCodesAndFlags:
         exit_code = lint_main([ALL_RULES, *AS_SIM])
         out = capsys.readouterr().out
         assert exit_code == 1
-        assert "all_rules.py:18:12: DET001" in out
-        assert out.strip().endswith("6 error(s), 2 warning(s)")
+        assert "all_rules.py:20:12: DET001" in out
+        assert out.strip().endswith("6 error(s), 3 warning(s)")
 
 
 class TestGemstoneLintSubcommand:
@@ -119,7 +121,7 @@ class TestGemstoneLintSubcommand:
         )
         document = json.loads(capsys.readouterr().out)
         assert exit_code == 1
-        assert document["total"] == 8
+        assert document["total"] == 9
 
     def test_gemstone_lint_clean_exits_zero(self, tmp_path, capsys):
         clean = tmp_path / "clean.py"

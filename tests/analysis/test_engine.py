@@ -128,6 +128,7 @@ class TestRegistry:
         assert set(REGISTRY) == {
             "DET001", "DET002", "DET003",
             "OBS001",
+            "PERF001",
             "PURE001", "PURE002",
             "ROB001", "ROB002",
             "SUP001", "SUP002",

@@ -1,0 +1,152 @@
+"""PERF001: per-element Python loops over numpy arrays in hot modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import LintConfig
+from tests.analysis import lint_snippet, rule_ids
+
+PERF = LintConfig(select=frozenset({"PERF001"}))
+
+
+class TestPerf001Flags:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            # Direct iteration over a numpy call.
+            "import numpy as np\n"
+            "def f(mask):\n"
+            "    for i in np.flatnonzero(mask):\n"
+            "        use(i)\n",
+            # Iteration over a name bound to a numpy call.
+            "import numpy as np\n"
+            "def f(xs):\n"
+            "    keys = np.asarray(xs)\n"
+            "    for key in keys:\n"
+            "        use(key)\n",
+            # Through enumerate.
+            "import numpy as np\n"
+            "def f(xs):\n"
+            "    arr = np.sort(xs)\n"
+            "    for i, x in enumerate(arr):\n"
+            "        use(i, x)\n",
+            # Through zip, second position.
+            "import numpy as np\n"
+            "def f(xs, ys):\n"
+            "    arr = np.asarray(ys)\n"
+            "    for x, y in zip(xs, arr):\n"
+            "        use(x, y)\n",
+            # The range(len(arr)) index-loop idiom.
+            "import numpy as np\n"
+            "def f(xs):\n"
+            "    arr = np.asarray(xs)\n"
+            "    for i in range(len(arr)):\n"
+            "        use(arr[i])\n",
+            # range(len(arr) - 1) arithmetic still counts.
+            "import numpy as np\n"
+            "def f(xs):\n"
+            "    arr = np.cumsum(xs)\n"
+            "    for i in range(len(arr) - 1):\n"
+            "        use(arr[i])\n",
+            # Slices of arrays are arrays.
+            "import numpy as np\n"
+            "def f(xs):\n"
+            "    arr = np.asarray(xs)\n"
+            "    tail = arr[1:]\n"
+            "    for x in tail:\n"
+            "        use(x)\n",
+            # Comprehensions are per-element loops too.
+            "import numpy as np\n"
+            "def f(xs):\n"
+            "    arr = np.asarray(xs)\n"
+            "    return [x + 1 for x in arr]\n",
+        ],
+        ids=[
+            "direct-call", "bound-name", "enumerate", "zip",
+            "range-len", "range-len-arith", "subscript", "comprehension",
+        ],
+    )
+    def test_flags_in_hot_modules(self, snippet):
+        assert rule_ids(lint_snippet(snippet, config=PERF)) == ["PERF001"]
+
+    def test_applies_to_uarch_modules(self):
+        snippet = (
+            "import numpy as np\n"
+            "def f(mask):\n"
+            "    for i in np.flatnonzero(mask):\n"
+            "        use(i)\n"
+        )
+        findings = lint_snippet(
+            snippet, module="repro.uarch.cache", config=PERF
+        )
+        assert rule_ids(findings) == ["PERF001"]
+
+    def test_severity_is_warning(self):
+        snippet = (
+            "import numpy as np\n"
+            "def f(xs):\n"
+            "    for x in np.asarray(xs):\n"
+            "        use(x)\n"
+        )
+        (finding,) = lint_snippet(snippet, config=PERF)
+        assert finding.severity.value == "warning"
+
+
+class TestPerf001Allows:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            # The sanctioned sequential-residue shape: iterate a list copy.
+            "import numpy as np\n"
+            "def f(xs):\n"
+            "    arr = np.asarray(xs)\n"
+            "    for x in arr.tolist():\n"
+            "        use(x)\n",
+            # Rebinding to .tolist() clears the name.
+            "import numpy as np\n"
+            "def f(xs):\n"
+            "    arr = np.asarray(xs)\n"
+            "    arr = arr.tolist()\n"
+            "    for x in arr:\n"
+            "        use(x)\n",
+            # Plain Python containers are fine.
+            "def f(xs):\n"
+            "    pairs = [(x, x + 1) for x in xs]\n"
+            "    for a, b in pairs:\n"
+            "        use(a, b)\n",
+            # range over a plain int is fine.
+            "def f(n):\n"
+            "    for i in range(n):\n"
+            "        use(i)\n",
+            # len() of a non-numpy value is fine.
+            "def f(xs):\n"
+            "    for i in range(len(xs)):\n"
+            "        use(xs[i])\n",
+        ],
+        ids=["tolist", "rebind-tolist", "python-list", "range-int",
+             "range-len-list"],
+    )
+    def test_allows_listified_and_plain_loops(self, snippet):
+        assert lint_snippet(snippet, config=PERF) == []
+
+    def test_out_of_scope_modules_are_ignored(self):
+        snippet = (
+            "import numpy as np\n"
+            "def f(xs):\n"
+            "    for x in np.asarray(xs):\n"
+            "        use(x)\n"
+        )
+        for module in ("repro.core.report", "repro.analysis.engine",
+                       "tests.helpers"):
+            assert lint_snippet(snippet, module=module, config=PERF) == []
+
+    def test_suppressible_inline(self):
+        snippet = (
+            "import numpy as np\n"
+            "def f(xs):\n"
+            "    arr = np.asarray(xs)\n"
+            "    for x in arr:  # repro: noqa[PERF001]\n"
+            "        use(x)\n"
+        )
+        assert lint_snippet(snippet, config=PERF) == []

@@ -1,11 +1,17 @@
 """Golden-value regression tests for the CPU simulator.
 
-``golden_simulate.json`` pins the exact :func:`simulate` outputs for two
-(trace, machine) pairs, captured before the vectorized replay fast paths
-landed.  Every optimisation of the hot loop, the pre-warm stage or the
+``golden_simulate.json`` pins the exact :func:`simulate` outputs for
+(trace, machine) pairs covering both cores' hardware and gem5 machine
+configs; the first two cases were captured before the vectorized replay
+fast paths landed, and every case's values were captured with the scalar
+engine.  Every optimisation of the hot loop, the pre-warm stage or the
 micro-architectural components must keep these values *bit-identical* —
 floats are compared with ``==``, not a tolerance, which is exact because
 JSON round-trips Python floats losslessly (repr shortest-roundtrip).
+
+Each case also pins a ``dvfs`` section: ``time_seconds``/``cycles`` at
+every frequency of the paper's per-cluster DVFS sweep, asserting that the
+frequency-analytic timing stays exact at each operating point.
 
 If a deliberate modelling change alters simulation semantics, regenerate
 the file (and bump ``CACHE_SCHEMA_VERSION`` in ``repro.sim.result_cache``)
@@ -52,3 +58,11 @@ class TestGoldenSimulate:
 
     def test_components_bit_identical(self, result, key, expected):
         assert result.components == expected["components"]
+
+    def test_dvfs_points_bit_identical(self, result, key, expected):
+        if "dvfs" not in expected:
+            pytest.skip("case predates the DVFS golden section")
+        for mhz, point in expected["dvfs"].items():
+            freq_hz = float(mhz) * 1e6
+            assert result.time_seconds(freq_hz) == point["time_seconds"], mhz
+            assert result.cycles(freq_hz) == point["cycles"], mhz
