@@ -1,17 +1,21 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-chaos trace-smoke bench bench-smoke bench-replay lint check
+.PHONY: test test-chaos trace-smoke bench bench-smoke bench-replay bench-guard lint check
 
 # Tier-1: the full unit/integration suite (includes the chaos scenarios).
 test:
 	$(PYTHON) -m pytest -x -q
 
 # Deterministic fault-injection scenarios only: worker crashes, hangs,
-# poisoned jobs, cache corruption, power-sample loss — each must recover
-# to bit-identical results with the losses enumerated in the telemetry.
+# poisoned jobs, cache corruption, power-sample loss, and the columnar
+# guardrail scenarios (corrupt decoded columns, poisoned memos, NaN
+# passes, worker OOM, poison-job circuit breaking) — each must recover
+# to bit-identical results with the losses enumerated in the telemetry
+# and every guard intervention recorded in the collection health.
 # Includes the checkpoint/resume scenarios: the pipeline is killed after
-# every phase and the --resume run must produce a byte-identical report.
+# every phase (including through a guard-triggered fallback) and the
+# --resume run must produce a byte-identical report.
 test-chaos:
 	$(PYTHON) -m pytest -q -m chaos
 
@@ -31,6 +35,12 @@ bench-smoke:
 # BENCH_replay.json at the repo root.
 bench-replay:
 	$(PYTHON) -m pytest -q -s -m bench_replay benchmarks/test_bench_replay_speedup.py
+
+# Guardrail overhead: sentinel-mode bookkeeping plus the amortised
+# dual-engine replay must stay under the 5% budget; refreshes
+# BENCH_guard.json at the repo root.
+bench-guard:
+	$(PYTHON) -m pytest -q -s benchmarks/test_bench_guard_overhead.py
 
 # Full paper-figure benchmark suite, including the throughput benchmark.
 bench:

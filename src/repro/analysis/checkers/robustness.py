@@ -1,5 +1,6 @@
 """Robustness rules: ROB001 (handler swallows BaseException), ROB002
-(non-atomic artifact write in a crash-safe layer).
+(non-atomic artifact write in a crash-safe layer), ROB003 (silent
+degradation in a recovery path).
 
 The executor and cache recovery paths deliberately catch ``Exception`` to
 degrade gracefully (serial fallback, cache quarantine) — that is policy.
@@ -15,6 +16,15 @@ append-only (mode ``"a"``) journal.  A plain ``open(path, "w")`` truncates
 the previous artifact before the new bytes land, and ``os.rename`` is the
 clobber-prone cousin of ``os.replace`` — both leave a torn file behind a
 crash, which is exactly what the checkpoint/resume layer exists to prevent.
+
+ROB003 enforces the guardrail contract of :mod:`repro.sim.guard`: a
+recovery handler inside ``repro.sim`` that degrades (engine fallback,
+quarantine, skipped entry) must leave a trace — a
+:class:`~repro.sim.guard.GuardEvent`/health record, a telemetry counter
+bump, a tracer event or at minimum a log line.  A handler that just
+``return``s a default swallows the *fact* that something went wrong, which
+is exactly the "silent wrong number" failure mode the guard layer exists
+to kill.
 """
 
 from __future__ import annotations
@@ -95,6 +105,96 @@ def _open_mode(node: ast.Call) -> str | None:
     if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
         return mode.value
     return None
+
+
+#: Terminal attribute names whose call counts as "the degradation was
+#: recorded": guard/health records, telemetry counters and span/tracer
+#: attributes, structured logging, warnings.
+_EMISSION_CALLS = frozenset(
+    {
+        "record",
+        "record_failure",
+        "record_guard_event",
+        "absorb",
+        "absorb_guard_events",
+        "event",
+        "set",
+        "warn",
+        "debug",
+        "info",
+        "warning",
+        "error",
+        "exception",
+        "critical",
+        "_degrade",
+        "_quarantine",
+    }
+)
+
+
+def _emits_record(handler: ast.ExceptHandler) -> bool:
+    """Whether a handler leaves any trace of the failure it absorbed.
+
+    Recognised traces: re-raising (or raising a transformed error), calling
+    an emission-style method (:data:`_EMISSION_CALLS` — guard events,
+    health records, tracer events, log calls, warnings, cache degrade/
+    quarantine helpers), constructing a ``GuardEvent`` (the guard layer's
+    structured record of a degradation), or bumping a telemetry counter via
+    an augmented attribute assignment (``self.telemetry.misses += 1``).
+    """
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in _EMISSION_CALLS:
+                return True
+            if isinstance(func, ast.Name) and func.id == "GuardEvent":
+                return True
+        if isinstance(node, ast.AugAssign) and isinstance(
+            node.target, ast.Attribute
+        ):
+            return True
+    return False
+
+
+@rule(
+    "ROB003",
+    "silent degradation in a recovery path",
+    Severity.ERROR,
+    "An engine-fallback or quarantine handler that absorbs an exception "
+    "without emitting a GuardEvent, health record, telemetry bump, tracer "
+    "event or log line hides that the run degraded — the silent-wrong-"
+    "number failure mode the guard layer exists to prevent.",
+    scope=("repro.sim",),
+)
+class SilentDegradationChecker(BaseChecker):
+    """Flags named-exception handlers in ``repro.sim`` that leave no trace.
+
+    Bare and ``BaseException`` handlers are ROB001's domain and skipped
+    here, so one bad handler never double-reports.
+    """
+
+    def _check_handlers(self, node: ast.Try) -> None:
+        for handler in node.handlers:
+            if _names_base_exception(handler.type):
+                continue
+            if not _emits_record(handler):
+                caught = ast.unparse(handler.type)
+                self.report(
+                    handler,
+                    f"'except {caught}:' degrades silently; record the "
+                    "fallback (GuardEvent/health record, telemetry counter, "
+                    "tracer event or log line) or re-raise",
+                )
+
+    def visit_Try(self, node: ast.Try) -> None:
+        self._check_handlers(node)
+        self.generic_visit(node)
+
+    def visit_TryStar(self, node: ast.Try) -> None:
+        self._check_handlers(node)
+        self.generic_visit(node)
 
 
 @rule(

@@ -93,6 +93,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "both engines are bit-identical)",
     )
     parser.add_argument(
+        "--guard-level",
+        choices=("off", "sentinel", "paranoid"),
+        default="sentinel",
+        help="runtime guardrails over the replay engine: sentinel samples "
+        "jobs through both engines and falls back to scalar on any "
+        "divergence/NaN/corrupt decode; paranoid dual-replays every job",
+    )
+    parser.add_argument(
         "--log-level",
         choices=LEVELS,
         default=None,
@@ -121,6 +129,7 @@ def _gemstone(args: argparse.Namespace) -> GemStone:
             retry=RetryPolicy(max_attempts=max(1, retries)),
             sim_timeout_seconds=getattr(args, "job_timeout", None),
             engine=getattr(args, "engine", "auto"),
+            guard_level=getattr(args, "guard_level", "sentinel"),
             checkpoint_dir=getattr(args, "checkpoint_dir", None),
             resume=getattr(args, "resume", False),
             trace_dir=getattr(args, "trace_out", None),

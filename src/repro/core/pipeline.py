@@ -64,6 +64,7 @@ from repro.sim.cpu import ENGINES
 from repro.sim.dvfs import experiment_frequencies
 from repro.sim.executor import RetryPolicy, SimExecutor
 from repro.sim.faults import FaultPlan
+from repro.sim.guard import GUARD_LEVELS, GuardPlan
 from repro.sim.gem5 import Gem5Simulation
 from repro.sim.machine import (
     MachineConfig,
@@ -112,6 +113,13 @@ class GemStoneConfig:
             ``"columnar"`` or ``"scalar"``, see :func:`repro.sim.simulate`).
             Both engines are bit-identical, so like ``jobs`` this is an
             execution knob excluded from the run fingerprint.
+        guard_level: Runtime guardrails over the replay engine
+            (:mod:`repro.sim.guard`): ``"off"``, ``"sentinel"`` (the
+            default — decode validation, NaN rejection, sampled
+            dual-engine divergence sentinels with scalar fallback, poison
+            -job circuit breaker) or ``"paranoid"`` (every job
+            dual-replayed).  Guards never change a correct result, so this
+            too is an execution knob excluded from the run fingerprint.
         checkpoint_dir: Directory for the crash-safe run state (journal +
             per-phase checkpoints, see :mod:`repro.core.runstate`); ``None``
             disables checkpointing.
@@ -146,6 +154,7 @@ class GemStoneConfig:
     sim_timeout_seconds: float | None = None
     faults: FaultPlan | None = None
     engine: str = "auto"
+    guard_level: str = "sentinel"
     checkpoint_dir: str | None = None
     resume: bool = False
     trace: bool = False
@@ -161,6 +170,11 @@ class GemStoneConfig:
         if self.engine not in ENGINES:
             raise ValueError(
                 f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )
+        if self.guard_level not in GUARD_LEVELS:
+            raise ValueError(
+                f"guard_level must be one of {GUARD_LEVELS}, "
+                f"got {self.guard_level!r}"
             )
 
     def resolve_machine(self) -> MachineConfig:
@@ -225,6 +239,7 @@ class GemStone:
             tracer=self.tracer,
             metrics=self.metrics,
             engine=self.config.engine,
+            guard=GuardPlan.from_level(self.config.guard_level),
         )
         # One health record spans the validation and power campaigns; the
         # report surfaces it whenever anything was lost.

@@ -131,6 +131,11 @@ def collect_power_dataset(
     if health is None:
         health = CollectionHealth()
     executor = _resolve_executor(executor, jobs, platform)
+    guard_seen = (
+        len(executor.guard.events)
+        if executor is not None and getattr(executor, "guard", None) is not None
+        else 0
+    )
     if executor is not None:
         from repro.sim.executor import prime_engines
 
@@ -165,6 +170,8 @@ def collect_power_dataset(
                     threads=profile.threads,
                 )
             )
+    if executor is not None and getattr(executor, "guard", None) is not None:
+        health.absorb_guard_events(executor.guard.events[guard_seen:])
     if not observations:
         raise RuntimeError(
             f"power collection failed completely ({health.summary()})"

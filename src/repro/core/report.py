@@ -357,6 +357,10 @@ def render_full_report(gemstone, include_telemetry: bool = True) -> str:
             )
         )
 
+    guard = getattr(executor, "guard", None)
+    if include_telemetry and guard is not None and guard.plan.active:
+        sections.append(render_guardrails(guard))
+
     return "\n\n".join(sections)
 
 
@@ -391,6 +395,39 @@ def render_sim_telemetry(telemetry, jobs: int, cache_telemetry=None) -> str:
     )
 
 
+def render_guardrails(guard, max_events: int = 12) -> str:
+    """Runtime guardrail accounting for one run.
+
+    Summarises what the divergence sentinels, decode validation and the
+    campaign watchdog (:mod:`repro.sim.guard`) observed and did: how many
+    jobs were dual-replayed, every fallback/quarantine/circuit-break, and
+    the watchdog's budget breaches.  A clean run renders all zeros — the
+    section states that the guarantees were *checked*, not just assumed.
+    """
+    telemetry = guard.telemetry
+    rows = [
+        ["guard level", guard.plan.level],
+        ["sentinel interval (1 in N jobs)", guard.plan.interval],
+        ["sentinel dual-engine replays", telemetry.sentinel_replays],
+        ["divergences caught", telemetry.divergences],
+        ["NaN/overflow results rejected", telemetry.nan_fallbacks],
+        ["corrupt decodes re-decoded", telemetry.decode_quarantines],
+        ["engine errors recovered", telemetry.engine_errors],
+        ["scalar fallbacks (total)", telemetry.fallbacks],
+        ["poison jobs circuit-broken", telemetry.poison_jobs],
+        ["worker memory-budget breaches", telemetry.oom_events],
+        ["heartbeat stalls observed", telemetry.heartbeat_stalls],
+        ["batch deadline breaches", telemetry.deadline_breaches],
+        ["parent memory-budget breaches", telemetry.memory_breaches],
+    ]
+    lines = [text_table(["guardrails", "value"], rows, title="Guardrails")]
+    for event in guard.events[:max_events]:
+        lines.append(f"  {event.summary()}")
+    if len(guard.events) > max_events:
+        lines.append(f"  ... and {len(guard.events) - max_events} more")
+    return "\n".join(lines)
+
+
 def render_degraded_fits(fits) -> str:
     """Degradation notes from the analysis layer, one line per note.
 
@@ -421,6 +458,7 @@ def render_collection_health(health, max_failures: int = 12) -> str:
                 ["points collected", health.succeeded],
                 ["points failed", health.failed],
                 ["power samples lost", health.power_samples_lost],
+                ["guard interventions", len(health.guard_events)],
             ],
             title=f"Collection health (degraded: {health.summary()})",
         )
@@ -432,4 +470,10 @@ def render_collection_health(health, max_failures: int = 12) -> str:
         )
     if health.failed > max_failures:
         lines.append(f"  ... and {health.failed - max_failures} more")
+    for event in health.guard_events[:max_failures]:
+        lines.append(f"  guard {event.summary()}")
+    if len(health.guard_events) > max_failures:
+        lines.append(
+            f"  ... and {len(health.guard_events) - max_failures} more"
+        )
     return "\n".join(lines)

@@ -75,12 +75,18 @@ class CollectionHealth:
         failures: One entry per failed point.
         power_samples_lost: Power-sensor readings dropped or NaN across the
             campaign (the rows survive with a degraded power mean).
+        guard_events: Guardrail interventions
+            (:class:`~repro.sim.guard.GuardEvent`) absorbed from the
+            executor: engine fallbacks, quarantined decodes, circuit-broken
+            poison jobs, watchdog budget breaches.  Every surviving row is
+            still bit-identical — these record *how* it survived.
     """
 
     attempted: int = 0
     succeeded: int = 0
     failures: list[CollectionFailure] = field(default_factory=list)
     power_samples_lost: int = 0
+    guard_events: list = field(default_factory=list)
 
     @property
     def failed(self) -> int:
@@ -88,8 +94,12 @@ class CollectionHealth:
 
     @property
     def degraded(self) -> bool:
-        """True when anything at all was lost during collection."""
-        return bool(self.failures) or self.power_samples_lost > 0
+        """True when anything at all was lost or guarded during collection."""
+        return (
+            bool(self.failures)
+            or self.power_samples_lost > 0
+            or bool(self.guard_events)
+        )
 
     def record_failure(
         self, workload: str, freq_hz: float, stage: str, error: Exception
@@ -102,6 +112,23 @@ class CollectionHealth:
                 error=f"{type(error).__name__}: {error}",
             )
         )
+
+    def record_guard_event(self, event) -> None:
+        """Append one :class:`~repro.sim.guard.GuardEvent`."""
+        self.guard_events.append(event)
+
+    def absorb_guard_events(self, events: Iterable) -> None:
+        """Append guard events recorded by a collection phase.
+
+        Each collection phase snapshots the executor's
+        :attr:`~repro.sim.guard.GuardRail.events` length when it starts
+        and passes only the suffix its own campaign added, so a shared
+        health record spanning several phases (validation + power) never
+        double-counts — including after a resume, where the restored
+        record already holds earlier phases' events but the fresh
+        executor's list starts empty.
+        """
+        self.guard_events.extend(events)
 
     def clone(self) -> CollectionHealth:
         """An independent snapshot (checkpoint payloads must not alias)."""
@@ -120,6 +147,7 @@ class CollectionHealth:
         self.succeeded = other.succeeded
         self.failures = list(other.failures)
         self.power_samples_lost = other.power_samples_lost
+        self.guard_events = list(other.guard_events)
 
     def summary(self) -> str:
         """One-line human summary for logs and error messages."""
@@ -128,6 +156,8 @@ class CollectionHealth:
             line += f", {self.failed} failed"
         if self.power_samples_lost:
             line += f", {self.power_samples_lost} power samples lost"
+        if self.guard_events:
+            line += f", {len(self.guard_events)} guard intervention(s)"
         return line
 
 
@@ -353,6 +383,11 @@ def collect_validation_dataset(
     frequencies = tuple(float(f) for f in frequencies)
 
     executor = _resolve_executor(executor, jobs, platform, gem5)
+    guard_seen = (
+        len(executor.guard.events)
+        if executor is not None and getattr(executor, "guard", None) is not None
+        else 0
+    )
     if executor is not None:
         from repro.sim.executor import prime_engines
 
@@ -393,6 +428,8 @@ def collect_validation_dataset(
             if progress is not None:
                 progress(profile.name, freq, done, total)
 
+    if executor is not None and getattr(executor, "guard", None) is not None:
+        health.absorb_guard_events(executor.guard.events[guard_seen:])
     if not runs:
         raise RuntimeError(
             f"validation collection failed completely ({health.summary()}); "

@@ -289,7 +289,7 @@ def simulate_columnar(
                     ("l1d_ctx", stream_key), {}
                 ),
             )
-            if res.rounds >= 0:
+            if not res.exhausted:
                 cols.fixpoint_seeds[seed_key] = res.streamed
             return res
 
@@ -326,7 +326,13 @@ def simulate_columnar(
             walk, l2_stats, l2_itlb_stats, l2_dtlb_stats = batched
         else:
             # Prefetch fixpoint exhausted: warm the real objects and take
-            # the exact scalar walk.
+            # the exact scalar walk.  Bit-exact, but worth a guard-visible
+            # breadcrumb — an exhausted fixpoint on every replay of a trace
+            # means its streaming seed never converges.
+            tracer.event(
+                "guard", guard_kind="fixpoint-exhausted",
+                pass_name="l2_walk", workload=trace.name,
+            )
             l2.warm_fill_many(code_lines)
             tlb.l2_itlb.fill_many(code_pages)
             if l2_warm is not None:

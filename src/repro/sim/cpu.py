@@ -24,6 +24,7 @@ fetch stalls.
 
 from __future__ import annotations
 
+import math
 import zlib
 from collections import deque
 from collections.abc import Sequence
@@ -108,6 +109,37 @@ class SimResult:
         if not branches:
             return 1.0
         return 1.0 - self.counts.get("branch_mispredicts", 0.0) / branches
+
+    def integrity_problems(self) -> list[str]:
+        """Scan every numeric field for NaN/overflow/negative values.
+
+        Every counter and weight a replay produces is a finite non-negative
+        number by construction, so any violation means a vectorized pass
+        (or a poisoned memo feeding one) leaked garbage into the
+        accounting.  The guard layer (:mod:`repro.sim.guard`) rejects such
+        results and falls back to the scalar engine.  Returns
+        human-readable violations; an empty list means the result is sound.
+        """
+        problems: list[str] = []
+
+        def check(label: str, value) -> None:
+            if not isinstance(value, (int, float)):
+                return
+            value = float(value)
+            if math.isnan(value):
+                problems.append(f"{label} is NaN")
+            elif math.isinf(value):
+                problems.append(f"{label} is infinite")
+            elif value < 0.0:
+                problems.append(f"{label} is negative ({value!r})")
+
+        check("core_cycles", self.core_cycles)
+        check("dram_stall_weight", self.dram_stall_weight)
+        for key in sorted(self.counts):
+            check(f"counts[{key}]", self.counts[key])
+        for key in sorted(self.components):
+            check(f"components[{key}]", self.components[key])
+        return problems
 
 
 @dataclass

@@ -48,7 +48,14 @@ from typing import Iterable, Sequence
 from repro.obs.log import get_logger
 from repro.obs.metrics import MetricsRegistry, MetricView
 from repro.obs.tracer import NULL_TRACER, Tracer
-from repro.sim.cpu import ENGINES, SimResult, simulate
+from repro.sim.cpu import ENGINES, SimResult
+from repro.sim.guard import (
+    GuardEvent,
+    GuardPlan,
+    GuardRail,
+    check_memory_budget,
+    guarded_simulate,
+)
 from repro.sim.machine import MachineConfig
 from repro.sim.result_cache import SimResultCache, cache_key
 from repro.workloads.trace import SyntheticTrace
@@ -93,7 +100,7 @@ class SimJobFailure:
     trace_name: str
     machine_name: str
     attempts: int
-    kind: str  # "timeout" | "crash" | "error"
+    kind: str  # "timeout" | "crash" | "error" | "oom"
     error: str
 
 
@@ -189,19 +196,24 @@ def _run_job(payload):
     """Worker-side entry point: simulate one job.
 
     ``payload`` is ``(trace, machine, cache_dir, faults, ordinal, attempt,
-    want_spans, engine)``.  Any fault matching (ordinal, attempt) fires first — a
-    ``crash`` fault hard-kills this worker so the parent observes a
-    genuine broken pool.
+    want_spans, engine, guard_plan)``.  Any fault matching (ordinal,
+    attempt) fires first — a ``crash`` fault hard-kills this worker so the
+    parent observes a genuine broken pool, and a guard memory budget
+    already breached refuses the job with ``MemoryError`` (the parent
+    isolates it to the serial lane).
 
     With a cache directory the worker writes its entry atomically (via the
     cache's temp-file + rename protocol) and ships only a tiny token
     across the process boundary; the parent reaps the entry from disk.
     Without a cache the result itself is returned in-band.  Either way the
-    return value is a ``(token_or_result, span_records)`` pair: when the
-    parent traces, the worker records its own child spans on a throwaway
-    tracer and the parent stitches them into its tree.
+    return value is a ``(token_or_result, span_records, guard_payload)``
+    triple: when the parent traces, the worker records its own child spans
+    on a throwaway tracer and the parent stitches them into its tree, and
+    ``guard_payload = (guard_events, sentinel_replays)`` ships the
+    guardrail outcome back for the parent's :class:`GuardRail` to absorb.
     """
-    trace, machine, cache_dir, faults, ordinal, attempt, want_spans, engine = payload
+    (trace, machine, cache_dir, faults, ordinal, attempt, want_spans,
+     engine, guard_plan) = payload
     tracer = Tracer(enabled=want_spans)
     with tracer.span(
         "sim-job",
@@ -214,14 +226,21 @@ def _run_job(payload):
     ):
         if faults is not None:
             faults.apply_job_fault(ordinal, trace.name, attempt, in_worker=True)
-        result = simulate(trace, machine, engine)
+        check_memory_budget(guard_plan)
+        result, guard_events, sentinels = guarded_simulate(
+            trace, machine, engine, guard_plan, faults, ordinal, attempt
+        )
         if cache_dir is not None:
             with tracer.span("cache-put", kind="cache"):
                 SimResultCache(cache_dir, faults=faults).put(
                     trace, machine, result
                 )
             result = None
-    return result, (tracer.records if want_spans else None)
+    return (
+        result,
+        (tracer.records if want_spans else None),
+        (tuple(guard_events), sentinels),
+    )
 
 
 class SimExecutor:
@@ -246,6 +265,15 @@ class SimExecutor:
         metrics: Shared :class:`~repro.obs.metrics.MetricsRegistry`; one
             is created privately when not given.  :attr:`telemetry` (and
             the cache's) are views over it.
+        guard: Optional :class:`~repro.sim.guard.GuardPlan`; defaults to
+            guards off.  When active, every simulated job runs through
+            :func:`~repro.sim.guard.guarded_simulate` (decode validation,
+            NaN rejection, sampled dual-engine sentinels with scalar
+            fallback), the campaign watchdog supervises batches, and
+            poisoned jobs (``poison_threshold`` worker kills) are
+            circuit-broken into the parent's serial lane.  Guard events
+            accumulate on :attr:`guard` (a
+            :class:`~repro.sim.guard.GuardRail`).
 
     Raises:
         ValueError: For a non-positive explicit ``jobs`` or timeout.
@@ -261,6 +289,7 @@ class SimExecutor:
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         engine: str = "auto",
+        guard: GuardPlan | None = None,
     ):
         if engine not in ENGINES:
             raise ValueError(
@@ -286,6 +315,8 @@ class SimExecutor:
             else None
         )
         self.telemetry = SimTelemetry(self.metrics)
+        #: Guardrail state: plan, recorded events, watchdog, telemetry.
+        self.guard = GuardRail(guard, self.metrics, self.tracer)
         #: Terminal failures from the most recent ``run_many`` batch.
         self.last_failures: list[SimJobFailure] = []
         self._next_ordinal = 0
@@ -359,7 +390,12 @@ class SimExecutor:
             )
 
             if pending:
-                computed = self._execute(pending)
+                watchdog = self.guard.watchdog
+                watchdog.batch_started()
+                try:
+                    computed = self._execute(pending)
+                finally:
+                    watchdog.batch_finished()
                 started = perf_counter()
                 with self.tracer.span("reap", kind="executor"):
                     for (key, _, _), outcome in zip(pending, computed):
@@ -388,7 +424,35 @@ class SimExecutor:
         self._next_ordinal += len(pending)
         if self.jobs <= 1 or len(pending) <= 1:
             return self._execute_serial(pending, ordinals)
-        return self._execute_pool(pending, ordinals)
+
+        # Poison-job circuit breaker: a job whose kill count reached the
+        # guard threshold never touches a pool again — it is quarantined to
+        # the parent's serial lane (bit-identical, just slower) while its
+        # clean siblings keep their workers.  The kill counts are recorded
+        # synchronously in this thread, so the decision is deterministic.
+        watchdog = self.guard.watchdog
+        poisoned = [
+            i for i, (key, _, _) in enumerate(pending) if watchdog.is_poisoned(key)
+        ]
+        if not poisoned:
+            return self._execute_pool(pending, ordinals)
+        for i in poisoned:
+            key, trace, machine = pending[i]
+            watchdog.circuit_break(trace.name, machine.name, key)
+        clean = [i for i in range(len(pending)) if not watchdog.is_poisoned(pending[i][0])]
+        outcomes: list[SimResult | SimJobFailure | None] = [None] * len(pending)
+        if clean:
+            pooled = (
+                self._execute_pool if len(clean) > 1 else self._execute_serial
+            )([pending[i] for i in clean], [ordinals[i] for i in clean])
+            for i, outcome in zip(clean, pooled):
+                outcomes[i] = outcome
+        quarantined = self._execute_serial(
+            [pending[i] for i in poisoned], [ordinals[i] for i in poisoned]
+        )
+        for i, outcome in zip(poisoned, quarantined):
+            outcomes[i] = outcome
+        return outcomes  # type: ignore[return-value]  # every slot is filled
 
     def _execute_pool(
         self,
@@ -420,23 +484,25 @@ class SimExecutor:
         )
         pool_span.__enter__()
         started = perf_counter()
+        watchdog = self.guard.watchdog
         in_band: dict[int, object] = {}
         worker_spans: dict[int, list] = {}
+        guard_payloads: dict[int, tuple] = {}
         failed_kind: dict[int, str] = {}
         failed_error: dict[int, str] = {}
         pool_broken = False
         try:
             try:
-                futures = {
-                    i: pool.submit(
+                futures = {}
+                for i, ((_, trace, machine), ordinal) in enumerate(
+                    zip(pending, ordinals)
+                ):
+                    futures[i] = pool.submit(
                         _run_job,
                         (trace, machine, cache_dir, self.faults, ordinal, 1,
-                         want_spans, self.engine),
+                         want_spans, self.engine, self.guard.plan),
                     )
-                    for i, ((_, trace, machine), ordinal) in enumerate(
-                        zip(pending, ordinals)
-                    )
-                }
+                    watchdog.job_started(ordinal, trace.name, machine.name)
             except Exception:
                 telemetry.serial_fallbacks += 1
                 telemetry.simulate_seconds += perf_counter() - started
@@ -445,8 +511,8 @@ class SimExecutor:
                 return self._execute_serial(pending, ordinals)
             for i, future in futures.items():
                 try:
-                    in_band[i], worker_spans[i] = future.result(
-                        timeout=self.timeout_seconds
+                    in_band[i], worker_spans[i], guard_payloads[i] = (
+                        future.result(timeout=self.timeout_seconds)
                     )
                 except concurrent.futures.TimeoutError:
                     telemetry.job_timeouts += 1
@@ -470,6 +536,18 @@ class SimExecutor:
                         )
                     failed_kind[i] = "crash"
                     failed_error[i] = str(exc) or "worker process died"
+                except MemoryError as exc:
+                    failed_kind[i] = "oom"
+                    failed_error[i] = f"MemoryError: {exc}"
+                    self.guard.record(
+                        GuardEvent(
+                            kind="worker-oom",
+                            workload=pending[i][1].name,
+                            machine=pending[i][2].name,
+                            action="isolate",
+                            detail=str(exc) or "worker memory budget breached",
+                        )
+                    )
                 except Exception as exc:  # a poisoned job's own exception
                     failed_kind[i] = "error"
                     failed_error[i] = f"{type(exc).__name__}: {exc}"
@@ -478,6 +556,8 @@ class SimExecutor:
                         workload=pending[i][1].name,
                         error=type(exc).__name__,
                     )
+                finally:
+                    watchdog.job_finished(ordinals[i])
         finally:
             # Never block on a hung worker: abandoned processes finish (or
             # die) on their own; their cache writes are atomic and idempotent.
@@ -498,6 +578,11 @@ class SimExecutor:
         telemetry.simulate_seconds += perf_counter() - started
         pool_span.__exit__(None, None, None)
         telemetry.parallel_jobs_run += len(in_band)
+        # Absorb the workers' shipped-back guard outcomes in submit order,
+        # so event ordering is deterministic regardless of completion order.
+        for i in sorted(guard_payloads):
+            events, sentinels = guard_payloads[i]
+            self.guard.absorb(events, sentinels)
 
         outcomes: list[SimResult | SimJobFailure | None] = [None] * len(pending)
         started = perf_counter()
@@ -511,7 +596,11 @@ class SimExecutor:
             if result is None:
                 # Reap failed (entry evicted or corrupted underneath us) —
                 # recompute in the parent; determinism makes this safe.
-                result = simulate(trace, machine, self.engine)
+                result, events, sentinels = guarded_simulate(
+                    trace, machine, self.engine, self.guard.plan,
+                    self.faults, ordinals[i],
+                )
+                self.guard.absorb(events, sentinels)
                 if self.cache is not None:
                     self.cache.put(trace, machine, result)
             outcomes[i] = result
@@ -541,6 +630,17 @@ class SimExecutor:
                 )
                 for i, outcome in zip(indices, recovered):
                     outcomes[i] = outcome
+            # Poison-job accounting: a broken-pool crash is attributed to a
+            # job only when its serial rerun *also* fails — bystanders that
+            # were merely in flight when another job killed the worker
+            # recover serially and never accumulate kills.  Enough kills
+            # (GuardPlan.poison_threshold) circuit-break the job out of
+            # future pools.
+            for i in indices:
+                if failed_kind[i] == "crash" and isinstance(
+                    outcomes[i], SimJobFailure
+                ):
+                    watchdog.record_worker_kill(pending[i][0])
         return outcomes  # type: ignore[return-value]  # every slot is filled
 
     def _execute_serial(
@@ -567,6 +667,7 @@ class SimExecutor:
     ) -> SimResult | SimJobFailure:
         """One job through the retry policy, in the parent process."""
         attempt = first_attempt
+        watchdog = self.guard.watchdog
         with self.tracer.span(
             "sim-job",
             kind="job",
@@ -575,49 +676,63 @@ class SimExecutor:
             ordinal=ordinal,
             in_worker=False,
         ) as job_span:
-            while True:
-                try:
-                    if self.faults is not None:
-                        self.faults.apply_job_fault(
-                            ordinal, trace.name, attempt, in_worker=False
-                        )
-                    result = simulate(trace, machine, self.engine)
-                except Exception as exc:
-                    if attempt >= self.retry.max_attempts:
-                        self.telemetry.jobs_failed += 1
-                        job_span.set(
-                            failed=True, attempts=attempt,
-                            error=type(exc).__name__,
-                        )
-                        logger.warning(
-                            "job %s on %s failed permanently after %d "
-                            "attempt(s): %s", trace.name, machine.name,
-                            attempt, exc,
-                        )
-                        return SimJobFailure(
-                            trace_name=trace.name,
-                            machine_name=machine.name,
-                            attempts=attempt,
-                            kind="crash",
-                            error=f"{type(exc).__name__}: {exc}",
-                        )
-                    self.telemetry.job_retries += 1
-                    delay = self.retry.delay(attempt)
-                    job_span.event(
-                        "job-retry",
-                        workload=trace.name,
-                        attempt=attempt,
-                        delay_seconds=delay,
+            watchdog.job_started(ordinal, trace.name, machine.name)
+            try:
+                return self._retry_loop(
+                    trace, machine, ordinal, attempt, job_span
+                )
+            finally:
+                watchdog.job_finished(ordinal)
+
+    def _retry_loop(self, trace, machine, ordinal, attempt, job_span):
+        """The attempt loop of :meth:`_run_with_retry` (watchdog-tracked)."""
+        while True:
+            try:
+                if self.faults is not None:
+                    self.faults.apply_job_fault(
+                        ordinal, trace.name, attempt, in_worker=False
+                    )
+                result, guard_events, sentinels = guarded_simulate(
+                    trace, machine, self.engine, self.guard.plan,
+                    self.faults, ordinal, attempt,
+                )
+                self.guard.absorb(guard_events, sentinels)
+            except Exception as exc:
+                if attempt >= self.retry.max_attempts:
+                    self.telemetry.jobs_failed += 1
+                    job_span.set(
+                        failed=True, attempts=attempt,
                         error=type(exc).__name__,
                     )
-                    if delay > 0:
-                        time.sleep(delay)
-                    attempt += 1
-                    continue
-                if self.cache is not None:
-                    self.cache.put(trace, machine, result)
-                job_span.set(attempts=attempt)
-                return result
+                    logger.warning(
+                        "job %s on %s failed permanently after %d "
+                        "attempt(s): %s", trace.name, machine.name,
+                        attempt, exc,
+                    )
+                    return SimJobFailure(
+                        trace_name=trace.name,
+                        machine_name=machine.name,
+                        attempts=attempt,
+                        kind="oom" if isinstance(exc, MemoryError) else "crash",
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                self.telemetry.job_retries += 1
+                delay = self.retry.delay(attempt)
+                job_span.event(
+                    "job-retry",
+                    workload=trace.name,
+                    attempt=attempt,
+                    delay_seconds=delay,
+                    error=type(exc).__name__,
+                )
+                if delay > 0:
+                    time.sleep(delay)
+                attempt += 1
+                continue
+            if self.cache is not None:
+                self.cache.put(trace, machine, result)
+            job_span.set(attempts=attempt)
+            return result
 
 
 def prime_engines(

@@ -19,6 +19,16 @@ fire where:
 * ``drop-power`` / ``nan-power`` — the platform's 3.8 Hz power sensor loses
   samples or returns NaN, exercising the robust-mean path and the
   sample-loss accounting in :class:`~repro.core.validation.CollectionHealth`.
+* ``corrupt-column`` / ``poison-memo`` / ``nan-pass`` — columnar-engine
+  faults consumed by :func:`repro.sim.guard.guarded_simulate`: a decoded
+  column is bit-flipped (decode validation must quarantine + re-decode), a
+  verified-decode memo is scrambled (the divergence sentinel must catch the
+  silently wrong replay), or a vectorized pass leaks a NaN into the result
+  (the integrity scan must reject it).  All three heal in-call, so the
+  returned result stays bit-identical to the scalar reference.
+* ``oom`` — a worker breaches the guard plan's memory budget: the job
+  raises :class:`MemoryError` in a worker (and in the parent's pool-retry
+  path), exercising the executor's isolate-to-serial OOM lane.
 
 Every fault is seeded: the same plan against the same batch injects the
 same failures, so chaos tests can assert *bit-identical* recovery.
@@ -35,7 +45,20 @@ import numpy as np
 from repro.workloads.trace import workload_seed
 
 #: Fault kinds a :class:`FaultSpec` may carry.
-FAULT_KINDS = ("crash", "hang", "corrupt-cache", "drop-power", "nan-power")
+FAULT_KINDS = (
+    "crash",
+    "hang",
+    "corrupt-cache",
+    "drop-power",
+    "nan-power",
+    "corrupt-column",
+    "poison-memo",
+    "nan-pass",
+    "oom",
+)
+
+#: Kinds consumed inside :func:`repro.sim.guard.guarded_simulate`.
+COLUMNAR_FAULT_KINDS = ("corrupt-column", "poison-memo", "nan-pass")
 
 
 class InjectedFault(RuntimeError):
@@ -69,7 +92,8 @@ class FaultSpec:
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}")
-        if self.kind in ("crash", "hang") and self.job is None and self.workload is None:
+        job_scoped = ("crash", "hang", "oom") + COLUMNAR_FAULT_KINDS
+        if self.kind in job_scoped and self.job is None and self.workload is None:
             raise ValueError(f"{self.kind} fault needs a job ordinal or a workload name")
 
     def _matches_job(self, ordinal: int, trace_name: str, attempt: int) -> bool:
@@ -117,6 +141,26 @@ class FaultPlan:
         return cls((FaultSpec("corrupt-cache", workload=workload, attempts=attempts),))
 
     @classmethod
+    def corrupt_column(cls, workload: str, attempts: int = 1) -> "FaultPlan":
+        """Bit-flip a decoded column before the first N replays of a workload."""
+        return cls((FaultSpec("corrupt-column", workload=workload, attempts=attempts),))
+
+    @classmethod
+    def poison_memo(cls, workload: str, attempts: int = 1) -> "FaultPlan":
+        """Scramble the decode's warm-row memos before the first N replays."""
+        return cls((FaultSpec("poison-memo", workload=workload, attempts=attempts),))
+
+    @classmethod
+    def nan_pass(cls, workload: str, attempts: int = 1) -> "FaultPlan":
+        """Leak a NaN out of a vectorized pass on the first N replays."""
+        return cls((FaultSpec("nan-pass", workload=workload, attempts=attempts),))
+
+    @classmethod
+    def worker_oom(cls, workload: str, attempts: int = 1) -> "FaultPlan":
+        """Breach the memory budget (``MemoryError``) on the first N attempts."""
+        return cls((FaultSpec("oom", workload=workload, attempts=attempts),))
+
+    @classmethod
     def drop_power(cls, workload: str | None = None, fraction: float = 0.25) -> "FaultPlan":
         """Drop a deterministic share of the platform's power samples."""
         return cls((FaultSpec("drop-power", workload=workload, fraction=fraction),))
@@ -154,6 +198,31 @@ class FaultPlan:
                 raise InjectedFault(
                     f"injected crash: job {ordinal} ({trace_name}) attempt {attempt}"
                 )
+            elif spec.kind == "oom" and spec._matches_job(ordinal, trace_name, attempt):
+                # MemoryError pickles cleanly back through the pool, so the
+                # same raise exercises both the worker OOM lane and the
+                # parent's serial recovery once attempts are exhausted.
+                raise MemoryError(
+                    f"injected memory-budget breach: job {ordinal} "
+                    f"({trace_name}) attempt {attempt}"
+                )
+
+    # ------------------------------------------------------- columnar faults
+    def columnar_faults(
+        self, trace_name: str, attempt: int, ordinal: int = -1
+    ) -> tuple[str, ...]:
+        """Columnar fault kinds firing on this replay attempt of a trace.
+
+        Consumed by :func:`repro.sim.guard.guarded_simulate`, which injects
+        the matching corruption before/after the columnar replay so every
+        guard fallback path is exercised deterministically.
+        """
+        return tuple(
+            spec.kind
+            for spec in self.faults
+            if spec.kind in COLUMNAR_FAULT_KINDS
+            and spec._matches_job(ordinal, trace_name, attempt)
+        )
 
     # ------------------------------------------------------------ cache faults
     def corrupts_cache(self, trace_name: str, nth_put: int) -> bool:

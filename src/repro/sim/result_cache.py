@@ -30,10 +30,13 @@ import os
 import warnings
 
 from repro.atomicio import atomic_write_text
+from repro.obs.log import get_logger
 from repro.obs.metrics import MetricsRegistry, MetricView
 from repro.sim.cpu import SimResult
 from repro.sim.machine import MachineConfig
 from repro.workloads.trace import SyntheticTrace
+
+logger = get_logger(__name__)
 
 #: Bump when SimResult's meaning or the entry format changes; invalidates
 #: every cached entry (v3: checksummed envelope format).
@@ -140,15 +143,29 @@ class SimResultCache:
             )
 
     def _quarantine(self, path: str) -> None:
-        """Move a corrupt entry out of the key namespace, keeping the bytes."""
+        """Move a corrupt entry out of the key namespace, keeping the bytes.
+
+        The destination name carries a content hash of the corrupt bytes:
+        repeated corruptions of the *same* key (a flaky disk region, a
+        fault plan corrupting every write) land as distinct post-mortem
+        artifacts instead of silently overwriting each other.
+        """
         self.telemetry.quarantined += 1
         try:
+            with open(path, "rb") as handle:
+                digest = hashlib.sha1(handle.read()).hexdigest()[:12]
+        except OSError as exc:
+            logger.debug("quarantine of %s could not hash the bytes: %s", path, exc)
+            digest = "unreadable"
+        stem, ext = os.path.splitext(os.path.basename(path))
+        try:
             os.makedirs(self.quarantine_dir, exist_ok=True)
-            dest = os.path.join(self.quarantine_dir, os.path.basename(path))
+            dest = os.path.join(self.quarantine_dir, f"{stem}-{digest}{ext}")
             os.replace(path, dest)
-        except OSError:
+        except OSError as exc:
             # Read-only directory or a concurrent quarantine: removal (or
             # nothing) is the best we can do; the entry is a miss either way.
+            logger.debug("quarantine of %s failed (%s); removing instead", path, exc)
             with contextlib.suppress(OSError):
                 os.remove(path)
 
@@ -237,7 +254,8 @@ class SimResultCache:
         removed = 0
         try:
             names = os.listdir(self.directory)
-        except OSError:
+        except OSError as exc:
+            logger.debug("cache clear skipped, %s unlistable: %s", self.directory, exc)
             return 0
         for name in names:
             if name.endswith(".json"):
@@ -249,6 +267,7 @@ class SimResultCache:
     def __len__(self) -> int:
         try:
             names = os.listdir(self.directory)
-        except OSError:
+        except OSError as exc:
+            logger.debug("cache len 0, %s unlistable: %s", self.directory, exc)
             return 0
         return sum(1 for name in names if name.endswith(".json"))

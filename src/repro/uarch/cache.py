@@ -755,6 +755,16 @@ class BatchL1dResult:
     wrote_back: np.ndarray
     rounds: int              # fixpoint iterations (0 = no streaming path)
 
+    @property
+    def exhausted(self) -> bool:
+        """Whether the streaming fixpoint gave up and ran the scalar path.
+
+        Still bit-exact (the scalar fallback is the reference), but the
+        outcome array is not a reusable fixpoint seed; the guard layer's
+        telemetry distinguishes these from converged replays.
+        """
+        return self.rounds < 0
+
 
 def _build_line_ops(lines: np.ndarray, is_write: np.ndarray) -> dict:
     """Per-line op index for the sparse streaming derive.

@@ -159,6 +159,114 @@ class ColumnarTrace:
     # streaming/prefetch fixpoints with their known solution, which the
     # engine still verifies before accepting.
     fixpoint_seeds: dict = field(default_factory=dict)
+    # Content checksum over every immutable column, stamped at build time
+    # (``fixpoint_seeds`` excluded — it is mutable accelerator state).  The
+    # guard layer re-verifies it on cross-worker re-attach; 0 means "never
+    # stamped" (hand-built instances) and is skipped by validation.
+    checksum: int = 0
+
+
+#: (attribute, dtype kind/itemsize, length group) contract for the decoded
+#: form.  Arrays in the same length group must agree; ``"dyn"`` groups must
+#: equal ``n_dyn`` exactly.
+_COLUMN_SPEC: tuple[tuple[str, str, str], ...] = (
+    ("block_seq", "i4", "dyn"),
+    ("taken_seq", "i1", "dyn"),
+    ("target_seq", "i2", "dyn"),
+    ("class_seq", "i1", "dyn"),
+    ("addr_seq", "i8", "dyn"),
+    ("backward_seq", "b1", "dyn"),
+    ("wp_near_seq", "i8", "dyn"),
+    ("ipage_page", "i8", "ipage"),
+    ("ipage_pos", "i4", "ipage"),
+    ("ipage_intra", "i4", "ipage"),
+    ("iline_line", "i8", "iline"),
+    ("iline_pos", "i4", "iline"),
+    ("iline_intra", "i4", "iline"),
+    ("mem_line", "i8", "mem"),
+    ("mem_page", "i8", "mem"),
+    ("mem_write", "b1", "mem"),
+    ("mem_pos", "i4", "mem"),
+    ("mem_intra", "i4", "mem"),
+    ("cond_pos", "i4", "cond"),
+    ("cond_pc", "i8", "cond"),
+    ("cond_taken", "i1", "cond"),
+    ("cond_backward", "b1", "cond"),
+)
+
+
+def columnar_checksum(cols: "ColumnarTrace") -> int:
+    """Content checksum of a decode's immutable columns.
+
+    A CRC over every column's raw bytes plus its shape and dtype, cheap
+    enough (one pass over the arrays, no Python loop) to re-verify on every
+    cross-worker re-attach.  ``fixpoint_seeds`` and the stored ``checksum``
+    itself are excluded.
+    """
+    crc = zlib.crc32(str(cols.n_dyn).encode())
+    for name, _, _ in _COLUMN_SPEC:
+        arr = np.ascontiguousarray(getattr(cols, name))
+        crc = zlib.crc32(f"{name}:{arr.dtype.str}:{arr.shape}".encode(), crc)
+        crc = zlib.crc32(arr.tobytes(), crc)
+    return crc & 0xFFFF_FFFF
+
+
+def validate_columnar(cols: "ColumnarTrace") -> list[str]:
+    """Check a decode against its shape/dtype/bounds contract + checksum.
+
+    Returns a list of human-readable violations (empty = the decode is
+    intact).  Used by the guard layer on cross-worker re-attach: any
+    violation means the decoded form was corrupted (or built against a
+    different contract) and must be quarantined and re-decoded.
+    """
+    problems: list[str] = []
+    lengths: dict[str, tuple[str, int]] = {}
+    for name, kind, group in _COLUMN_SPEC:
+        arr = getattr(cols, name)
+        if not isinstance(arr, np.ndarray):
+            problems.append(f"{name}: not an ndarray ({type(arr).__name__})")
+            continue
+        if arr.ndim != 1:
+            problems.append(f"{name}: expected 1-D, got shape {arr.shape}")
+            continue
+        if arr.dtype != np.dtype(kind):
+            problems.append(
+                f"{name}: dtype {arr.dtype} != expected {np.dtype(kind)}"
+            )
+        if group == "dyn":
+            if len(arr) != cols.n_dyn:
+                problems.append(
+                    f"{name}: length {len(arr)} != n_dyn {cols.n_dyn}"
+                )
+        elif group in lengths:
+            first_name, first_len = lengths[group]
+            if len(arr) != first_len:
+                problems.append(
+                    f"{name}: length {len(arr)} != {first_name} {first_len}"
+                )
+        else:
+            lengths[group] = (name, len(arr))
+    if not problems:
+        # Bounds: every event position must name a real dynamic block and
+        # intra-block ordinals must be non-negative.
+        for name in ("ipage_pos", "iline_pos", "mem_pos", "cond_pos"):
+            arr = getattr(cols, name)
+            if arr.size and (
+                int(arr.min()) < 0 or int(arr.max()) >= max(cols.n_dyn, 1)
+            ):
+                problems.append(f"{name}: positions outside [0, n_dyn)")
+        for name in ("ipage_intra", "iline_intra", "mem_intra"):
+            arr = getattr(cols, name)
+            if arr.size and int(arr.min()) < 0:
+                problems.append(f"{name}: negative intra-block ordinal")
+    if not problems and cols.checksum:
+        actual = columnar_checksum(cols)
+        if actual != cols.checksum:
+            problems.append(
+                f"checksum mismatch: stored {cols.checksum:#010x}, "
+                f"recomputed {actual:#010x}"
+            )
+    return problems
 
 
 @dataclass
@@ -337,7 +445,7 @@ def build_columnar_trace(
     cond_mask = class_seq <= int(BranchClass.RANDOM)
     cond_pos = np.flatnonzero(cond_mask).astype(np.int32)
 
-    return ColumnarTrace(
+    cols = ColumnarTrace(
         n_dyn=n_dyn,
         block_seq=bs,
         taken_seq=taken,
@@ -362,6 +470,8 @@ def build_columnar_trace(
         cond_taken=taken[cond_mask],
         cond_backward=backward_seq[cond_mask],
     )
+    cols.checksum = columnar_checksum(cols)
+    return cols
 
 
 #: Process-wide replay-table memo keyed by trace identity.  A campaign that

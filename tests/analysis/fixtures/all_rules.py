@@ -3,8 +3,8 @@
 Linted with ``--assume-module repro.sim._fixture`` so the scoped
 determinism and performance rules apply; tests assert the reported rule
 ids are exactly {DET001, DET002, DET003, OBS001, PERF001, PURE001,
-PURE002, ROB001, ROB002}, one finding each.  This file is never imported
-and is excluded from every self-clean run.
+PURE002, ROB001, ROB002, ROB003}, one finding each.  This file is never
+imported and is excluded from every self-clean run.
 """
 
 import random
@@ -61,3 +61,10 @@ def obs001(value):
 def perf001(values):
     keys = np.asarray(values)
     return [key + 1 for key in keys]
+
+
+def rob003(path):
+    try:
+        return open(path).read()
+    except OSError:
+        return None

@@ -130,7 +130,7 @@ class TestRegistry:
             "OBS001",
             "PERF001",
             "PURE001", "PURE002",
-            "ROB001", "ROB002",
+            "ROB001", "ROB002", "ROB003",
             "SUP001", "SUP002",
             "PARSE001",
         }

@@ -1,4 +1,4 @@
-"""Per-rule fixture tests for ROB001 and ROB002."""
+"""Per-rule fixture tests for ROB001, ROB002 and ROB003."""
 
 from __future__ import annotations
 
@@ -28,9 +28,12 @@ class TestRob001SwallowedBaseException:
     @pytest.mark.parametrize(
         "snippet",
         [
-            # Catching Exception is policy (graceful degradation), not ROB001.
-            "def f():\n    try:\n        return 1\n    except Exception:\n        return 0\n",
-            "def f():\n    try:\n        return 1\n    except OSError:\n        return 0\n",
+            # Catching Exception is policy (graceful degradation), not
+            # ROB001 — recorded here so ROB003 stays quiet too.
+            "def f(log):\n    try:\n        return 1\n"
+            "    except Exception:\n        log.warning('fell back')\n        return 0\n",
+            "def f(log):\n    try:\n        return 1\n"
+            "    except OSError:\n        log.debug('fell back')\n        return 0\n",
             # Re-raising handlers do not swallow.
             "def f():\n    try:\n        return 1\n"
             "    except BaseException:\n        raise\n",
@@ -45,15 +48,71 @@ class TestRob001SwallowedBaseException:
 
     def test_flags_each_bad_handler(self):
         snippet = (
-            "def f():\n"
+            "def f(log):\n"
             "    try:\n"
             "        return 1\n"
             "    except ValueError:\n"
+            "        log.debug('fell back')\n"
             "        return 2\n"
             "    except BaseException:\n"
             "        return 0\n"
         )
         assert rule_ids(lint_snippet(snippet)) == ["ROB001"]
+
+
+class TestRob003SilentDegradation:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "def f(path):\n    try:\n        return open(path).read()\n"
+            "    except OSError:\n        return None\n",
+            "def f(x):\n    try:\n        return 1 / x\n"
+            "    except (ZeroDivisionError, OverflowError):\n        return 0.0\n",
+            "def f(x):\n    try:\n        return int(x)\n"
+            "    except ValueError as exc:\n        pass\n",
+        ],
+        ids=["return-default", "tuple", "pass"],
+    )
+    def test_flags_silent_handlers(self, snippet):
+        assert rule_ids(lint_snippet(snippet)) == ["ROB003"]
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            # A log line is the minimum acceptable trace.
+            "def f(log, path):\n    try:\n        return open(path).read()\n"
+            "    except OSError:\n        log.debug('unreadable')\n        return None\n",
+            # Bumping a telemetry counter records the degradation.
+            "def f(self, x):\n    try:\n        return int(x)\n"
+            "    except ValueError:\n        self.telemetry.rejected += 1\n"
+            "        return 0\n",
+            # Constructing a GuardEvent is the guard layer's record.
+            "def f(events, x):\n    try:\n        return int(x)\n"
+            "    except ValueError:\n"
+            "        events.append(GuardEvent(kind='bad'))\n        return 0\n",
+            # Raising a transformed error propagates, nothing is hidden.
+            "def f(x):\n    try:\n        return int(x)\n"
+            "    except ValueError as exc:\n        raise RuntimeError(x) from exc\n",
+            # Tracer events count as emission.
+            "def f(tracer, x):\n    try:\n        return int(x)\n"
+            "    except ValueError:\n        tracer.event('guard')\n        return 0\n",
+        ],
+        ids=["log", "counter", "guard-event", "transform-raise", "tracer"],
+    )
+    def test_allows_recording_handlers(self, snippet):
+        assert lint_snippet(snippet) == []
+
+    def test_bare_handlers_are_rob001s_domain(self):
+        # One bad handler never double-reports across the two rules.
+        snippet = "def f():\n    try:\n        return 1\n    except:\n        return 0\n"
+        assert rule_ids(lint_snippet(snippet)) == ["ROB001"]
+
+    def test_out_of_scope_modules_are_not_checked(self):
+        snippet = (
+            "def f(x):\n    try:\n        return int(x)\n"
+            "    except ValueError:\n        return 0\n"
+        )
+        assert lint_snippet(snippet, module="repro.core._snippet") == []
 
 
 class TestRob002NonAtomicWrite:

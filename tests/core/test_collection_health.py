@@ -162,6 +162,22 @@ class TestHealthRecord:
         assert not health.degraded
         assert health.failed == 0
 
+    def test_guard_events_degrade_and_summarise(self):
+        from repro.sim.guard import GuardEvent
+
+        health = CollectionHealth(attempted=4, succeeded=4)
+        health.record_guard_event(
+            GuardEvent("divergence", "mi-sha", "A15", "fallback-scalar")
+        )
+        health.absorb_guard_events(
+            [GuardEvent("decode-corrupt", "mi-fft", "A15", "requarantine-decode")]
+        )
+        assert health.degraded
+        assert len(health.guard_events) == 2
+        assert "2 guard intervention(s)" in health.summary()
+        # Checkpoint snapshots carry the guard record forward.
+        assert health.clone().guard_events == health.guard_events
+
     def test_spans_validation_and_power(self):
         gs = _gemstone(faults=FaultPlan.crash_workload(POISONED, attempts=99))
         gs.dataset

@@ -120,10 +120,46 @@ class TestIntegrity:
         assert cache.get(trace, machine) is None
         assert cache.telemetry.quarantined == 1
         # The corrupt bytes are preserved for post-mortems, out of the key
-        # namespace so they can never answer another read.
-        quarantined = os.path.join(cache.quarantine_dir, os.path.basename(path))
-        assert os.path.exists(quarantined)
+        # namespace so they can never answer another read; the destination
+        # name is suffixed with a content hash of the corrupt bytes.
+        stem = os.path.splitext(os.path.basename(path))[0]
+        quarantined = [
+            name
+            for name in os.listdir(cache.quarantine_dir)
+            if name.startswith(f"{stem}-") and name.endswith(".json")
+        ]
+        assert len(quarantined) == 1
         assert not os.path.exists(path)
+
+    def test_repeated_quarantines_never_collide(self, cache, trace):
+        """Two corruptions of the same key keep two post-mortem artifacts.
+
+        The quarantine name used to be just the key's basename, so a
+        second corrupt entry for the same job silently overwrote the
+        first; the content-hash suffix keeps both.
+        """
+        import json
+        import os
+
+        machine = hardware_a15()
+        result = simulate(trace, machine)
+        path = self._entry_path(cache, trace, machine)
+        for gen in range(2):
+            cache.put(trace, machine, result)
+            with open(path) as handle:
+                data = json.load(handle)
+            data["payload"]["core_cycles"] += 1.0 + gen  # distinct corruption
+            with open(path, "w") as handle:
+                json.dump(data, handle)
+            assert cache.get(trace, machine) is None
+        assert cache.telemetry.quarantined == 2
+        stem = os.path.splitext(os.path.basename(path))[0]
+        quarantined = [
+            name
+            for name in os.listdir(cache.quarantine_dir)
+            if name.startswith(f"{stem}-")
+        ]
+        assert len(quarantined) == 2
 
     def test_stale_schema_quarantined(self, cache, trace):
         import json
