@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-chaos trace-smoke bench bench-smoke bench-replay bench-guard lint check
+.PHONY: test test-chaos trace-smoke bench bench-smoke bench-replay bench-guard bench-lint lint check
 
 # Tier-1: the full unit/integration suite (includes the chaos scenarios).
 test:
@@ -42,6 +42,12 @@ bench-replay:
 bench-guard:
 	$(PYTHON) -m pytest -q -s benchmarks/test_bench_guard_overhead.py
 
+# Lint-engine throughput: serial vs parallel per-file phase and cold vs
+# warm incremental cache over the real tree; asserts the warm-cache
+# speedup floor and refreshes BENCH_lint.json at the repo root.
+bench-lint:
+	$(PYTHON) -m pytest -q -s -m bench_lint benchmarks/test_bench_lint.py
+
 # Full paper-figure benchmark suite, including the throughput benchmark.
 bench:
 	$(PYTHON) -m pytest -q -s benchmarks
@@ -50,6 +56,13 @@ bench:
 # installed, then the project's own determinism & worker-purity linter
 # (always; `repro-lint --format json` emits machine-readable findings for
 # CI annotation).  Known-bad rule fixtures are excluded by construction.
+# repro-lint runs with the parallel per-file phase and the content-hash
+# incremental cache (.lint-cache/) by default; findings are byte-identical
+# to a cold serial run, and LINT_NO_CACHE=1 forces one for debugging.
+LINT_OPTS = --jobs 0 --cache-dir .lint-cache
+ifdef LINT_NO_CACHE
+LINT_OPTS =
+endif
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests benchmarks examples; \
@@ -58,7 +71,7 @@ lint:
 		MYPYPATH=src mypy -p repro.analysis; \
 	else echo "mypy not installed; skipping type checks"; fi
 	$(PYTHON) -m repro.analysis src tests benchmarks examples \
-		--exclude tests/analysis/fixtures
+		--exclude tests/analysis/fixtures $(LINT_OPTS)
 
 # Full local PR gate: static analysis plus the tier-1 suite.
 check: lint test

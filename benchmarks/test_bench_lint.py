@@ -1,0 +1,116 @@
+"""Lint-engine throughput: serial vs parallel Phase A, cold vs warm cache.
+
+The PR-8 engine contract has two performance axes:
+
+* **parallel fan-out** — Phase A (per-file parse + local rules) is a pure
+  function of one file's bytes, so it fans out across worker processes;
+  on a multi-core box the cold parallel run must beat the cold serial run
+  by >=2x.  On a single-core container the fan-out only adds IPC cost, so
+  that assertion is guarded on ``os.cpu_count()``.
+* **incremental cache** — a warm run with ``--cache-dir`` re-analyses
+  nothing and re-merges nothing; it must beat the cold serial run by
+  >=2x on any machine, which makes it the axis CI can always enforce.
+
+Both axes are meaningless if they change results, so byte-identical
+findings across all configurations are asserted before any timing is
+trusted.  Numbers go to ``BENCH_lint.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import paper_row, print_header
+from repro.analysis import RunStats, lint_paths
+from repro.analysis.engine import LintConfig
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+#: The real tree `make lint` covers (minus the known-bad rule fixtures).
+LINT_TARGETS = [os.path.join(REPO_ROOT, "src")]
+RESULTS_PATH = os.path.join(REPO_ROOT, "BENCH_lint.json")
+
+WARM_SPEEDUP_FLOOR = 2.0
+PARALLEL_SPEEDUP_FLOOR = 2.0
+
+
+def _timed_run(**kwargs):
+    stats = RunStats()
+    started = time.perf_counter()
+    findings = lint_paths(LINT_TARGETS, LintConfig(), stats=stats, **kwargs)
+    elapsed = time.perf_counter() - started
+    return findings, elapsed, stats
+
+
+def _keys(findings):
+    return [
+        (f.path, f.line, f.col, f.rule, f.message) for f in findings
+    ]
+
+
+@pytest.mark.bench_lint
+def test_bench_lint(tmp_path):
+    cores = os.cpu_count() or 1
+    cache_dir = str(tmp_path / "lint-cache")
+
+    serial, serial_s, _ = _timed_run(jobs=1)
+    parallel, parallel_s, _ = _timed_run(jobs=0)
+    cold, cold_s, cold_stats = _timed_run(jobs=1, cache_dir=cache_dir)
+    warm, warm_s, warm_stats = _timed_run(jobs=1, cache_dir=cache_dir)
+
+    # Determinism first: timings are meaningless if results differ.
+    reference = _keys(serial)
+    assert _keys(parallel) == reference
+    assert _keys(cold) == reference
+    assert _keys(warm) == reference
+    assert warm_stats.analysed == 0
+    assert warm_stats.refinalized == ()
+
+    parallel_speedup = serial_s / parallel_s if parallel_s > 0 else 0.0
+    warm_speedup = serial_s / warm_s if warm_s > 0 else 0.0
+
+    print_header("lint engine throughput (src tree)")
+    print(paper_row("files", "n/a", str(cold_stats.files)))
+    print(paper_row("serial cold", "n/a", f"{serial_s * 1e3:.1f} ms"))
+    print(
+        paper_row(
+            f"parallel cold ({cores} cores)",
+            ">=2x vs serial (multi-core)",
+            f"{parallel_s * 1e3:.1f} ms ({parallel_speedup:.2f}x)",
+        )
+    )
+    print(paper_row("cache cold", "n/a", f"{cold_s * 1e3:.1f} ms"))
+    print(
+        paper_row(
+            "cache warm",
+            ">=2x vs serial",
+            f"{warm_s * 1e3:.1f} ms ({warm_speedup:.2f}x)",
+        )
+    )
+
+    payload = {
+        "bench": "lint_engine",
+        "files": cold_stats.files,
+        "cores": cores,
+        "serial_cold_seconds": serial_s,
+        "parallel_cold_seconds": parallel_s,
+        "cached_cold_seconds": cold_s,
+        "cached_warm_seconds": warm_s,
+        "parallel_speedup": parallel_speedup,
+        "warm_speedup": warm_speedup,
+        "findings": len(reference),
+        "parallel_floor": PARALLEL_SPEEDUP_FLOOR,
+        "warm_floor": WARM_SPEEDUP_FLOOR,
+    }
+    with open(RESULTS_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    # The warm-cache floor holds on any machine; the parallel floor needs
+    # real cores (a 1-CPU container pays IPC cost for zero parallelism).
+    assert warm_speedup >= WARM_SPEEDUP_FLOOR
+    if cores >= 2:
+        assert parallel_speedup >= PARALLEL_SPEEDUP_FLOOR

@@ -6,18 +6,36 @@ always yields the same dataset; PR 1/2 made that a runtime contract
 injection).  This subsystem enforces the *static* half: custom AST rules
 that no off-the-shelf linter expresses —
 
-====== =====================================================================
-DET001 unseeded / global-state RNG construction in sim, uarch, workloads
-DET002 wall-clock or entropy calls (``time.time``, ``datetime.now``,
-       ``os.urandom``, ``uuid.uuid4``) in deterministic code paths
-DET003 unordered-set iteration order escaping into ordered results
-PURE001 impure or unpicklable callables submitted to a worker pool
-PURE002 mutable default arguments
-ROB001 handlers that swallow ``BaseException``
-SUP001 unused ``# repro: noqa[RULE]`` suppressions
-SUP002 malformed or blanket suppressions
+======== ===================================================================
+DET001   unseeded / global-state RNG construction in sim, uarch, workloads
+DET002   wall-clock or entropy calls (``time.time``, ``datetime.now``,
+         ``os.urandom``, ``uuid.uuid4``) in deterministic code paths
+DET003   unordered-set iteration order escaping into ordered results
+DET004   wall-clock/entropy values reaching deterministic code through the
+         project call graph (interprocedural DET002)
+PURE001  impure or unpicklable callables submitted to a worker pool —
+         checked transitively over the cross-module call graph
+PURE002  mutable default arguments
+ROB001+  robustness family (swallowed ``BaseException`` & friends)
+OBS001   print() in library code instead of the obs logging layer
+PERF001  numpy anti-patterns that silently fall back to Python loops
+THR001   shared attributes written from a thread without the owning lock
+THR002   locks acquired without ``with`` / try-finally release
+THR003   boolean flags read unsynchronised across the thread boundary
+NUM001   mixed float32/float64 arithmetic (silent upcast)
+NUM002   ``sum``/``cumsum`` on narrow int dtypes without explicit ``dtype=``
+NUM003   boolean-mask indexing on arrays with unasserted shapes
+SUP001   unused ``# repro: noqa[RULE]`` suppressions
+SUP002   malformed or blanket suppressions
 PARSE001 files that do not parse
-====== =====================================================================
+======== ===================================================================
+
+Analysis is project-wide: per-file passes fan out over a process pool and
+feed a cross-module symbol table + call graph
+(:mod:`repro.analysis.project`), which the THR rules, DET004 and the
+interprocedural half of PURE001 traverse.  A content-hash incremental
+cache (``--cache-dir``) keeps warm runs proportional to the edit, and
+``--baseline`` adopts new rules without blocking on legacy findings.
 
 Run it via ``repro-lint``, ``python -m repro.analysis`` or
 ``gemstone lint``; suppress a single line with ``# repro: noqa[RULE]``.
@@ -25,10 +43,19 @@ Run it via ``repro-lint``, ``python -m repro.analysis`` or
 
 from __future__ import annotations
 
+from repro.analysis.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
 from repro.analysis.cli import main
 from repro.analysis.engine import (
-    LintConfig,
     REGISTRY,
+    FileAnalysis,
+    LintConfig,
+    RunStats,
+    analyze_file,
+    analyze_source,
     derive_module,
     iter_python_files,
     lint_file,
@@ -36,22 +63,33 @@ from repro.analysis.engine import (
     lint_source,
 )
 from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import ModuleSummary, ProjectIndex
 from repro.analysis.reporters import render_json, render_text
-from repro.analysis.rules import LintContext, Rule
+from repro.analysis.rules import LintContext, ProjectChecker, Rule
 
 __all__ = [
+    "FileAnalysis",
     "Finding",
     "LintConfig",
     "LintContext",
+    "ModuleSummary",
+    "ProjectChecker",
+    "ProjectIndex",
     "REGISTRY",
     "Rule",
+    "RunStats",
     "Severity",
+    "analyze_file",
+    "analyze_source",
+    "apply_baseline",
     "derive_module",
     "iter_python_files",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "load_baseline",
     "main",
     "render_json",
     "render_text",
+    "write_baseline",
 ]

@@ -1,0 +1,99 @@
+"""Baseline files: adopt new rules without blocking on existing findings.
+
+A baseline is a JSON snapshot of known findings.  ``gemstone lint
+--baseline FILE`` subtracts the snapshot from the current run (multiset
+matching on *(path, rule, message)* — line numbers drift with unrelated
+edits, so they are recorded for humans but ignored for matching) and
+fails only on findings *not* in the baseline.  The intended workflow:
+
+1. a new rule lands and fires on legacy code;
+2. ``gemstone lint --write-baseline lint-baseline.json`` freezes the
+   legacy findings;
+3. CI runs ``gemstone lint --baseline lint-baseline.json`` — new
+   violations fail, old ones are tracked debt;
+4. fixing a legacy finding shrinks the baseline: the entry is reported as
+   stale so the file can be re-written, never silently kept.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from collections.abc import Sequence
+
+from repro.analysis.findings import Finding
+from repro.atomicio import atomic_write_text
+
+BASELINE_VERSION = 1
+
+_Key = tuple[str, str, str]
+
+
+def _key(finding: Finding) -> _Key:
+    return (finding.path, finding.rule, finding.message)
+
+
+def write_baseline(findings: Sequence[Finding], path: str) -> None:
+    """Snapshot ``findings`` to ``path`` (sorted, atomic, diff-friendly)."""
+    entries = [
+        {
+            "path": finding.path,
+            "line": finding.line,
+            "rule": finding.rule,
+            "message": finding.message,
+        }
+        for finding in sorted(findings)
+    ]
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
+
+
+def load_baseline(path: str) -> Counter[_Key]:
+    """Load a baseline into a multiset of finding keys.
+
+    Raises:
+        ValueError: If the file is not a recognisable baseline.
+        OSError: If the file cannot be read.
+    """
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != BASELINE_VERSION
+        or not isinstance(payload.get("entries"), list)
+    ):
+        raise ValueError(f"{path}: not a version-{BASELINE_VERSION} baseline")
+    keys: Counter[_Key] = Counter()
+    for entry in payload["entries"]:
+        if not isinstance(entry, dict):
+            raise ValueError(f"{path}: malformed baseline entry {entry!r}")
+        try:
+            keys[(entry["path"], entry["rule"], entry["message"])] += 1
+        except KeyError as exc:
+            raise ValueError(
+                f"{path}: baseline entry missing field {exc}"
+            ) from None
+    return keys
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Counter[_Key]
+) -> tuple[list[Finding], int, int]:
+    """Subtract the baseline from a findings list.
+
+    Returns:
+        ``(new_findings, matched, stale)``: findings not covered by the
+        baseline, the number it absorbed, and the number of baseline
+        entries that no longer fire (fixed code — rewrite the baseline).
+    """
+    remaining = Counter(baseline)
+    new_findings: list[Finding] = []
+    for finding in sorted(findings):
+        key = _key(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+        else:
+            new_findings.append(finding)
+    stale = sum(remaining.values())
+    matched = sum(baseline.values()) - stale
+    return new_findings, matched, stale

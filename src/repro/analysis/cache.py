@@ -1,0 +1,174 @@
+"""Content-hash incremental cache for the lint engine.
+
+Two entry kinds, mirroring the engine's phases:
+
+* **analysis entries** — one pickled
+  :class:`~repro.analysis.engine.FileAnalysis` per file, keyed by the
+  file's *own* content digest.  Sound because Phase A is a pure function
+  of one file's bytes.
+* **findings entries** — one pickled final findings list per file, keyed
+  by the file's *dependency fingerprint* (the digests of its transitive
+  project import closure, self included).  A byte change anywhere in that
+  closure changes the fingerprint, which is how an edit invalidates its
+  reverse dependencies.
+
+Both keys are additionally salted with an **engine fingerprint** (a hash
+of every source file in ``repro.analysis`` itself) and a **config
+fingerprint** (select/ignore/assume-module plus the registered rule ids),
+so upgrading the linter or changing rule selection invalidates everything
+without any explicit versioning chore.
+
+Writes go through :func:`repro.atomicio.atomic_write_bytes` — same
+philosophy as ``runstate``: a crashed run never leaves a half-written
+entry.  Reads treat any undecodable entry as corrupt: the entry is
+deleted (quarantined) and recomputed, never trusted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from typing import TYPE_CHECKING, Any
+
+from repro.atomicio import atomic_write_bytes
+
+if TYPE_CHECKING:
+    from repro.analysis.engine import FileAnalysis, LintConfig, RunStats
+    from repro.analysis.findings import Finding
+
+#: Bumped only for cache-format changes; rule/engine changes are covered
+#: by the engine fingerprint automatically.
+CACHE_FORMAT = 1
+
+_engine_fp: str | None = None
+
+
+def engine_fingerprint() -> str:
+    """Hash of the analysis package's own source files.
+
+    Any edit to a checker, the engine, or this module changes the
+    fingerprint and therefore invalidates every cache entry — the cache
+    can never serve findings computed by an older linter.
+    """
+    global _engine_fp
+    if _engine_fp is not None:
+        return _engine_fp
+    package_dir = os.path.dirname(os.path.abspath(__file__))
+    hasher = hashlib.sha256()
+    for root, dirs, files in os.walk(package_dir):
+        dirs[:] = sorted(d for d in dirs if d != "__pycache__")
+        for name in sorted(files):
+            if not name.endswith(".py"):
+                continue
+            full = os.path.join(root, name)
+            hasher.update(os.path.relpath(full, package_dir).encode())
+            hasher.update(b"\x00")
+            try:
+                with open(full, "rb") as handle:
+                    hasher.update(handle.read())
+            except OSError:
+                hasher.update(b"<unreadable>")
+            hasher.update(b"\x00")
+    _engine_fp = hasher.hexdigest()
+    return _engine_fp
+
+
+def config_fingerprint(config: "LintConfig") -> str:
+    """Hash of everything in the config that affects per-file results."""
+    from repro.analysis.rules import REGISTRY
+
+    token = repr(
+        (
+            CACHE_FORMAT,
+            sorted(config.select) if config.select is not None else None,
+            sorted(config.ignore),
+            config.assume_module,
+            sorted(REGISTRY),
+        )
+    )
+    return hashlib.sha256(token.encode()).hexdigest()
+
+
+class LintCache:
+    """Directory-backed cache of analysis and findings entries."""
+
+    def __init__(self, root: str, config: "LintConfig") -> None:
+        self.root = root
+        self._disabled = False
+        try:
+            os.makedirs(root, exist_ok=True)
+        except OSError:
+            # An unusable cache directory degrades to a cold run; the lint
+            # results themselves must never depend on cache health.
+            self._disabled = True
+        self._salt = f"{engine_fingerprint()}\x00{config_fingerprint(config)}"
+
+    # ------------------------------------------------------------- keying
+    def _entry_path(self, kind: str, path: str, token: str) -> str:
+        key = hashlib.sha256(
+            f"{kind}\x00{self._salt}\x00{os.path.abspath(path)}\x00{token}".encode()
+        ).hexdigest()
+        return os.path.join(self.root, f"{kind}-{key[:40]}.pkl")
+
+    # ----------------------------------------------------------------- io
+    def _load(self, entry: str, stats: "RunStats | None") -> Any:
+        if self._disabled:
+            return None
+        try:
+            with open(entry, "rb") as handle:
+                return pickle.loads(handle.read())
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Corrupt or unreadable entry: quarantine (delete) and recompute.
+            try:
+                os.remove(entry)
+            except OSError:
+                pass
+            if stats is not None:
+                stats.quarantined += 1
+            return None
+
+    def _store(self, entry: str, payload: Any) -> None:
+        if self._disabled:
+            return
+        try:
+            atomic_write_bytes(entry, pickle.dumps(payload), fsync=False)
+        except OSError:
+            pass  # a read-only or full cache degrades to a cold run
+
+    # ------------------------------------------------------ analysis side
+    def load_analysis(
+        self, path: str, digest: str, stats: "RunStats | None" = None
+    ) -> "FileAnalysis | None":
+        from repro.analysis.engine import FileAnalysis
+
+        payload = self._load(self._entry_path("analysis", path, digest), stats)
+        if isinstance(payload, FileAnalysis) and payload.digest == digest:
+            return payload
+        return None
+
+    def store_analysis(self, analysis: "FileAnalysis") -> None:
+        self._store(
+            self._entry_path("analysis", analysis.path, analysis.digest),
+            analysis,
+        )
+
+    # ------------------------------------------------------ findings side
+    def load_findings(
+        self, path: str, dep_fp: str, stats: "RunStats | None" = None
+    ) -> "list[Finding] | None":
+        from repro.analysis.findings import Finding
+
+        payload = self._load(self._entry_path("findings", path, dep_fp), stats)
+        if isinstance(payload, list) and all(
+            isinstance(item, Finding) for item in payload
+        ):
+            return payload
+        return None
+
+    def store_findings(
+        self, path: str, dep_fp: str, findings: "list[Finding]"
+    ) -> None:
+        self._store(self._entry_path("findings", path, dep_fp), findings)

@@ -1,7 +1,7 @@
 """Checker modules; importing this package registers every rule.
 
 The engine imports :mod:`repro.analysis.checkers` for its side effect:
-each module's ``@rule`` decorators populate
+each module's ``@rule`` / ``@project_rule`` decorators populate
 :data:`repro.analysis.rules.REGISTRY`.
 """
 
@@ -9,16 +9,20 @@ from __future__ import annotations
 
 from repro.analysis.checkers import (
     determinism,
+    numerics,
     observability,
     performance,
     purity,
     robustness,
+    threading_safety,
 )
 
 __all__ = [
     "determinism",
+    "numerics",
     "observability",
     "performance",
     "purity",
     "robustness",
+    "threading_safety",
 ]

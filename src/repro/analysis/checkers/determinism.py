@@ -1,12 +1,15 @@
 """Determinism rules: DET001 (unseeded RNG), DET002 (wall-clock/entropy),
-DET003 (unordered-set iteration escaping into results).
+DET003 (unordered-set iteration escaping into results), DET004
+(wall-clock taint reaching deterministic code through call edges).
 
 The reproducibility contract of the whole pipeline — bit-identical
 parallel-vs-serial execution, checksummed result caching, seeded fault
 plans — rests on simulation and statistics code being a pure function of
 its (config, seed) inputs.  These rules catch the three ways that contract
 silently breaks: fresh entropy, ambient time, and hash-order-dependent
-iteration.
+iteration.  DET002 sees the direct call; DET004 walks the project call
+graph so a helper that *returns* a wall-clock value is caught at the
+deterministic call site that consumes it.
 """
 
 from __future__ import annotations
@@ -15,16 +18,18 @@ import ast
 
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.names import dotted_parts
-from repro.analysis.rules import BaseChecker, rule
-
-#: Modules whose code must be a deterministic function of explicit inputs.
-_DETERMINISTIC_SCOPE = (
-    "repro.sim",
-    "repro.uarch",
-    "repro.workloads",
-    "repro.core",
-    "repro.events",
+from repro.analysis.project import (
+    DETERMINISTIC_SCOPE,
+    WALL_CLOCK_AND_ENTROPY,
+    ProjectIndex,
 )
+from repro.analysis.rules import BaseChecker, ProjectChecker, project_rule, rule
+
+#: Backwards-compatible aliases; canonical definitions live in
+#: :mod:`repro.analysis.project` (the project layer needs them and must
+#: not import checker modules).
+_DETERMINISTIC_SCOPE = DETERMINISTIC_SCOPE
+_WALL_CLOCK_AND_ENTROPY = WALL_CLOCK_AND_ENTROPY
 
 #: numpy.random module-level functions backed by the hidden global
 #: RandomState — shared, seed-order-dependent state.
@@ -33,30 +38,6 @@ _NUMPY_GLOBAL_STATE = frozenset(
         "seed", "rand", "randn", "randint", "random", "random_sample",
         "ranf", "sample", "choice", "normal", "uniform", "standard_normal",
         "shuffle", "permutation", "bytes", "get_state", "set_state",
-    }
-)
-
-#: Wall-clock and entropy sources that must never feed a deterministic
-#: code path.  time.perf_counter / time.monotonic are deliberately absent:
-#: telemetry may measure durations as long as results do not depend on them.
-_WALL_CLOCK_AND_ENTROPY = frozenset(
-    {
-        "time.time",
-        "time.time_ns",
-        "datetime.datetime.now",
-        "datetime.datetime.utcnow",
-        "datetime.datetime.today",
-        "datetime.date.today",
-        "os.urandom",
-        "os.getrandom",
-        "uuid.uuid1",
-        "uuid.uuid4",
-        "secrets.token_bytes",
-        "secrets.token_hex",
-        "secrets.token_urlsafe",
-        "secrets.randbits",
-        "secrets.randbelow",
-        "secrets.choice",
     }
 )
 
@@ -298,3 +279,63 @@ class SetIterationChecker(BaseChecker):
         ):
             self._check_iter(node.args[0])
         self.generic_visit(node)
+
+
+@project_rule(
+    "DET004",
+    "wall-clock/entropy value reaches deterministic code through call edges",
+    Severity.ERROR,
+    "A helper outside the deterministic scope may legitimately read the "
+    "clock — but the moment a scoped module *consumes its return value*, "
+    "ambient time leaks into results exactly as if time.time() were called "
+    "inline.  DET002 sees only the direct call; this rule propagates the "
+    "taint backwards through the project call graph (value-consuming edges "
+    "only) and reports the boundary call site.",
+    scope=DETERMINISTIC_SCOPE,
+)
+class ClockTaintProjectChecker(ProjectChecker):
+    """Flags scoped call sites whose callee transitively returns clock values.
+
+    A function is directly tainted when it consumes the return value of a
+    :data:`~repro.analysis.project.WALL_CLOCK_AND_ENTROPY` call; taint then
+    propagates caller-wards along call edges whose return value is used.
+    Findings are reported only at *boundary* edges — a scoped caller
+    consuming a tainted callee that lives outside the deterministic scope —
+    so in-scope direct calls stay DET002's (already-reported) territory.
+    """
+
+    def check(self, index: ProjectIndex) -> None:
+        sources: dict[str, str] = {}
+        for qualname in sorted(index.functions):
+            for clock in index.functions[qualname].clock_calls:
+                if clock.value_used:
+                    sources.setdefault(qualname, clock.name)
+                    break
+        if not sources:
+            return
+        tainted = index.graph.tainted_closure(sources, index.value_edges)
+        for caller in sorted(index.functions):
+            fn = index.functions[caller]
+            if not self.applies(fn.module):
+                continue
+            for callee in index.graph.callees(caller):
+                if callee not in tainted:
+                    continue
+                target = index.functions.get(callee)
+                if target is None or self.applies(target.module):
+                    continue
+                edge = (caller, callee)
+                if not index.value_edges.get(edge, False):
+                    continue
+                site = index.call_sites[edge]
+                chain = tainted[callee]
+                clock_name = sources.get(chain[-1], "a wall-clock source")
+                self.report(
+                    index.path_of(fn.module),
+                    site.line,
+                    site.col,
+                    f"value returned by {target.name!r} derives from "
+                    f"{clock_name}() (call chain {' -> '.join(chain)}); "
+                    "deterministic code paths must take time and entropy "
+                    "as explicit inputs",
+                )

@@ -1,0 +1,360 @@
+"""Numpy-discipline rules for the columnar pipelines: NUM001 (mixed
+float32/float64 arithmetic), NUM002 (overflow-prone reductions without an
+explicit accumulator dtype), NUM003 (boolean-mask indexing on unasserted
+shapes).
+
+The columnar replay engine and the microarchitectural models keep whole
+traces in flat arrays, so a silent dtype upcast doubles peak memory and —
+worse for a paper about bit-exact validation — changes rounding behaviour
+between code paths that are supposed to agree.  ``sum``/``cumsum`` on
+small integer dtypes pick a *platform-dependent* accumulator (C ``long``:
+int32 on Windows, int64 on Linux), which is exactly the kind of unstated
+assumption that breaks cross-machine reproducibility.  Scope is the
+columnar engine and the uarch models, where arrays dominate.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import BaseChecker, rule
+
+#: Where arrays dominate and dtype discipline is load-bearing.
+NUMERIC_SCOPE = ("repro.sim.columnar", "repro.uarch")
+
+#: Dtypes whose reduction accumulator is platform-dependent (C long).
+_OVERFLOW_PRONE = frozenset(
+    {"bool", "int8", "int16", "int32", "uint8", "uint16", "uint32"}
+)
+
+#: numpy array constructors that accept a ``dtype=`` keyword.
+_ARRAY_FACTORIES = frozenset(
+    {
+        "numpy.array", "numpy.asarray", "numpy.zeros", "numpy.ones",
+        "numpy.full", "numpy.empty", "numpy.arange", "numpy.zeros_like",
+        "numpy.ones_like", "numpy.full_like", "numpy.empty_like",
+        "numpy.frombuffer", "numpy.fromiter",
+    }
+)
+
+#: numpy scalar/dtype constructors, keyed by the dtype they produce.
+_DTYPE_NAMES = frozenset(
+    {
+        "bool", "bool_", "int8", "int16", "int32", "int64",
+        "uint8", "uint16", "uint32", "uint64",
+        "float16", "float32", "float64",
+    }
+)
+
+#: Reductions whose accumulator dtype should be pinned on small ints.
+_ACCUMULATING_REDUCTIONS = frozenset({"sum", "cumsum", "prod", "cumprod"})
+
+
+def _dtype_from_expr(node: ast.expr, resolve) -> str | None:
+    """Dtype name denoted by a ``dtype=`` argument expression, if static."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        name = node.value
+    else:
+        resolved = resolve(node)
+        if resolved is None:
+            return None
+        name = resolved.rpartition(".")[2]
+    name = {"bool_": "bool", "float_": "float64", "int_": "int64"}.get(
+        name, name
+    )
+    return name if name in _DTYPE_NAMES or name == "bool" else None
+
+
+class _DtypeTracker(BaseChecker):
+    """Shared line-ordered name→dtype inference for the NUM rules.
+
+    Tracking is deliberately shallow: a name is known only when its dtype
+    is statically evident (constructor ``dtype=``, ``.astype``, comparison
+    result).  Unknown stays unknown — these rules only fire on *provable*
+    dtype facts, never on guesses.
+    """
+
+    def run(self, tree: ast.Module) -> list[Finding]:
+        self._scopes: list[dict[str, str]] = [{}]
+        self._current_fn: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
+        return super().run(tree)
+
+    # ------------------------------------------------------------- scoping
+    def _enter_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        self._scopes.append({})
+        self._current_fn.append(node)
+        self.generic_visit(node)
+        self._current_fn.pop()
+        self._scopes.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter_function(node)
+
+    def _lookup(self, name: str) -> str | None:
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    # ------------------------------------------------------- dtype algebra
+    def _dtype_of(self, node: ast.expr) -> str | None:
+        if isinstance(node, ast.Name):
+            return self._lookup(node.id)
+        if isinstance(node, ast.Compare):
+            return "bool"
+        if isinstance(node, ast.UnaryOp):
+            if isinstance(node.op, ast.Not):
+                return "bool"
+            return self._dtype_of(node.operand)
+        if isinstance(node, ast.Call):
+            return self._dtype_of_call(node)
+        if isinstance(node, ast.BinOp):
+            left = self._dtype_of(node.left)
+            right = self._dtype_of(node.right)
+            if left == right:
+                return left
+            if {left, right} == {"float32", "float64"}:
+                return "float64"
+            return None
+        if isinstance(node, ast.Subscript):
+            # Masked/sliced views keep their element dtype.
+            return self._dtype_of(node.value)
+        return None
+
+    def _dtype_of_call(self, node: ast.Call) -> str | None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "astype":
+            if node.args:
+                return _dtype_from_expr(node.args[0], self.ctx.imports.resolve)
+            return None
+        resolved = self.ctx.imports.resolve(func)
+        if resolved is None:
+            return None
+        head, _, tail = resolved.rpartition(".")
+        if head == "numpy" and tail in _DTYPE_NAMES:
+            return {"bool_": "bool"}.get(tail, tail)
+        if resolved in _ARRAY_FACTORIES:
+            for keyword in node.keywords:
+                if keyword.arg == "dtype":
+                    return _dtype_from_expr(
+                        keyword.value, self.ctx.imports.resolve
+                    )
+        return None
+
+    # --------------------------------------------------------- assignments
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node)
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            dtype = self._dtype_of(node.value)
+            if dtype is not None:
+                self._scopes[-1][node.targets[0].id] = dtype
+            else:
+                self._scopes[-1].pop(node.targets[0].id, None)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self.generic_visit(node)
+        if isinstance(node.target, ast.Name) and node.value is not None:
+            dtype = self._dtype_of(node.value)
+            if dtype is not None:
+                self._scopes[-1][node.target.id] = dtype
+
+
+@rule(
+    "NUM001",
+    "mixed float32/float64 arithmetic silently upcasts",
+    Severity.WARNING,
+    "An expression mixing float32 and float64 operands upcasts to float64: "
+    "peak memory doubles and rounding diverges from the all-float32 path "
+    "the columnar engine validates against hardware.  Cast explicitly at "
+    "the boundary instead.",
+    scope=NUMERIC_SCOPE,
+)
+class MixedFloatChecker(_DtypeTracker):
+    """Flags binary arithmetic whose operands provably mix float widths."""
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        left = self._dtype_of(node.left)
+        right = self._dtype_of(node.right)
+        if {left, right} == {"float32", "float64"}:
+            self.report(
+                node,
+                "arithmetic mixes float32 and float64 operands and "
+                "silently upcasts to float64; cast explicitly with "
+                ".astype(...) at the boundary",
+            )
+        self.generic_visit(node)
+
+
+@rule(
+    "NUM002",
+    "overflow-prone reduction without an explicit accumulator dtype",
+    Severity.WARNING,
+    "sum/cumsum on bool or narrow integer arrays accumulate in a "
+    "platform-dependent dtype (C long: int32 on Windows, int64 on Linux), "
+    "so the same trace can overflow on one machine and not another; pass "
+    "dtype=numpy.int64 explicitly.",
+    scope=NUMERIC_SCOPE,
+)
+class ReductionDtypeChecker(_DtypeTracker):
+    """Flags ``sum``/``cumsum``-family reductions over small-int arrays."""
+
+    def visit_Call(self, node: ast.Call) -> None:
+        target: ast.expr | None = None
+        reduction: str | None = None
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _ACCUMULATING_REDUCTIONS
+        ):
+            resolved = self.ctx.imports.resolve(func)
+            if resolved and resolved.rpartition(".")[0] == "numpy":
+                # numpy.sum(arr, ...): the array is the first argument.
+                target = node.args[0] if node.args else None
+            else:
+                target = func.value
+            reduction = func.attr
+        if target is not None and reduction is not None:
+            has_dtype = any(k.arg == "dtype" for k in node.keywords)
+            dtype = self._dtype_of(target)
+            if not has_dtype and dtype in _OVERFLOW_PRONE:
+                self.report(
+                    node,
+                    f".{reduction}() on a {dtype} array accumulates in a "
+                    "platform-dependent dtype; pass dtype=numpy.int64 "
+                    "explicitly",
+                )
+        self.generic_visit(node)
+
+
+@rule(
+    "NUM003",
+    "boolean-mask indexing on arrays with unasserted shapes",
+    Severity.WARNING,
+    "Indexing one function argument with a mask derived from another "
+    "relies on their lengths agreeing; numpy raises only when the mask is "
+    "*longer*, so a short mask silently drops rows.  Assert the shapes "
+    "match (or document why they must) before masking.",
+    scope=NUMERIC_SCOPE,
+)
+class MaskShapeChecker(_DtypeTracker):
+    """Flags ``a[mask]`` where the shapes involved are never asserted.
+
+    Fires only when the indexed array or the mask is a function parameter
+    (shapes crossing an API boundary), the mask is provably boolean (or
+    conventionally named ``*mask*``), and the enclosing function contains
+    no shape assertion at all.  A mask derived *from the indexed array
+    itself* (``mask = values > 0; values[mask]``) has the right shape by
+    construction and is never flagged.
+    """
+
+    def run(self, tree: ast.Module) -> list[Finding]:
+        self._param_stack: list[set[str]] = []
+        self._assert_stack: list[bool] = []
+        self._mask_bases: list[dict[str, frozenset[str]]] = []
+        return super().run(tree)
+
+    def _enter_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        args = node.args
+        self._param_stack.append(
+            {
+                arg.arg
+                for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+            }
+        )
+        self._assert_stack.append(self._has_shape_assert(node))
+        self._mask_bases.append({})
+        super()._enter_function(node)
+        self._mask_bases.pop()
+        self._param_stack.pop()
+        self._assert_stack.pop()
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # Remember which arrays a boolean mask was computed from, so that
+        # masking the very array it came from is recognised as shape-safe.
+        if (
+            self._mask_bases
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+        ):
+            target = node.targets[0].id
+            if self._dtype_of(node.value) == "bool":
+                self._mask_bases[-1][target] = frozenset(
+                    inner.id
+                    for inner in ast.walk(node.value)
+                    if isinstance(inner, ast.Name)
+                )
+            else:
+                self._mask_bases[-1].pop(target, None)
+        super().visit_Assign(node)
+
+    def _derived_from(self, mask: ast.expr, array_name: str) -> bool:
+        if not self._mask_bases:
+            return False
+        if isinstance(mask, ast.Name):
+            return array_name in self._mask_bases[-1].get(mask.id, ())
+        return array_name in {
+            inner.id
+            for inner in ast.walk(mask)
+            if isinstance(inner, ast.Name)
+        }
+
+    def _has_shape_assert(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> bool:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assert):
+                for inner in ast.walk(node.test):
+                    if isinstance(inner, ast.Attribute) and inner.attr in (
+                        "shape", "size", "ndim",
+                    ):
+                        return True
+            elif isinstance(node, ast.Call):
+                parts = []
+                func = node.func
+                while isinstance(func, ast.Attribute):
+                    parts.append(func.attr)
+                    func = func.value
+                if isinstance(func, ast.Name):
+                    parts.append(func.id)
+                if any("assert" in part.lower() for part in parts):
+                    return True
+        return False
+
+    def _is_maskish(self, node: ast.expr) -> bool:
+        if self._dtype_of(node) == "bool":
+            return True
+        return isinstance(node, ast.Name) and "mask" in node.id.lower()
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if (
+            self._param_stack
+            and not self._assert_stack[-1]
+            and isinstance(node.value, ast.Name)
+            and self._is_maskish(node.slice)
+            and not (
+                isinstance(node.slice, ast.Name)
+                and node.slice.id == node.value.id
+            )
+            and not self._derived_from(node.slice, node.value.id)
+        ):
+            params = self._param_stack[-1]
+            mask_is_param = (
+                isinstance(node.slice, ast.Name)
+                and node.slice.id in params
+            )
+            if node.value.id in params or mask_is_param:
+                self.report(
+                    node,
+                    f"boolean-mask indexing of {node.value.id!r} with an "
+                    "unasserted shape; a short mask silently drops rows — "
+                    "assert the array and mask shapes agree first",
+                )
+        self.generic_visit(node)

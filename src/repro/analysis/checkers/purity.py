@@ -8,137 +8,32 @@ the same bytes.  A submitted callable that reads or mutates module-level
 state computes different answers in the worker and the parent; a closure
 or lambda does not survive pickling at all and silently degrades every
 batch to the serial path.
+
+PURE001 runs in two phases.  The per-file checker vets the submit site
+itself (lambdas, closures, direct impurity of a same-module function); the
+project-phase pass (:class:`SubmitPurityProjectChecker`) walks the
+cross-module call graph and flags the site if *any* reachable callee —
+bounded depth, cycle-safe — is impure, which the old same-module one-level
+check could not see.
 """
 
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass, field
 
+from repro.analysis.callgraph import DEFAULT_MAX_DEPTH
 from repro.analysis.findings import Finding, Severity
-from repro.analysis.rules import BaseChecker, rule
-
-#: Method names that mutate their receiver in place.
-_MUTATOR_METHODS = frozenset(
-    {
-        "append", "extend", "insert", "add", "update", "setdefault",
-        "pop", "popitem", "remove", "discard", "clear", "appendleft",
-        "extendleft", "popleft", "sort", "reverse",
-    }
+from repro.analysis.project import (
+    ModuleInventory,
+    ProjectIndex,
+    first_impurity,
 )
-
-
-def _is_constant_style(name: str) -> bool:
-    """Module bindings that read as constants/classes, not mutable state."""
-    stripped = name.strip("_")
-    if not stripped:
-        return True
-    if name.startswith("__") and name.endswith("__"):
-        return True
-    return stripped[0].isupper()
-
-
-@dataclass
-class _ModuleInventory:
-    """Module-level facts needed to judge a submitted callable."""
-
-    top_functions: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = field(
-        default_factory=dict
-    )
-    mutable_globals: set[str] = field(default_factory=set)
-    nested_functions: set[str] = field(default_factory=set)
-    lambda_bound: set[str] = field(default_factory=set)
-
-    @classmethod
-    def from_tree(cls, tree: ast.Module) -> "_ModuleInventory":
-        inventory = cls()
-        for stmt in tree.body:
-            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                inventory.top_functions[stmt.name] = stmt
-            elif isinstance(stmt, ast.Assign):
-                for target in stmt.targets:
-                    if isinstance(target, ast.Name) and not _is_constant_style(
-                        target.id
-                    ):
-                        inventory.mutable_globals.add(target.id)
-            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
-                target = stmt.target
-                if isinstance(target, ast.Name) and not _is_constant_style(
-                    target.id
-                ):
-                    inventory.mutable_globals.add(target.id)
-        for node in ast.walk(tree):
-            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                continue
-            for inner in ast.walk(node):
-                if inner is node:
-                    continue
-                if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                    inventory.nested_functions.add(inner.name)
-                elif isinstance(inner, ast.Assign) and isinstance(
-                    inner.value, ast.Lambda
-                ):
-                    for target in inner.targets:
-                        if isinstance(target, ast.Name):
-                            inventory.lambda_bound.add(target.id)
-        return inventory
-
-
-def _local_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
-    """Parameter and locally-bound names that shadow module globals."""
-    args = fn.args
-    names = {
-        arg.arg
-        for arg in (
-            *args.posonlyargs, *args.args, *args.kwonlyargs,
-            *([args.vararg] if args.vararg else []),
-            *([args.kwarg] if args.kwarg else []),
-        )
-    }
-    for node in ast.walk(fn):
-        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
-            names.add(node.id)
-    return names
-
-
-def _impurity(
-    fn: ast.FunctionDef | ast.AsyncFunctionDef,
-    inventory: _ModuleInventory,
-) -> str | None:
-    """First reason ``fn`` is not worker-pure, or None if it looks pure."""
-    local = _local_names(fn)
-
-    def is_global(name: str) -> bool:
-        return name in inventory.mutable_globals and name not in local
-
-    for node in ast.walk(fn):
-        if isinstance(node, ast.Global):
-            return f"declares 'global {', '.join(node.names)}'"
-        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
-            if is_global(node.id):
-                return f"reads module-level mutable state {node.id!r}"
-        if isinstance(node, (ast.Assign, ast.AugAssign)):
-            targets = (
-                node.targets if isinstance(node, ast.Assign) else [node.target]
-            )
-            for target in targets:
-                base = target
-                while isinstance(base, (ast.Subscript, ast.Attribute)):
-                    base = base.value
-                if isinstance(base, ast.Name) and is_global(base.id):
-                    return f"writes module-level state {base.id!r}"
-        if (
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Attribute)
-            and node.func.attr in _MUTATOR_METHODS
-            and isinstance(node.func.value, ast.Name)
-            and is_global(node.func.value.id)
-        ):
-            return (
-                f"mutates module-level state {node.func.value.id!r} via "
-                f".{node.func.attr}()"
-            )
-    return None
+from repro.analysis.rules import (
+    BaseChecker,
+    ProjectChecker,
+    attach_project_pass,
+    rule,
+)
 
 
 @rule(
@@ -147,20 +42,19 @@ def _impurity(
     Severity.ERROR,
     "Pool workers rerun in the parent on crash/timeout must reproduce the "
     "same bytes, so submitted callables may not touch module-level mutable "
-    "state; lambdas and nested functions additionally fail pickling and "
-    "silently force the serial fallback.",
+    "state anywhere in their call graph; lambdas and nested functions "
+    "additionally fail pickling and silently force the serial fallback.",
 )
 class SubmitPurityChecker(BaseChecker):
-    """Resolves ``pool.submit(fn, ...)`` sites and vets ``fn``.
+    """Resolves ``pool.submit(fn, ...)`` sites and vets ``fn`` locally.
 
-    The submitted callable and every same-module function it calls (one
-    level deep) are checked; cross-module callees are out of reach of a
-    single-file pass and are covered by the executor's runtime recovery
-    tests instead.
+    Lambdas, closures and direct impurity of a same-module function are
+    reported here; transitive (and cross-module) impurity is reported by
+    the project-phase pass over the call graph.
     """
 
     def run(self, tree: ast.Module) -> list[Finding]:
-        self._inventory = _ModuleInventory.from_tree(tree)
+        self._inventory = ModuleInventory.from_tree(tree, self.ctx.imports)
         return super().run(tree)
 
     def visit_Call(self, node: ast.Call) -> None:
@@ -202,40 +96,68 @@ class SubmitPurityChecker(BaseChecker):
         fn = self._inventory.top_functions.get(name)
         if fn is None:
             return
-        reason = _impurity(fn, self._inventory)
+        reason = first_impurity(fn, self._inventory)
         if reason is not None:
             self.report(
                 site,
                 f"submitted function {name!r} {reason}; workers must be "
                 "pure functions of their payload",
             )
-            return
-        for callee_name in self._same_module_callees(fn):
-            callee = self._inventory.top_functions.get(callee_name)
-            if callee is None or callee is fn:
-                continue
-            reason = _impurity(callee, self._inventory)
-            if reason is not None:
-                self.report(
-                    site,
-                    f"submitted function {name!r} calls {callee_name!r}, "
-                    f"which {reason}; workers must be pure functions of "
-                    "their payload",
-                )
-                return
 
-    def _same_module_callees(
-        self, fn: ast.FunctionDef | ast.AsyncFunctionDef
-    ) -> list[str]:
-        seen: list[str] = []
-        for node in ast.walk(fn):
-            if (
-                isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Name)
-                and node.func.id not in seen
-            ):
-                seen.append(node.func.id)
-        return seen
+
+@attach_project_pass("PURE001")
+class SubmitPurityProjectChecker(ProjectChecker):
+    """Flags submit sites whose *transitive* call graph reaches impurity.
+
+    For every ``pool.submit(fn, ...)`` site in the run, walk the resolved
+    call graph from ``fn`` (bounded by :data:`DEFAULT_MAX_DEPTH`, cycles
+    handled by the BFS visited set) and report the first impure function
+    reached — ordered by (depth, qualified name), so the finding is
+    deterministic.  One finding per site; sites the per-file checker
+    already reported (same-module direct impurity) are skipped.
+    """
+
+    def check(self, index: ProjectIndex) -> None:
+        for summary in index.modules.values():
+            if not self.applies(summary.module):
+                continue
+            for site in summary.submit_sites:
+                self._check_site(index, summary, site)
+
+    def _check_site(self, index: ProjectIndex, summary, site) -> None:
+        root = index.resolve_function(site.candidates)
+        if root is None:
+            return
+        if root.module == summary.module and root.impurity is not None:
+            # The per-file checker already reported this site.
+            return
+        if root.impurity is not None:
+            self.report(
+                summary.path,
+                site.line,
+                site.col,
+                f"submitted function {site.display_name!r} {root.impurity}; "
+                "workers must be pure functions of their payload",
+            )
+            return
+        reached = index.graph.reachable(
+            (root.qualname,), DEFAULT_MAX_DEPTH, include_roots=False
+        )
+        for reach in sorted(
+            reached.values(), key=lambda r: (r.depth, r.qualname)
+        ):
+            callee = index.functions.get(reach.qualname)
+            if callee is None or callee.impurity is None:
+                continue
+            message = (
+                f"submitted function {site.display_name!r} calls "
+                f"{callee.name!r}, which {callee.impurity}; workers must "
+                "be pure functions of their payload"
+            )
+            if reach.depth >= 2:
+                message += f" (via {reach.via()})"
+            self.report(summary.path, site.line, site.col, message)
+            return
 
 
 #: Calls producing a fresh mutable container.

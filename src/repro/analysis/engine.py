@@ -1,16 +1,31 @@
-"""The lint engine: file discovery, per-file orchestration, suppression
-accounting.
+"""The lint engine: discovery, the three-phase driver, suppressions.
 
-One file is processed as: tokenize for ``# repro: noqa[...]`` comments →
-parse once → resolve imports → run every in-scope, selected rule over the
-shared AST → drop suppressed findings → append suppression-hygiene
-findings (unused/malformed escapes).  Findings come back sorted by
-location so output is stable across rule registration order.
+A run has three phases:
+
+* **Phase A — per-file analysis.**  Tokenize for ``# repro: noqa[...]``
+  comments → parse once → run every in-scope per-file rule → extract a
+  :class:`~repro.analysis.project.ModuleSummary`.  The result
+  (:class:`FileAnalysis`) is a pure function of one file's bytes, which is
+  what makes it safe to fan out over a process pool and to cache by
+  content digest.
+* **Phase B — project analysis.**  Assemble all summaries into a
+  :class:`~repro.analysis.project.ProjectIndex` (symbol table + call
+  graph) and run every :class:`~repro.analysis.rules.ProjectChecker`.
+* **Phase C — merge.**  Per file: local + project findings → same-line
+  suppressions → suppression-hygiene findings → sort.  Output order is
+  (path, line, col, rule), so serial, parallel and warm-cache runs are
+  byte-identical.
+
+``lint_source``/``lint_file`` run the same pipeline over a single-file
+project, so one-module call chains (a submitted function calling an
+impure same-module helper) are still caught without any project setup.
 """
 
 from __future__ import annotations
 
 import ast
+import concurrent.futures
+import hashlib
 import os
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
@@ -18,6 +33,7 @@ from dataclasses import dataclass, field
 import repro.analysis.checkers  # noqa: F401  (registers the rule catalogue)
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.names import ImportMap
+from repro.analysis.project import ModuleSummary, ProjectIndex, summarize_module
 from repro.analysis.rules import REGISTRY, LintContext, Rule
 from repro.analysis.suppressions import SuppressionIndex
 
@@ -51,6 +67,10 @@ for _engine_rule in (
 #: Directory basenames never descended into during discovery.
 _SKIPPED_DIRS = frozenset({"__pycache__", ".git", ".hg", ".mypy_cache",
                            ".ruff_cache", ".pytest_cache", "build", "dist"})
+
+#: Files marking a directory as a source/checkout root rather than a
+#: package, even when a stray ``__init__.py`` sits next to them.
+_ROOT_MARKERS = ("pyproject.toml", "setup.py", "setup.cfg", ".git")
 
 
 @dataclass(frozen=True)
@@ -92,13 +112,30 @@ class LintConfig:
 
 
 def derive_module(path: str) -> str:
-    """Dotted module name from the file's package (``__init__.py``) chain."""
+    """Dotted module name from the file's package (``__init__.py``) chain.
+
+    The walk stops at the source root even when a stray ``__init__.py``
+    sits above it: a directory named ``src``, a directory whose name is
+    not a valid identifier, or a directory carrying a checkout marker
+    (``pyproject.toml``, ``setup.py``, ``setup.cfg``, ``.git``) never
+    contributes a segment.  Without this, linting a checkout that happens
+    to live inside a package leaks extra leading segments into every
+    module name and silently changes rule scoping.
+    """
     absolute = os.path.abspath(path)
     stem = os.path.splitext(os.path.basename(absolute))[0]
     parts: list[str] = [] if stem == "__init__" else [stem]
     parent = os.path.dirname(absolute)
     while os.path.isfile(os.path.join(parent, "__init__.py")):
-        parts.append(os.path.basename(parent))
+        base = os.path.basename(parent)
+        if base == "src" or not base.isidentifier():
+            break
+        if any(
+            os.path.exists(os.path.join(parent, marker))
+            for marker in _ROOT_MARKERS
+        ):
+            break
+        parts.append(base)
         parent = os.path.dirname(parent)
     parts.reverse()
     return ".".join(parts) if parts else stem
@@ -149,21 +186,68 @@ def iter_python_files(
     return sorted(dict.fromkeys(collected))
 
 
-def lint_source(
+# ---------------------------------------------------------------------------
+# Phase A: per-file analysis (parallelisable, cacheable)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FileAnalysis:
+    """The complete, picklable result of analysing one file in isolation.
+
+    Attributes:
+        path: Report path.
+        module: Dotted module name used for rule scoping.
+        is_package: Whether the file is a package ``__init__``.
+        digest: SHA-256 hex digest of the file bytes ('' when unknown,
+            e.g. for in-memory sources — such analyses are never cached).
+        findings: Per-file rule findings, *pre-suppression*.
+        summary: Module summary for the project phase (None on parse error).
+        suppressions: The file's ``# repro: noqa`` index.
+    """
+
+    path: str
+    module: str
+    is_package: bool
+    digest: str
+    findings: list[Finding]
+    summary: ModuleSummary | None
+    suppressions: SuppressionIndex
+
+
+@dataclass
+class RunStats:
+    """Observability for one ``lint_paths`` run (cache behaviour, fan-out).
+
+    Attributes:
+        files: Files discovered.
+        analysed: Files that went through a full Phase A parse this run.
+        summaries_cached: Files whose Phase A result came from the cache.
+        findings_cached: Files whose *final* findings came from the cache
+            (neither the file nor anything it transitively imports changed).
+        refinalized: Paths whose final findings were recomputed this run —
+            on a warm run, the edited files plus their reverse dependencies.
+        quarantined: Corrupt cache entries deleted during the run.
+        jobs: Worker processes used for Phase A (1 = in-process serial).
+    """
+
+    files: int = 0
+    analysed: int = 0
+    summaries_cached: int = 0
+    findings_cached: int = 0
+    refinalized: tuple[str, ...] = ()
+    quarantined: int = 0
+    jobs: int = 1
+
+
+def analyze_source(
     source: str,
     path: str = "<string>",
     module: str | None = None,
     config: LintConfig | None = None,
-) -> list[Finding]:
-    """Lint one source string; the core single-file pipeline.
-
-    Args:
-        source: Python source text.
-        path: Path findings are reported under.
-        module: Dotted module name for rule scoping; defaults to
-            ``config.assume_module`` or a name derived from ``path``.
-        config: Engine configuration (defaults to everything enabled).
-    """
+    is_package: bool = False,
+    digest: str = "",
+) -> FileAnalysis:
+    """Phase A over one source string: local rules + module summary."""
     config = config or LintConfig()
     module = module or config.assume_module or derive_module(path)
     suppressions = SuppressionIndex.from_source(source)
@@ -175,7 +259,7 @@ def lint_source(
     except (SyntaxError, ValueError) as exc:
         if "PARSE001" in active:
             line = getattr(exc, "lineno", None) or 1
-            col = (getattr(exc, "offset", None) or 1)
+            col = getattr(exc, "offset", None) or 1
             findings.append(
                 Finding(
                     path=path, line=line, col=col, rule="PARSE001",
@@ -183,52 +267,384 @@ def lint_source(
                     severity=Severity.ERROR,
                 )
             )
-        return sorted(findings)
+        return FileAnalysis(
+            path=path, module=module, is_package=is_package, digest=digest,
+            findings=findings, summary=None, suppressions=suppressions,
+        )
 
-    ctx = LintContext(path=path, module=module, imports=ImportMap.from_tree(tree))
+    imports = ImportMap.from_tree(tree)
+    ctx = LintContext(path=path, module=module, imports=imports)
     for rule_ in active.values():
         if rule_.checker is None or not rule_.applies_to(module):
             continue
-        for finding in rule_.checker(rule_, ctx).run(tree):
-            if not suppressions.try_suppress(finding):
-                findings.append(finding)
+        findings.extend(rule_.checker(rule_, ctx).run(tree))
 
-    hygiene = suppressions.hygiene_findings(
+    summary = summarize_module(
+        tree, module=module, path=path, imports=imports, is_package=is_package
+    )
+    return FileAnalysis(
+        path=path, module=module, is_package=is_package, digest=digest,
+        findings=findings, summary=summary, suppressions=suppressions,
+    )
+
+
+def analyze_file(
+    path: str, config: LintConfig | None = None, source: str | None = None
+) -> FileAnalysis:
+    """Phase A over one file (unreadable/undecodable → PARSE001)."""
+    config = config or LintConfig()
+    if source is None:
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+            source = raw.decode("utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            module = config.assume_module or derive_module(path)
+            return FileAnalysis(
+                path=path, module=module,
+                is_package=os.path.basename(path) == "__init__.py",
+                digest="",
+                findings=[
+                    Finding(
+                        path=path, line=1, col=1, rule="PARSE001",
+                        message=f"file cannot be read: {exc}",
+                        severity=Severity.ERROR,
+                    )
+                ],
+                summary=None,
+                suppressions=SuppressionIndex.from_source(""),
+            )
+        digest = hashlib.sha256(raw).hexdigest()
+    else:
+        digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    return analyze_source(
+        source,
         path=path,
+        config=config,
+        is_package=os.path.basename(path) == "__init__.py",
+        digest=digest,
+    )
+
+
+def _pool_analyze(payload: tuple[str, LintConfig]) -> FileAnalysis:
+    """Process-pool entry point for Phase A (module-level: picklable)."""
+    path, config = payload
+    return analyze_file(path, config)
+
+
+# ---------------------------------------------------------------------------
+# Phase B: project rules
+# ---------------------------------------------------------------------------
+
+def run_project_rules(
+    analyses: Sequence[FileAnalysis], config: LintConfig
+) -> list[Finding]:
+    """Run every active project-phase rule over the assembled index."""
+    summaries = [a.summary for a in analyses if a.summary is not None]
+    if not summaries:
+        return []
+    index = ProjectIndex(summaries)
+    findings: list[Finding] = []
+    for rule_ in config.active_rules():
+        if rule_.project_checker is None:
+            continue
+        findings.extend(rule_.project_checker(rule_).run(index))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Phase C: merge, suppress, hygiene
+# ---------------------------------------------------------------------------
+
+def finalize_file(
+    analysis: FileAnalysis,
+    project_findings: Sequence[Finding],
+    config: LintConfig,
+) -> list[Finding]:
+    """Merge one file's local + project findings into its final list."""
+    active = {rule_.id for rule_ in config.active_rules()}
+    merged = sorted([*analysis.findings, *project_findings])
+    kept = [
+        finding
+        for finding in merged
+        if not analysis.suppressions.try_suppress(finding)
+    ]
+    hygiene = analysis.suppressions.hygiene_findings(
+        path=analysis.path,
         known_rules=frozenset(REGISTRY),
         filtered_out=config.filtered_out(),
     )
-    findings.extend(
-        finding for finding in hygiene if finding.rule in active
-    )
-    return sorted(findings)
+    kept.extend(finding for finding in hygiene if finding.rule in active)
+    return sorted(kept)
+
+
+def _finalize_all(
+    analyses: Sequence[FileAnalysis],
+    project_findings: Sequence[Finding],
+    config: LintConfig,
+) -> dict[str, list[Finding]]:
+    by_path: dict[str, list[Finding]] = {}
+    for finding in project_findings:
+        by_path.setdefault(finding.path, []).append(finding)
+    return {
+        analysis.path: finalize_file(
+            analysis, by_path.get(analysis.path, ()), config
+        )
+        for analysis in analyses
+    }
+
+
+# ---------------------------------------------------------------------------
+# Public single-file API (a one-file project)
+# ---------------------------------------------------------------------------
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    module: str | None = None,
+    config: LintConfig | None = None,
+) -> list[Finding]:
+    """Lint one source string as a single-file project.
+
+    Args:
+        source: Python source text.
+        path: Path findings are reported under.
+        module: Dotted module name for rule scoping; defaults to
+            ``config.assume_module`` or a name derived from ``path``.
+        config: Engine configuration (defaults to everything enabled).
+    """
+    config = config or LintConfig()
+    analysis = analyze_source(source, path=path, module=module, config=config)
+    project = run_project_rules([analysis], config)
+    return finalize_file(analysis, project, config)
 
 
 def lint_file(path: str, config: LintConfig | None = None) -> list[Finding]:
-    """Lint one file from disk (unreadable/undecodable → PARSE001)."""
-    try:
-        with open(path, encoding="utf-8") as handle:
-            source = handle.read()
-    except (OSError, UnicodeDecodeError) as exc:
-        return [
-            Finding(
-                path=path, line=1, col=1, rule="PARSE001",
-                message=f"file cannot be read: {exc}",
-                severity=Severity.ERROR,
-            )
-        ]
-    return lint_source(source, path=path, config=config)
+    """Lint one file from disk as a single-file project."""
+    config = config or LintConfig()
+    analysis = analyze_file(path, config=config)
+    project = run_project_rules([analysis], config)
+    return finalize_file(analysis, project, config)
+
+
+# ---------------------------------------------------------------------------
+# The multi-file driver
+# ---------------------------------------------------------------------------
+
+def _resolve_jobs(jobs: int | None) -> int:
+    if jobs is None or jobs == 1:
+        return 1
+    if jobs == 0:
+        return max(os.cpu_count() or 1, 1)
+    return max(jobs, 1)
+
+
+def _run_phase_a(
+    pending: list[str],
+    config: LintConfig,
+    jobs: int,
+) -> list[FileAnalysis]:
+    """Analyse ``pending`` files, fanning out over a process pool if asked.
+
+    Results come back in input order regardless of worker scheduling, so
+    parallel runs are byte-identical to serial ones.
+    """
+    if jobs <= 1 or len(pending) < 2:
+        return [analyze_file(path, config) for path in pending]
+    payloads = [(path, config) for path in pending]
+    chunksize = max(len(payloads) // (jobs * 4), 1)
+    with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(_pool_analyze, payloads, chunksize=chunksize))
 
 
 def lint_paths(
-    paths: Iterable[str], config: LintConfig | None = None
+    paths: Iterable[str],
+    config: LintConfig | None = None,
+    *,
+    jobs: int | None = None,
+    cache_dir: str | None = None,
+    stats: RunStats | None = None,
 ) -> list[Finding]:
     """Lint files and directory trees; the CLI's workhorse.
 
-    Returns all findings sorted by (path, line, col, rule).
+    Args:
+        paths: Files and/or directories to lint.
+        config: Engine configuration.
+        jobs: Phase A worker processes — None/1 = in-process serial,
+            0 = one per CPU, N = exactly N.
+        cache_dir: Enable the content-hash incremental cache rooted here;
+            warm runs re-analyse only changed files, and re-merge only
+            changed files plus their reverse import dependencies.
+        stats: Optional :class:`RunStats` instance filled in-place.
+
+    Returns:
+        All findings sorted by (path, line, col, rule) — byte-identical
+        across serial, parallel and warm-cache runs.
     """
     config = config or LintConfig()
-    findings: list[Finding] = []
-    for path in iter_python_files(list(paths), exclude=config.exclude):
-        findings.extend(lint_file(path, config=config))
-    return sorted(findings)
+    stats = stats if stats is not None else RunStats()
+    jobs_resolved = _resolve_jobs(jobs)
+    stats.jobs = jobs_resolved
+
+    files = iter_python_files(list(paths), exclude=config.exclude)
+    stats.files = len(files)
+
+    cache = None
+    if cache_dir is not None:
+        from repro.analysis.cache import LintCache
+
+        cache = LintCache(cache_dir, config)
+
+    # Phase A, through the summary cache where possible.
+    digests: dict[str, str] = {}
+    analyses_by_path: dict[str, FileAnalysis] = {}
+    pending: list[str] = []
+    for path in files:
+        digest = _digest_file(path)
+        digests[path] = digest
+        cached = (
+            cache.load_analysis(path, digest, stats)
+            if cache is not None and digest
+            else None
+        )
+        if cached is not None:
+            analyses_by_path[path] = cached
+            stats.summaries_cached += 1
+        else:
+            pending.append(path)
+
+    for analysis in _run_phase_a(pending, config, jobs_resolved):
+        analyses_by_path[analysis.path] = analysis
+        stats.analysed += 1
+        if cache is not None and analysis.digest:
+            cache.store_analysis(analysis)
+
+    analyses = [analyses_by_path[path] for path in files]
+
+    # Dependency fingerprints over the project import graph.
+    dep_fps = _dependency_fingerprints(analyses) if cache is not None else {}
+
+    # Final-findings cache: a file whose transitive import closure is
+    # byte-identical to the cached run reuses its final findings outright.
+    final: dict[str, list[Finding]] = {}
+    stale: list[FileAnalysis] = []
+    for analysis in analyses:
+        cached_findings = (
+            cache.load_findings(analysis.path, dep_fps[analysis.path], stats)
+            if cache is not None and analysis.digest
+            else None
+        )
+        if cached_findings is not None:
+            final[analysis.path] = cached_findings
+            stats.findings_cached += 1
+        else:
+            stale.append(analysis)
+
+    if stale:
+        project_findings = run_project_rules(analyses, config)
+        refinalized = _finalize_all(stale, project_findings, config)
+        for analysis in stale:
+            findings = refinalized[analysis.path]
+            final[analysis.path] = findings
+            if cache is not None and analysis.digest:
+                cache.store_findings(
+                    analysis.path, dep_fps[analysis.path], findings
+                )
+    stats.refinalized = tuple(analysis.path for analysis in stale)
+
+    merged: list[Finding] = []
+    for path in files:
+        merged.extend(final[path])
+    return sorted(merged)
+
+
+def _digest_file(path: str) -> str:
+    try:
+        with open(path, "rb") as handle:
+            return hashlib.sha256(handle.read()).hexdigest()
+    except OSError:
+        return ""
+
+
+def _dependency_fingerprints(
+    analyses: Sequence[FileAnalysis],
+) -> dict[str, str]:
+    """Per-file fingerprint of the transitive *project* import closure.
+
+    Import targets are mapped onto project modules by longest dotted-prefix
+    match (``from repro.sim.guard import GuardRail`` depends on module
+    ``repro.sim.guard``), then the closure is walked over the module graph.
+    The fingerprint hashes the sorted (module, digest) pairs of the closure
+    including the file itself — so any byte change in anything a file
+    transitively imports changes the file's fingerprint and invalidates
+    its cached findings (this is how reverse dependencies of an edit get
+    re-merged).
+    """
+    by_module: dict[str, FileAnalysis] = {}
+    for analysis in analyses:
+        by_module.setdefault(analysis.module, analysis)
+
+    known = sorted(by_module)
+    known_set = set(known)
+
+    def to_project_module(target: str) -> str | None:
+        candidate = target
+        while candidate:
+            if candidate in known_set:
+                return candidate
+            candidate = candidate.rpartition(".")[0]
+        return None
+
+    edges: dict[str, tuple[str, ...]] = {}
+    for module, analysis in by_module.items():
+        imported = (
+            analysis.summary.imported_modules
+            if analysis.summary is not None
+            else ()
+        )
+        deps = {
+            resolved
+            for resolved in (to_project_module(t) for t in imported)
+            if resolved is not None and resolved != module
+        }
+        # A submodule implicitly depends on its package __init__ chain.
+        parent = module.rpartition(".")[0]
+        while parent:
+            if parent in known_set:
+                deps.add(parent)
+            parent = parent.rpartition(".")[0]
+        edges[module] = tuple(sorted(deps))
+
+    closures: dict[str, frozenset[str]] = {}
+
+    def closure_of(module: str) -> frozenset[str]:
+        cached = closures.get(module)
+        if cached is not None:
+            return cached
+        seen = {module}
+        frontier = [module]
+        while frontier:
+            current = frontier.pop()
+            for dep in edges.get(current, ()):
+                if dep not in seen:
+                    seen.add(dep)
+                    frontier.append(dep)
+        result = frozenset(seen)
+        closures[module] = result
+        return result
+
+    fingerprints: dict[str, str] = {}
+    for analysis in analyses:
+        closure = closure_of(analysis.module)
+        hasher = hashlib.sha256()
+        for module in sorted(closure):
+            member = by_module[module]
+            hasher.update(module.encode())
+            hasher.update(b"\x00")
+            hasher.update(member.digest.encode())
+            hasher.update(b"\x00")
+        # Files sharing a module name (assume_module) still hash their own
+        # digest so they never alias each other's cache entries.
+        hasher.update(analysis.digest.encode())
+        fingerprints[analysis.path] = hasher.hexdigest()
+    return fingerprints

@@ -17,6 +17,29 @@ from __future__ import annotations
 import ast
 
 
+def absolutize(target: str, module: str, is_package: bool) -> str:
+    """Resolve a possibly-relative dotted import target to an absolute one.
+
+    ``target`` is the form :class:`ImportMap` records: zero or more leading
+    dots (``from .. import x`` style) followed by a dotted path.  ``module``
+    is the importing file's dotted module name and ``is_package`` whether
+    that file is a package ``__init__``; together they give the anchor
+    package the dots are relative to.  A relative import that escapes the
+    top of the package tree resolves to the bare remainder (best effort —
+    the real import would fail at runtime, which is not this layer's
+    problem to report).
+    """
+    level = len(target) - len(target.lstrip("."))
+    if level == 0:
+        return target
+    remainder = target[level:]
+    package_parts = module.split(".") if is_package else module.split(".")[:-1]
+    anchor = package_parts[: len(package_parts) - (level - 1)]
+    if remainder:
+        anchor = [*anchor, *remainder.split(".")]
+    return ".".join(anchor)
+
+
 def dotted_parts(node: ast.expr) -> list[str] | None:
     """``a.b.c`` as ``["a", "b", "c"]``, or None for non-name chains."""
     parts: list[str] = []

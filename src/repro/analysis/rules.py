@@ -14,11 +14,16 @@ renderer); unscoped rules run everywhere.
 from __future__ import annotations
 
 import ast
+import dataclasses
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.names import ImportMap
+
+if TYPE_CHECKING:
+    from repro.analysis.project import ProjectIndex
 
 
 @dataclass(frozen=True)
@@ -49,6 +54,10 @@ class Rule:
         scope: Module-name prefixes the rule is restricted to (None = all).
         checker: Visitor class implementing the rule, or None for rules
             emitted by the engine itself (suppression hygiene, parse errors).
+        project_checker: Optional project-phase pass run once over the
+            assembled :class:`~repro.analysis.project.ProjectIndex` after
+            all files are summarised; a rule may have a per-file checker,
+            a project checker, or both (PURE001 has both).
     """
 
     id: str
@@ -57,6 +66,9 @@ class Rule:
     rationale: str
     scope: tuple[str, ...] | None = None
     checker: type["BaseChecker"] | None = field(default=None, compare=False)
+    project_checker: type["ProjectChecker"] | None = field(
+        default=None, compare=False
+    )
 
     def applies_to(self, module: str) -> bool:
         """Whether this rule runs for a module with the given dotted name."""
@@ -105,6 +117,49 @@ def rule(
     return decorate
 
 
+def project_rule(
+    rule_id: str,
+    name: str,
+    severity: Severity,
+    rationale: str,
+    scope: tuple[str, ...] | None = None,
+) -> Callable[[type["ProjectChecker"]], type["ProjectChecker"]]:
+    """Class decorator registering a project-phase-only rule."""
+
+    def decorate(cls: type["ProjectChecker"]) -> type["ProjectChecker"]:
+        register(
+            Rule(
+                id=rule_id,
+                name=name,
+                severity=severity,
+                rationale=rationale,
+                scope=scope,
+                project_checker=cls,
+            )
+        )
+        return cls
+
+    return decorate
+
+
+def attach_project_pass(
+    rule_id: str,
+) -> Callable[[type["ProjectChecker"]], type["ProjectChecker"]]:
+    """Attach a project-phase pass to an already-registered per-file rule."""
+
+    def decorate(cls: type["ProjectChecker"]) -> type["ProjectChecker"]:
+        existing = REGISTRY.get(rule_id)
+        if existing is None:
+            raise ValueError(f"cannot attach project pass: no rule {rule_id!r}")
+        if existing.project_checker is None:
+            REGISTRY[rule_id] = dataclasses.replace(
+                existing, project_checker=cls
+            )
+        return cls
+
+    return decorate
+
+
 class BaseChecker(ast.NodeVisitor):
     """An AST pass that reports findings for exactly one rule.
 
@@ -129,6 +184,47 @@ class BaseChecker(ast.NodeVisitor):
                 path=self.ctx.path,
                 line=getattr(node, "lineno", 1),
                 col=getattr(node, "col_offset", 0) + 1,
+                rule=self.rule.id,
+                message=message,
+                severity=self.rule.severity,
+            )
+        )
+
+
+class ProjectChecker:
+    """A project-phase pass run once over the assembled index.
+
+    Where :class:`BaseChecker` sees one file's AST, a project checker sees
+    the cross-module :class:`~repro.analysis.project.ProjectIndex` (symbol
+    table + call graph) and reports findings against any file in the run.
+    Module scoping still applies, but at the *finding* site: subclasses
+    call :meth:`applies` before reporting into a module.
+    """
+
+    def __init__(self, rule_: Rule) -> None:
+        self.rule = rule_
+        self.findings: list[Finding] = []
+
+    def run(self, index: "ProjectIndex") -> list[Finding]:
+        """Inspect the index and return findings (any file, any order)."""
+        self.check(index)
+        return self.findings
+
+    def check(self, index: "ProjectIndex") -> None:
+        """Subclass hook: traverse the index and call :meth:`report`."""
+        raise NotImplementedError
+
+    def applies(self, module: str) -> bool:
+        """Whether this rule's scope covers ``module``."""
+        return self.rule.applies_to(module)
+
+    def report(self, path: str, line: int, col: int, message: str) -> None:
+        """Record one violation at an explicit location."""
+        self.findings.append(
+            Finding(
+                path=path,
+                line=line,
+                col=col,
                 rule=self.rule.id,
                 message=message,
                 severity=self.rule.severity,

@@ -723,7 +723,8 @@ def _batch_l2(merged, machine: MachineConfig, state, code_lines, code_pages,
             memo=seeds, tag=("l2tlb_u", l2.size_bytes),
         )
         l2tlb_hit[mask] = hits
-        nlk, nh = int(mask.sum()), int(hits.sum())
+        nlk = int(mask.sum(dtype=np.int64))
+        nh = int(hits.sum(dtype=np.int64))
         l2_itlb_stats = l2_dtlb_stats = TlbStats(
             lookups=nlk, hits=nh, misses=nlk - nh
         )
@@ -731,12 +732,14 @@ def _batch_l2(merged, machine: MachineConfig, state, code_lines, code_pages,
         hits = _tlb_batch_hits(tlb.l2_itlb, code_pages, arg0[itlb_side],
                                memo=seeds, tag="l2tlb_i")
         l2tlb_hit[itlb_side] = hits
-        nlk, nh = int(itlb_side.sum()), int(hits.sum())
+        nlk = int(itlb_side.sum(dtype=np.int64))
+        nh = int(hits.sum(dtype=np.int64))
         l2_itlb_stats = TlbStats(lookups=nlk, hits=nh, misses=nlk - nh)
         hits = _tlb_batch_hits(tlb.l2_dtlb, data_pages, arg0[k_dtlb],
                                memo=seeds, tag=("l2tlb_d", l2.size_bytes))
         l2tlb_hit[k_dtlb] = hits
-        nlk, nh = int(k_dtlb.sum()), int(hits.sum())
+        nlk = int(k_dtlb.sum(dtype=np.int64))
+        nh = int(hits.sum(dtype=np.int64))
         l2_dtlb_stats = TlbStats(lookups=nlk, hits=nh, misses=nlk - nh)
 
     walks_inst = int(np.count_nonzero(k_itlb & ~l2tlb_hit))

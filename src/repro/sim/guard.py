@@ -641,57 +641,66 @@ class CampaignWatchdog:
         plan = self.plan
         while not self._stop.wait(self._TICK_SECONDS):
             now = monotonic()
+            # The RSS probe is a syscall, so take it outside the lock; all
+            # shared flag/set state is read and written inside one critical
+            # section, and events are recorded after it is released (the
+            # rail takes its own lock — never hold both).
+            rss = (
+                parent_rss_mb() if plan.memory_budget_mb is not None else None
+            )
+            events: list[GuardEvent] = []
             with self._lock:
                 started = self._batch_started
                 flight = list(self._in_flight.items())
-            if started is None:
-                continue
-            if (
-                plan.batch_deadline_seconds is not None
-                and not self._batch_flagged
-                and now - started > plan.batch_deadline_seconds
-            ):
-                self._batch_flagged = True
-                self.rail.record(
-                    GuardEvent(
-                        kind="deadline",
-                        workload="*",
-                        machine="*",
-                        action="observe",
-                        detail=(
-                            f"batch past its {plan.batch_deadline_seconds:.2f} s "
-                            f"deadline with {len(flight)} job(s) in flight"
-                        ),
-                    )
-                )
-            if plan.heartbeat_seconds is not None:
-                for ordinal, (workload, machine, job_started) in flight:
-                    if (
-                        ordinal not in self._stalled
-                        and now - job_started > plan.heartbeat_seconds
-                    ):
-                        self._stalled.add(ordinal)
-                        self.rail.record(
-                            GuardEvent(
-                                kind="heartbeat-stall",
-                                workload=workload,
-                                machine=machine,
-                                action="observe",
-                                detail=(
-                                    f"no heartbeat for "
-                                    f"{now - job_started:.2f} s "
-                                    f"(budget {plan.heartbeat_seconds:.2f} s)"
-                                ),
-                            )
+                if started is None:
+                    continue
+                if (
+                    plan.batch_deadline_seconds is not None
+                    and not self._batch_flagged
+                    and now - started > plan.batch_deadline_seconds
+                ):
+                    self._batch_flagged = True
+                    events.append(
+                        GuardEvent(
+                            kind="deadline",
+                            workload="*",
+                            machine="*",
+                            action="observe",
+                            detail=(
+                                f"batch past its "
+                                f"{plan.batch_deadline_seconds:.2f} s "
+                                f"deadline with {len(flight)} job(s) in flight"
+                            ),
                         )
-            if (
-                plan.memory_budget_mb is not None
-                and not self._memory_flagged
-            ):
-                rss = parent_rss_mb()
-                if rss > plan.memory_budget_mb:
+                    )
+                if plan.heartbeat_seconds is not None:
+                    for ordinal, (workload, machine, job_started) in flight:
+                        if (
+                            ordinal not in self._stalled
+                            and now - job_started > plan.heartbeat_seconds
+                        ):
+                            self._stalled.add(ordinal)
+                            events.append(
+                                GuardEvent(
+                                    kind="heartbeat-stall",
+                                    workload=workload,
+                                    machine=machine,
+                                    action="observe",
+                                    detail=(
+                                        f"no heartbeat for "
+                                        f"{now - job_started:.2f} s "
+                                        f"(budget {plan.heartbeat_seconds:.2f} s)"
+                                    ),
+                                )
+                            )
+                if (
+                    rss is not None
+                    and not self._memory_flagged
+                    and plan.memory_budget_mb is not None
+                    and rss > plan.memory_budget_mb
+                ):
                     self._memory_flagged = True
-                    self.rail.record(
+                    events.append(
                         GuardEvent(
                             kind="memory-budget",
                             workload="*",
@@ -703,3 +712,5 @@ class CampaignWatchdog:
                             ),
                         )
                     )
+            for event in events:
+                self.rail.record(event)

@@ -385,7 +385,7 @@ def _count_window_firsts(
         valid = window < end[act, None]
         np.clip(window, 0, m - 1, out=window)
         hits = (prev[window] <= p[act, None]) & valid
-        cnt[act] += hits.sum(axis=1)
+        cnt[act] += hits.sum(axis=1, dtype=np.int64)
         lo[act] += chunk
         undecided = (cnt[act] < limit) & (lo[act] < end[act])
         act = act[undecided]
@@ -417,7 +417,7 @@ def _nth_window_first(
         valid = window < end[act, None]
         np.clip(window, 0, m - 1, out=window)
         firsts = (prev[window] <= boundary[act, None]) & valid
-        csum = np.cumsum(firsts, axis=1)
+        csum = np.cumsum(firsts, axis=1, dtype=np.int64)
         total = csum[:, -1]
         reached = total >= need[act]
         if reached.any():
@@ -554,7 +554,7 @@ def _fullassoc_lru_replay(
     rep_hit[hits] = True
     if len(rep_idx) == n:
         return BatchLruResult(rep_hit, None)
-    rid = np.cumsum(rep_mask) - 1
+    rid = np.cumsum(rep_mask, dtype=np.int64) - 1
     hit = rep_hit[rid]
     if mutating is not None:
         # Later ops in a run hit once any earlier op in the run allocated.

@@ -1,0 +1,12 @@
+"""Out-of-scope helper returning wall-clock values (DET004 taint source).
+
+This module is *not* under the deterministic scope, so DET002 stays quiet
+here — the leak only becomes a finding at the in-scope call site that
+consumes the returned value (``repro.sim.timing``).
+"""
+
+import time
+
+
+def stamp():
+    return time.time()

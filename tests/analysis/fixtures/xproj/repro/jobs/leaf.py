@@ -1,0 +1,8 @@
+"""Leaf module with module-level mutable state (the impurity)."""
+
+_cache = {}
+
+
+def remember(key, value):
+    _cache[key] = value
+    return value

@@ -1,0 +1,7 @@
+"""Middle hop: pure itself, but calls the impure leaf."""
+
+from repro.jobs.leaf import remember
+
+
+def relay(payload):
+    return remember(payload["k"], payload["v"])

@@ -1,0 +1,16 @@
+"""Submit site whose impurity is two cross-module hops away.
+
+Exactly one PURE001 finding — and only from the *project* pass: linted as
+a single file, ``job`` looks perfectly pure (the old one-level,
+same-module check provably misses this).
+"""
+
+from repro.jobs.middle import relay
+
+
+def job(payload):
+    return relay(payload)
+
+
+def launch(pool, payloads):
+    return [pool.submit(job, p) for p in payloads]

@@ -1,0 +1,18 @@
+"""Known-bad columnar helpers: exactly one NUM001, NUM002, NUM003."""
+
+import numpy as np
+
+
+def mixed_upcast(n):
+    base = np.zeros(n, dtype=np.float32)
+    scale = np.ones(n, dtype=np.float64)
+    return base * scale  # NUM001: silent upcast to float64
+
+
+def count_hits(events):
+    hits = events.astype(np.int32)
+    return hits.cumsum()  # NUM002: platform-dependent accumulator
+
+
+def select_rows(values, mask):
+    return values[mask]  # NUM003: shapes never asserted

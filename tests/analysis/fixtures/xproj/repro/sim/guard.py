@@ -1,0 +1,30 @@
+"""Known-bad watchdog: exactly one THR001, one THR002, one THR003."""
+
+import threading
+
+
+class Watchdog:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._stalled = 0
+        self._flagged = False
+        self._thread = None
+
+    def start(self):
+        self._thread = threading.Thread(target=self._supervise)
+        self._thread.start()
+
+    def _supervise(self):
+        while not self._stop.is_set():
+            self._stalled = self._stalled + 1  # THR001: unlocked shared write
+            with self._lock:
+                self._flagged = True
+
+    def flagged(self):
+        return self._flagged  # THR003: unlocked read across the boundary
+
+    def reset(self):
+        self._lock.acquire()  # THR002: no with / try-finally
+        self._stalled = 0
+        self._lock.release()

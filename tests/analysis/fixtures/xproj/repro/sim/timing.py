@@ -1,0 +1,8 @@
+"""In-scope consumer of a clock-tainted helper: exactly one DET004."""
+
+from repro.clockutil import stamp
+
+
+def annotate(result):
+    started = stamp()  # DET004: wall-clock value crosses into scope
+    return (result, started)

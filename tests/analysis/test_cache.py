@@ -1,0 +1,230 @@
+"""Incremental cache, parallel fan-out, and baseline: determinism contracts.
+
+The headline guarantees under test:
+
+* findings are byte-identical across serial, parallel, and warm-cache runs;
+* a warm run after editing one file re-finalizes only that file plus its
+  reverse dependencies (the import graph is the invalidation frontier);
+* corrupt cache entries are quarantined, never trusted;
+* the baseline file absorbs known findings as a multiset keyed on
+  (path, rule, message) — line numbers may drift freely.
+"""
+
+from __future__ import annotations
+
+import pickle
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    RunStats,
+    apply_baseline,
+    lint_paths,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.cache import config_fingerprint, engine_fingerprint
+from repro.analysis.engine import LintConfig
+
+pytestmark = pytest.mark.lint
+
+XPROJ = Path(__file__).resolve().parent / "fixtures" / "xproj"
+
+
+def _materialize_xproj(tmp_path: Path) -> Path:
+    root = tmp_path / "xproj"
+    shutil.copytree(XPROJ, root)
+    return root
+
+
+def _key(finding):
+    return (finding.path, finding.rule, finding.line, finding.col,
+            finding.message)
+
+
+class TestRunEquivalence:
+    def test_serial_parallel_and_warm_runs_agree_exactly(self, tmp_path):
+        root = _materialize_xproj(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        serial = lint_paths([str(root)], jobs=1)
+        parallel = lint_paths([str(root)], jobs=2)
+        cold = lint_paths([str(root)], cache_dir=cache_dir)
+        warm = lint_paths([str(root)], cache_dir=cache_dir)
+        baseline = [_key(f) for f in serial]
+        assert [_key(f) for f in parallel] == baseline
+        assert [_key(f) for f in cold] == baseline
+        assert [_key(f) for f in warm] == baseline
+        # And the fixture still seeds its eight findings.
+        assert len(baseline) == 8
+
+    def test_warm_run_reads_everything_from_cache(self, tmp_path):
+        root = _materialize_xproj(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        cold_stats = RunStats()
+        lint_paths([str(root)], cache_dir=cache_dir, stats=cold_stats)
+        assert cold_stats.analysed == cold_stats.files > 0
+        assert cold_stats.findings_cached == 0
+
+        warm_stats = RunStats()
+        lint_paths([str(root)], cache_dir=cache_dir, stats=warm_stats)
+        assert warm_stats.analysed == 0
+        assert warm_stats.summaries_cached == warm_stats.files
+        assert warm_stats.findings_cached == warm_stats.files
+        assert warm_stats.refinalized == ()
+
+
+class TestIncrementalInvalidation:
+    def test_edit_refinalizes_only_file_and_reverse_deps(self, tmp_path):
+        root = _materialize_xproj(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        lint_paths([str(root)], cache_dir=cache_dir)
+
+        # Touch the leaf: its importers (middle, submitter) must be
+        # re-finalized; unrelated modules must come straight from cache.
+        leaf = root / "repro" / "jobs" / "leaf.py"
+        leaf.write_text(leaf.read_text() + "\n# a trailing comment\n")
+
+        stats = RunStats()
+        findings = lint_paths([str(root)], cache_dir=cache_dir, stats=stats)
+        assert stats.analysed == 1  # only leaf.py re-parsed
+        redone = {Path(p).name for p in stats.refinalized}
+        assert redone == {"leaf.py", "middle.py", "submitter.py"}
+        # Untouched import chains (guard, columnar, timing...) stay cached.
+        assert stats.findings_cached == stats.files - 3
+        # The cross-module PURE001 is still reported after the edit.
+        assert sum(1 for f in findings if f.rule == "PURE001") == 1
+
+    def test_behavioural_edit_changes_downstream_findings(self, tmp_path):
+        root = _materialize_xproj(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        before = lint_paths([str(root)], cache_dir=cache_dir)
+        assert any(f.rule == "PURE001" for f in before)
+
+        # Make the leaf pure: the PURE001 two modules away must disappear
+        # even though submitter.py itself was never edited.
+        leaf = root / "repro" / "jobs" / "leaf.py"
+        leaf.write_text(
+            '"""Leaf module, now pure."""\n\n\n'
+            "def remember(key, value):\n"
+            "    return value\n"
+        )
+        after = lint_paths([str(root)], cache_dir=cache_dir)
+        assert not any(f.rule == "PURE001" for f in after)
+
+    def test_cache_dir_is_populated_lazily_and_reused(self, tmp_path):
+        root = _materialize_xproj(tmp_path)
+        cache_dir = tmp_path / "cache"
+        assert not cache_dir.exists()
+        lint_paths([str(root)], cache_dir=str(cache_dir))
+        entries = sorted(p.name for p in cache_dir.iterdir())
+        assert entries and all(p.endswith(".pkl") for p in entries)
+
+
+class TestQuarantine:
+    def test_corrupt_entries_are_deleted_not_trusted(self, tmp_path):
+        root = _materialize_xproj(tmp_path)
+        cache_dir = tmp_path / "cache"
+        baseline = [_key(f) for f in
+                    lint_paths([str(root)], cache_dir=str(cache_dir))]
+
+        for entry in cache_dir.iterdir():
+            entry.write_bytes(b"not a pickle")
+
+        stats = RunStats()
+        warm = lint_paths([str(root)], cache_dir=str(cache_dir),
+                          stats=stats)
+        assert [_key(f) for f in warm] == baseline
+        assert stats.quarantined > 0
+        assert stats.analysed == stats.files  # everything re-analysed
+
+    def test_wrong_payload_type_is_rejected(self, tmp_path):
+        root = _materialize_xproj(tmp_path)
+        cache_dir = tmp_path / "cache"
+        lint_paths([str(root)], cache_dir=str(cache_dir))
+        for entry in cache_dir.iterdir():
+            entry.write_bytes(pickle.dumps({"sneaky": "dict"}))
+        warm = lint_paths([str(root)], cache_dir=str(cache_dir))
+        assert len(warm) == 8
+
+
+class TestFingerprints:
+    def test_engine_fingerprint_is_stable_within_a_process(self):
+        assert engine_fingerprint() == engine_fingerprint()
+
+    def test_config_fingerprint_tracks_rule_selection(self):
+        base = config_fingerprint(LintConfig())
+        narrowed = config_fingerprint(LintConfig(select=("DET001",)))
+        assert base != narrowed
+        assert config_fingerprint(LintConfig()) == base
+
+    def test_cache_separates_configs(self, tmp_path):
+        root = _materialize_xproj(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        all_rules = lint_paths([str(root)], cache_dir=cache_dir)
+        only_pure = lint_paths(
+            [str(root)], LintConfig(select=("PURE001",)), cache_dir=cache_dir
+        )
+        assert len(all_rules) == 8
+        assert [f.rule for f in only_pure] == ["PURE001"]
+
+    def test_unwritable_cache_degrades_gracefully(self, tmp_path):
+        root = _materialize_xproj(tmp_path)
+        blocker = tmp_path / "blocked"
+        blocker.write_text("a file, not a directory")
+        findings = lint_paths([str(root)], cache_dir=str(blocker))
+        assert len(findings) == 8
+
+
+class TestBaseline:
+    def test_roundtrip_and_absorption(self, tmp_path):
+        root = _materialize_xproj(tmp_path)
+        findings = lint_paths([str(root)])
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(findings, str(baseline_path))
+
+        counts = load_baseline(str(baseline_path))
+        new, matched, stale = apply_baseline(findings, counts)
+        assert new == []
+        assert matched == len(findings)
+        assert stale == 0
+
+    def test_line_drift_does_not_resurface_findings(self, tmp_path):
+        root = _materialize_xproj(tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(lint_paths([str(root)]), str(baseline_path))
+
+        # Shift every finding down two lines without changing semantics.
+        timing = root / "repro" / "sim" / "timing.py"
+        timing.write_text("# leading\n# comments\n" + timing.read_text())
+        new, _, stale = apply_baseline(
+            lint_paths([str(root)]), load_baseline(str(baseline_path))
+        )
+        assert new == []
+        assert stale == 0
+
+    def test_new_findings_surface_and_fixed_ones_go_stale(self, tmp_path):
+        root = _materialize_xproj(tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(lint_paths([str(root)]), str(baseline_path))
+
+        # Fix the DET004 seed: one baseline entry goes stale.
+        timing = root / "repro" / "sim" / "timing.py"
+        timing.write_text(
+            '"""Now takes the timestamp as an explicit input."""\n\n\n'
+            "def annotate(result, started):\n"
+            "    return (result, started)\n"
+        )
+        new, matched, stale = apply_baseline(
+            lint_paths([str(root)]), load_baseline(str(baseline_path))
+        )
+        assert new == []
+        assert stale == 1
+        assert matched == 7
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text('{"version": 999}')
+        with pytest.raises(ValueError):
+            load_baseline(str(bad))

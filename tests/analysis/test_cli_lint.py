@@ -133,3 +133,62 @@ class TestGemstoneLintSubcommand:
         """Option-first invocations must reach repro-lint, not argparse."""
         assert gemstone_main(["lint", "--list-rules"]) == 0
         assert "DET001" in capsys.readouterr().out
+
+
+XPROJ = str(FIXTURES / "xproj")
+
+
+class TestProjectWideFlags:
+    """--jobs / --cache-dir / --baseline: the PR-8 engine surface."""
+
+    def test_jobs_and_cache_do_not_change_findings(self, tmp_path, capsys):
+        lint_main([XPROJ, "--format", "json"])
+        reference = json.loads(capsys.readouterr().out)["findings"]
+        assert len(reference) == 8
+
+        lint_main([XPROJ, "--format", "json", "--jobs", "2"])
+        parallel = json.loads(capsys.readouterr().out)["findings"]
+        cache_dir = str(tmp_path / "cache")
+        lint_main([XPROJ, "--format", "json", "--cache-dir", cache_dir])
+        cold = json.loads(capsys.readouterr().out)["findings"]
+        lint_main([XPROJ, "--format", "json", "--cache-dir", cache_dir])
+        warm = json.loads(capsys.readouterr().out)["findings"]
+        assert parallel == reference
+        assert cold == reference
+        assert warm == reference
+
+    def test_stats_flag_reports_cache_behaviour(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        lint_main([XPROJ, "--cache-dir", cache_dir, "--stats"])
+        cold_err = capsys.readouterr().err
+        assert "0 findings cached" in cold_err
+
+        lint_main([XPROJ, "--cache-dir", cache_dir, "--stats"])
+        warm_err = capsys.readouterr().err
+        assert "0 analysed" in warm_err
+        assert "0 re-merged" in warm_err
+
+    def test_baseline_workflow_roundtrip(self, tmp_path, capsys):
+        baseline = str(tmp_path / "lint-baseline.json")
+        assert lint_main([XPROJ, "--write-baseline", baseline]) == 0
+        capsys.readouterr()
+
+        # With the baseline applied the same tree is clean: exit 0.
+        exit_code = lint_main([XPROJ, "--baseline", baseline])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "absorbed 8 finding(s)" in captured.err
+        assert "no findings" in captured.out
+
+    def test_missing_baseline_is_a_usage_error(self, capsys):
+        exit_code = lint_main(
+            [XPROJ, "--baseline", "/nonexistent/baseline.json"]
+        )
+        assert exit_code == 2
+        assert "bad baseline" in capsys.readouterr().err
+
+    def test_malformed_baseline_is_a_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("[]")
+        assert lint_main([XPROJ, "--baseline", str(bad)]) == 2
+        assert "bad baseline" in capsys.readouterr().err

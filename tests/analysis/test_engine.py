@@ -45,6 +45,37 @@ class TestModuleDerivation:
         loose.write_text("x = 1\n")
         assert derive_module(str(loose)) == "scratch"
 
+    def test_walk_stops_at_checkout_root_marker(self, tmp_path):
+        # A stray __init__.py in a checkout root must not leak the checkout
+        # directory name into module names (it would silently change rule
+        # scoping for every file).
+        proj = tmp_path / "proj"
+        pkg = proj / "pkg"
+        pkg.mkdir(parents=True)
+        (proj / "pyproject.toml").write_text("[project]\nname = 'proj'\n")
+        (proj / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "mod.py").write_text("x = 1\n")
+        assert derive_module(str(pkg / "mod.py")) == "pkg.mod"
+
+    def test_walk_stops_at_src_directory(self, tmp_path):
+        src = tmp_path / "src"
+        pkg = src / "repro"
+        pkg.mkdir(parents=True)
+        (src / "__init__.py").write_text("")  # stray marker above the root
+        (pkg / "__init__.py").write_text("")
+        (pkg / "mod.py").write_text("x = 1\n")
+        assert derive_module(str(pkg / "mod.py")) == "repro.mod"
+
+    def test_walk_stops_at_non_identifier_directory(self, tmp_path):
+        checkout = tmp_path / "my-checkout"
+        pkg = checkout / "repro"
+        pkg.mkdir(parents=True)
+        (checkout / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "mod.py").write_text("x = 1\n")
+        assert derive_module(str(pkg / "mod.py")) == "repro.mod"
+
 
 class TestDiscovery:
     def test_walk_collects_only_python_files(self, tmp_path):
@@ -126,14 +157,25 @@ class TestParseFailures:
 class TestRegistry:
     def test_catalogue_is_complete(self):
         assert set(REGISTRY) == {
-            "DET001", "DET002", "DET003",
+            "DET001", "DET002", "DET003", "DET004",
+            "NUM001", "NUM002", "NUM003",
             "OBS001",
             "PERF001",
             "PURE001", "PURE002",
             "ROB001", "ROB002", "ROB003",
             "SUP001", "SUP002",
+            "THR001", "THR002", "THR003",
             "PARSE001",
         }
+
+    def test_interprocedural_rules_have_project_passes(self):
+        assert REGISTRY["PURE001"].project_checker is not None
+        assert REGISTRY["DET004"].project_checker is not None
+        assert REGISTRY["THR001"].project_checker is not None
+        assert REGISTRY["THR003"].project_checker is not None
+        # Purely local rules stay local.
+        assert REGISTRY["THR002"].checker is not None
+        assert REGISTRY["THR002"].project_checker is None
 
     def test_findings_are_sorted_by_location(self):
         source = (

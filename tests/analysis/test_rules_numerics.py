@@ -1,0 +1,166 @@
+"""NUM rule family: numpy numerical discipline in the columnar/uarch trees."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.analysis import lint_snippet
+
+pytestmark = pytest.mark.lint
+
+COLUMNAR_MODULE = "repro.sim.columnar"
+
+
+def num_ids(source: str, module: str = COLUMNAR_MODULE) -> list[str]:
+    findings = lint_snippet(source, module=module)
+    return [f.rule for f in findings if f.rule.startswith("NUM")]
+
+
+class TestNUM001MixedFloat:
+    def test_float32_times_float64_fires(self):
+        source = """
+            import numpy as np
+
+            def blend(n):
+                lo = np.zeros(n, dtype=np.float32)
+                hi = np.ones(n, dtype=np.float64)
+                return lo * hi
+        """
+        assert num_ids(source) == ["NUM001"]
+
+    def test_matching_widths_are_clean(self):
+        source = """
+            import numpy as np
+
+            def blend(n):
+                a = np.zeros(n, dtype=np.float64)
+                b = np.ones(n, dtype=np.float64)
+                return a * b
+        """
+        assert num_ids(source) == []
+
+    def test_astype_reconciles_the_widths(self):
+        source = """
+            import numpy as np
+
+            def blend(n):
+                lo = np.zeros(n, dtype=np.float32)
+                hi = np.ones(n, dtype=np.float64)
+                return lo.astype(np.float64) * hi
+        """
+        assert num_ids(source) == []
+
+    def test_out_of_scope_module_is_clean(self):
+        source = """
+            import numpy as np
+
+            def blend(n):
+                lo = np.zeros(n, dtype=np.float32)
+                hi = np.ones(n, dtype=np.float64)
+                return lo * hi
+        """
+        assert num_ids(source, module="repro.obs.metrics") == []
+
+
+class TestNUM002ReductionDtype:
+    def test_bool_sum_without_dtype_fires(self):
+        source = """
+            import numpy as np
+
+            def count(mask):
+                hits = np.zeros(4, dtype=np.bool_)
+                return hits.sum()
+        """
+        assert num_ids(source) == ["NUM002"]
+
+    def test_int32_cumsum_without_dtype_fires(self):
+        source = """
+            import numpy as np
+
+            def ramp(events):
+                small = events.astype(np.int32)
+                return small.cumsum()
+        """
+        assert num_ids(source) == ["NUM002"]
+
+    def test_explicit_accumulator_dtype_is_clean(self):
+        source = """
+            import numpy as np
+
+            def count(mask):
+                hits = np.zeros(4, dtype=np.bool_)
+                return hits.sum(dtype=np.int64)
+        """
+        assert num_ids(source) == []
+
+    def test_wide_dtype_needs_no_annotation(self):
+        source = """
+            import numpy as np
+
+            def total(xs):
+                wide = np.zeros(4, dtype=np.int64)
+                return wide.sum()
+        """
+        assert num_ids(source) == []
+
+    def test_functional_form_is_covered(self):
+        source = """
+            import numpy as np
+
+            def count(n):
+                mask = np.zeros(n, dtype=np.bool_)
+                return np.sum(mask)
+        """
+        assert num_ids(source) == ["NUM002"]
+
+
+class TestNUM003MaskShape:
+    def test_unchecked_parameter_mask_fires(self):
+        source = """
+            def pick(values, mask):
+                return values[mask]
+        """
+        assert num_ids(source) == ["NUM003"]
+
+    def test_shape_assert_silences_it(self):
+        source = """
+            def pick(values, mask):
+                assert values.shape == mask.shape
+                return values[mask]
+        """
+        assert num_ids(source) == []
+
+    def test_locally_derived_mask_is_trusted(self):
+        source = """
+            def pick(values):
+                mask = values > 0
+                return values[mask]
+        """
+        assert num_ids(source) == []
+
+    def test_self_indexing_is_clean(self):
+        source = """
+            def ident(values):
+                return values[values]
+        """
+        assert num_ids(source) == []
+
+    def test_bool_dtype_subscript_counts_as_mask(self):
+        source = """
+            import numpy as np
+
+            def pick(values, keep):
+                sel = keep.astype(np.bool_)
+                return values[sel]
+        """
+        assert num_ids(source) == ["NUM003"]
+
+
+class TestRuleMetadata:
+    def test_num_rules_registered_with_scope(self):
+        from repro.analysis.rules import REGISTRY
+
+        for rule_id in ("NUM001", "NUM002", "NUM003"):
+            rule_ = REGISTRY[rule_id]
+            assert rule_.scope == ("repro.sim.columnar", "repro.uarch")
+            assert rule_.rationale
