@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-chaos trace-smoke bench bench-smoke bench-replay bench-guard bench-lint lint check
+.PHONY: test test-chaos test-dist trace-smoke bench bench-smoke bench-replay bench-guard bench-campaign bench-lint lint check
 
 # Tier-1: the full unit/integration suite (includes the chaos scenarios).
 test:
@@ -18,6 +18,14 @@ test:
 # --resume run must produce a byte-identical report.
 test-chaos:
 	$(PYTHON) -m pytest -q -m chaos
+
+# Distributed-campaign scenarios only: shard crashes between the store
+# write and the done marker, SIGKILLed workers, leases expiring under
+# live workers, poison jobs crossing shards, coordinators killed and
+# resumed, corrupted store entries — each must converge to a dataset
+# bit-identical to a serial run with no duplicated results.
+test-dist:
+	$(PYTHON) -m pytest -q -m dist tests
 
 # Observability smoke: one tiny traced pipeline run end-to-end, asserting
 # the exported Chrome trace validates, tracing never changes a report
@@ -41,6 +49,12 @@ bench-replay:
 # BENCH_guard.json at the repo root.
 bench-guard:
 	$(PYTHON) -m pytest -q -s benchmarks/test_bench_guard_overhead.py
+
+# Campaign scaling curve: one board drained by 1/2/4 shards, asserting
+# the 2-shard >=1.5x floor on multi-core hosts and refreshing
+# BENCH_campaign.json at the repo root.
+bench-campaign:
+	$(PYTHON) -m pytest -q -s benchmarks/test_bench_campaign.py
 
 # Lint-engine throughput: serial vs parallel per-file phase and cold vs
 # warm incremental cache over the real tree; asserts the warm-cache

@@ -1,0 +1,121 @@
+"""Campaign scaling: one board drained by 1, 2 and 4 shard processes.
+
+The campaign layer (ISSUE PR 9) exists to scale the validation sweep
+past one process pool, so its benchmark is a scaling curve: the same
+job set (8 workloads x hw/gem5) drained from a fresh board by 1, 2 and
+4 shards, coordinator collation disabled so the timing is pure
+board-protocol plus simulation.
+
+Asserted floor (the ISSUE's acceptance criterion): 2 shards complete
+the board >=1.5x faster than 1 shard on any machine with >=2 cores.
+The 4-shard point is reported but not gated — 6+ cores are not a given
+in CI.
+
+Results are emitted machine-readably to ``BENCH_campaign.json`` at the
+repo root so the trajectory can be tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import paper_row, print_header
+from repro.core.pipeline import GemStoneConfig
+from repro.sim.campaign import run_campaign
+from repro.sim.executor import RetryPolicy
+from repro.workloads.suites import workload_by_name
+
+TRACE_INSTRUCTIONS = 30_000
+WORKLOADS = (
+    "mi-sha", "mi-qsort", "mi-fft", "mi-dijkstra", "mi-bitcount",
+    "dhrystone", "whetstone", "mi-crc32",
+)
+SHARD_COUNTS = (1, 2, 4)
+TWO_SHARD_FLOOR = 1.5
+
+RESULTS_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "BENCH_campaign.json"
+)
+
+
+def _config() -> GemStoneConfig:
+    profiles = tuple(workload_by_name(name) for name in WORKLOADS)
+    return GemStoneConfig(
+        core="A15",
+        workloads=profiles,
+        power_workloads=profiles,
+        trace_instructions=TRACE_INSTRUCTIONS,
+        retry=RetryPolicy(max_attempts=2, base_seconds=0.0),
+        engine="scalar",
+        guard_level="off",
+    )
+
+
+def _drain_seconds(board_dir: str, shards: int) -> tuple[float, dict]:
+    started = time.perf_counter()
+    result = run_campaign(
+        _config(), board_dir, shards=shards, ttl_seconds=30.0,
+        poll_seconds=0.01, collate=False,
+    )
+    elapsed = time.perf_counter() - started
+    assert not result.degraded
+    assert result.status["done"] == result.status["total"]
+    return elapsed, result.status
+
+
+@pytest.mark.dist
+def test_bench_campaign_scaling(tmp_path):
+    rows = []
+    for shards in SHARD_COUNTS:
+        # A fresh board per point: every run pays the same sync, claim
+        # and simulation costs from zero.
+        elapsed, status = _drain_seconds(
+            str(tmp_path / f"board-{shards}"), shards
+        )
+        rows.append(
+            {
+                "shards": shards,
+                "seconds": elapsed,
+                "jobs": status["total"],
+            }
+        )
+
+    serial = rows[0]["seconds"]
+    print_header(
+        f"Campaign scaling: {rows[0]['jobs']} jobs, "
+        f"{TRACE_INSTRUCTIONS // 1000}k-instr traces"
+    )
+    for row in rows:
+        row["speedup"] = serial / row["seconds"]
+        print(
+            paper_row(
+                f"{row['shards']} shard(s)",
+                f">={TWO_SHARD_FLOOR}x at 2" if row["shards"] == 2 else "-",
+                f"{row['seconds']:.2f}s = {row['speedup']:.2f}x",
+            )
+        )
+
+    cores = os.cpu_count() or 1
+    two_shard = next(r for r in rows if r["shards"] == 2)
+    if cores >= 2:
+        assert two_shard["speedup"] >= TWO_SHARD_FLOOR, (
+            f"2-shard campaign only {two_shard['speedup']:.2f}x faster "
+            f"than serial on {cores} cores (floor {TWO_SHARD_FLOOR}x)"
+        )
+
+    payload = {
+        "bench": "campaign_scaling",
+        "trace_instructions": TRACE_INSTRUCTIONS,
+        "jobs": rows[0]["jobs"],
+        "cpu_count": cores,
+        "two_shard_floor": TWO_SHARD_FLOOR,
+        "two_shard_speedup": two_shard["speedup"],
+        "points": rows,
+    }
+    with open(RESULTS_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,6 +1,7 @@
 """Robustness rules: ROB001 (handler swallows BaseException), ROB002
 (non-atomic artifact write in a crash-safe layer), ROB003 (silent
-degradation in a recovery path).
+degradation in a recovery path), ROB004 (file lock acquired without a
+try/finally release).
 
 The executor and cache recovery paths deliberately catch ``Exception`` to
 degrade gracefully (serial fallback, cache quarantine) — that is policy.
@@ -17,6 +18,14 @@ the previous artifact before the new bytes land, and ``os.rename`` is the
 clobber-prone cousin of ``os.replace`` — both leave a torn file behind a
 crash, which is exactly what the checkpoint/resume layer exists to prevent.
 
+ROB004 enforces the distributed-campaign locking contract
+(:mod:`repro.sim.campaign`, :mod:`repro.sim.result_cache`): an advisory
+``fcntl.flock``/``lockf`` acquisition must be immediately followed by a
+``try`` whose ``finally`` unlocks (``LOCK_UN``) or closes the handle.  A
+worker that raises between acquire and release holds the board or cache
+lock for as long as the handle lives; under lease-based work stealing
+that wedges every other shard sharing the directory.
+
 ROB003 enforces the guardrail contract of :mod:`repro.sim.guard`: a
 recovery handler inside ``repro.sim`` that degrades (engine fallback,
 quarantine, skipped entry) must leave a trace — a
@@ -31,7 +40,7 @@ from __future__ import annotations
 
 import ast
 
-from repro.analysis.findings import Severity
+from repro.analysis.findings import Finding, Severity
 from repro.analysis.rules import BaseChecker, rule
 
 
@@ -228,5 +237,116 @@ class NonAtomicWriteChecker(BaseChecker):
                 "os.rename is the clobber-prone spelling; use os.replace — "
                 "ideally via repro.atomicio, which pairs it with a same-"
                 "directory tmp file and fsync",
+            )
+        self.generic_visit(node)
+
+
+#: The advisory-lock entry points the campaign/cache layers use.
+_FLOCK_CALLS = ("fcntl.flock", "fcntl.lockf")
+
+
+def _lock_flags(node: ast.Call) -> set[str]:
+    """Every ``LOCK_*`` flag named anywhere in a call's arguments.
+
+    Walks the argument expressions, so composed flags
+    (``LOCK_EX | LOCK_NB``) and both spellings (``fcntl.LOCK_EX`` and a
+    from-imported ``LOCK_EX``) are all seen.
+    """
+    flags: set[str] = set()
+    for arg in list(node.args) + [kw.value for kw in node.keywords]:
+        for sub in ast.walk(arg):
+            if isinstance(sub, ast.Attribute) and sub.attr.startswith("LOCK_"):
+                flags.add(sub.attr)
+            elif isinstance(sub, ast.Name) and sub.id.startswith("LOCK_"):
+                flags.add(sub.id)
+    return flags
+
+
+@rule(
+    "ROB004",
+    "file lock acquired without try/finally release",
+    Severity.ERROR,
+    "A worker that raises between flock(LOCK_EX) and its LOCK_UN holds the "
+    "board or cache lock for as long as the handle lives; under lease-based "
+    "work stealing that wedges every other shard sharing the directory.  "
+    "Follow the acquisition immediately with try/finally that unlocks "
+    "(LOCK_UN) or closes the handle.",
+    scope=("repro.sim",),
+)
+class FileLockReleaseChecker(BaseChecker):
+    """Flags ``fcntl.flock``/``lockf`` acquisitions outside the safe shape.
+
+    The only accepted shape for an exclusive/shared acquisition is::
+
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        try:
+            ...
+        finally:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+    (closing or ``.release()``-ing the handle in the ``finally`` also
+    counts — the kernel drops an flock with its last open descriptor).
+    Anything else — an acquisition inside an expression, or followed by
+    unprotected statements — is flagged.
+    """
+
+    def run(self, tree: ast.Module) -> list[Finding]:
+        self._safe_acquires: set[int] = set()
+        self._collect_safe(tree)
+        return super().run(tree)
+
+    def _collect_safe(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            body = getattr(node, "body", None)
+            if not isinstance(body, list):
+                continue
+            for block in (body, getattr(node, "orelse", []),
+                          getattr(node, "finalbody", [])):
+                self._scan_block(block)
+
+    def _scan_block(self, block: list[ast.stmt]) -> None:
+        for stmt, successor in zip(block, block[1:]):
+            call = self._acquire_call(stmt)
+            if call is None or not isinstance(successor, ast.Try):
+                continue
+            if self._releases(successor.finalbody):
+                self._safe_acquires.add(id(call))
+
+    def _acquire_call(self, stmt: ast.stmt) -> ast.Call | None:
+        if (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Call)
+            and self._is_acquire(stmt.value)
+        ):
+            return stmt.value
+        return None
+
+    def _is_acquire(self, call: ast.Call) -> bool:
+        name = self.ctx.imports.resolve(call.func)
+        return name in _FLOCK_CALLS and bool(
+            _lock_flags(call) & {"LOCK_EX", "LOCK_SH"}
+        )
+
+    def _releases(self, finalbody: list[ast.stmt]) -> bool:
+        for stmt in finalbody:
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = self.ctx.imports.resolve(node.func)
+                if name in _FLOCK_CALLS and "LOCK_UN" in _lock_flags(node):
+                    return True
+                if isinstance(node.func, ast.Attribute) and node.func.attr in (
+                    "close", "release",
+                ):
+                    return True
+        return False
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._is_acquire(node) and id(node) not in self._safe_acquires:
+            self.report(
+                node,
+                "file lock acquired without an immediate try/finally "
+                "release; an exception before LOCK_UN wedges every other "
+                "worker sharing the directory",
             )
         self.generic_visit(node)

@@ -8,6 +8,8 @@ Mirrors the workflow of the paper's released software::
     gemstone lmbench --machine gem5-ex5-little           # Fig. 4 sweep
     gemstone power-model --core A15                      # Section V model
     gemstone bp-fix                                      # Section VII swing
+    gemstone campaign run --board shared/ --shards 4     # sharded campaign
+    gemstone campaign worker --board shared/             # join from anywhere
     gemstone lint src tests                              # determinism linter
     gemstone report --trace-out trace/                   # + Perfetto trace
     gemstone trace summary trace/                        # run-health tables
@@ -367,6 +369,102 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Distributed sharded campaigns over a shared job board.
+
+    ``run`` coordinates: it syncs the board to the configuration
+    (incremental — jobs whose content-addressed result is already on the
+    board are reused, never re-run), spawns shard workers, steals the
+    leases of lost ones, and prints the final report.  ``worker`` joins an
+    existing board from any process or host sharing the directory.
+    ``status`` prints the board counts and the journal tail.
+    """
+    from repro.sim.campaign import CampaignBoard, run_campaign, run_worker
+
+    if args.action == "status":
+        try:
+            board = CampaignBoard.open(args.board)
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"no campaign board at {args.board}: {exc}", file=sys.stderr)
+            return 1
+        status = board.status()
+        lines = [
+            text_table(
+                ["state", "jobs"],
+                [[state, n] for state, n in status.items()],
+                title=f"campaign board {args.board}",
+            )
+        ]
+        tail = board.read_journal()[-args.tail :]
+        if tail:
+            lines.append("")
+            lines.append(
+                text_table(
+                    ["seq", "event", "key", "owner"],
+                    [
+                        [r["seq"], r["event"], str(r.get("key", ""))[:12],
+                         r.get("owner", "")]
+                        for r in tail
+                    ],
+                    title=f"journal tail ({len(tail)} records)",
+                )
+            )
+        _emit("\n".join(lines), args.out)
+        return 0
+
+    if args.action == "worker":
+        try:
+            report = run_worker(
+                args.board,
+                owner=args.owner,
+                engine=args.engine,
+                guard_level=args.guard_level,
+                max_jobs=args.max_jobs,
+            )
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"no campaign board at {args.board}: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"{report.owner}: {report.done} done "
+            f"({report.adopted} adopted, {report.stolen} stolen leases, "
+            f"{report.errors} errors)"
+        )
+        return 0
+
+    # run: coordinate shards, then collate and report.
+    from repro.sim.executor import RetryPolicy
+
+    config = GemStoneConfig(
+        core=args.core,
+        gem5_machine=args.model,
+        trace_instructions=args.instructions,
+        retry=RetryPolicy(max_attempts=max(1, args.retries)),
+        engine=args.engine,
+        guard_level=args.guard_level,
+    )
+    result = run_campaign(
+        config,
+        args.board,
+        shards=args.shards,
+        ttl_seconds=args.ttl,
+        collate=not args.no_collate,
+    )
+    summary = [
+        f"board {args.board}: {result.status['done']} done, "
+        f"{result.status['poisoned']} poisoned, "
+        f"{result.lost_shards} shard(s) lost",
+    ]
+    for _key, workload, reason in result.poisoned:
+        summary.append(f"  poisoned {workload}: {reason}")
+    for name, value in result.counters.items():
+        if value:
+            summary.append(f"  {name} = {value:g}")
+    print("\n".join(summary), file=sys.stderr)
+    if result.gemstone is not None:
+        _emit(result.gemstone.report(), args.out)
+    return 1 if result.degraded else 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run the determinism & worker-purity linter (``repro-lint``)."""
     from repro.analysis.cli import main as lint_main
@@ -466,6 +564,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="spans to list for 'slowest'")
     p.add_argument("--out", default=None, help="write output to a file")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "campaign",
+        help="distributed sharded campaigns over a shared job board "
+        "(lease-based work stealing, worker-loss recovery, incremental "
+        "recompute)",
+    )
+    p.add_argument(
+        "action",
+        choices=("run", "worker", "status"),
+        help="run = coordinate shards and report; worker = join an "
+        "existing board; status = board counts and journal tail",
+    )
+    p.add_argument(
+        "--board", required=True, metavar="DIR",
+        help="shared board directory (jobs, leases, journal, results)",
+    )
+    p.add_argument("--shards", type=int, default=2,
+                   help="worker processes to spawn for 'run'")
+    p.add_argument("--ttl", type=float, default=5.0, metavar="SECONDS",
+                   help="lease heartbeat TTL; an older lease is stolen")
+    p.add_argument("--no-collate", action="store_true",
+                   help="leave results on the board without building the "
+                   "report")
+    p.add_argument("--owner", default=None,
+                   help="worker identity on the board (default: PID-based)")
+    p.add_argument("--max-jobs", type=int, default=None,
+                   help="stop this worker after N completed jobs")
+    p.add_argument("--tail", type=int, default=10,
+                   help="journal records to show for 'status'")
+    _add_common(p)
+    p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser(
         "lint",

@@ -73,6 +73,7 @@ from repro.sim.machine import (
     machine_by_name,
 )
 from repro.sim.platform import HardwarePlatform
+from repro.sim.result_cache import ShardedResultStore
 from repro.workloads.profile import WorkloadProfile
 from repro.workloads.suites import power_modelling_workloads, validation_workloads
 
@@ -133,6 +134,12 @@ class GemStoneConfig:
         trace_dir: Stream trace records to ``<trace_dir>/events.jsonl`` as
             they close (implies ``trace``); :meth:`GemStone.export_trace`
             writes the Chrome-trace and metrics snapshots there too.
+        board_dir: Attach to a distributed campaign board
+            (:mod:`repro.sim.campaign`): the executor reads and writes the
+            board's shared content-addressed result store instead of a
+            private ``cache_dir``.  Results are bit-identical either way,
+            so this too is an execution knob excluded from the run
+            fingerprint.
 
     Raises:
         ValueError: Immediately on construction for an unknown ``core``.
@@ -159,6 +166,7 @@ class GemStoneConfig:
     resume: bool = False
     trace: bool = False
     trace_dir: str | None = None
+    board_dir: str | None = None
 
     def __post_init__(self) -> None:
         # Fail at construction, not deep inside resolve_machine/platform
@@ -230,9 +238,17 @@ class GemStone:
         # the hardware platform and the gem5 model share its dedup, disk
         # cache, retry policy and telemetry, and dataset collection batches
         # through it.
+        campaign_store = None
+        if self.config.board_dir is not None:
+            campaign_store = ShardedResultStore(
+                os.path.join(self.config.board_dir, "results"),
+                faults=self.config.faults,
+                metrics=self.metrics,
+            )
         self.executor = SimExecutor(
             jobs=self.config.jobs,
             cache_dir=self.config.cache_dir,
+            cache=campaign_store,
             retry=self.config.retry,
             timeout_seconds=self.config.sim_timeout_seconds,
             faults=self.config.faults,

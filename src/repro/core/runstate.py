@@ -24,6 +24,16 @@ threw away each completed phase.  This module makes a run restartable:
   journal the interruption and exit; because every checkpoint is written
   atomically *when its phase completes*, the state on disk is resumable at
   any kill point.
+* **Phase splicing** makes recomputation after a config edit *minimal*
+  rather than total: each phase's checkpoint carries a ``phase_key`` — a
+  fingerprint over only the description fields that phase (and its
+  ancestors in :data:`PHASE_GRAPH`) actually consumes.  When a directory
+  holds a different run's artifacts, checkpoints whose phase key still
+  matches the new manifest are kept and restored ("spliced"); only the
+  invalidated subgraph is quarantined and recomputed.  Editing
+  ``n_workload_clusters``, for example, re-runs clustering and its
+  dependents while the datasets, correlations and power model restore
+  from disk.
 
 Journal records carry monotonic sequence numbers rather than timestamps:
 the run layer lives inside :mod:`repro.core`, where wall-clock reads are a
@@ -67,6 +77,41 @@ PHASES = (
     "dvfs",
     "report",
 )
+
+#: Which manifest-description fields each phase consumes, and which phases
+#: feed it.  The transitive closure of (own fields + ancestors' fields)
+#: defines a phase's :meth:`RunManifest.phase_key`: two configurations that
+#: agree on exactly those fields produce bit-identical payloads for the
+#: phase, so its checkpoint can be spliced between them.
+PHASE_GRAPH: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
+    "dataset": (
+        (),
+        ("runstate_schema", "core", "machine", "workloads", "frequencies",
+         "trace_instructions", "faults"),
+    ),
+    "power-dataset": (
+        (),
+        ("runstate_schema", "core", "power_workloads", "frequencies",
+         "trace_instructions", "faults"),
+    ),
+    "workload-clusters": (
+        ("dataset",), ("analysis_freq_hz", "n_workload_clusters"),
+    ),
+    "pmc-correlation": (("dataset",), ("analysis_freq_hz",)),
+    "gem5-correlation": (("dataset",), ("analysis_freq_hz",)),
+    "regression-hw": (("dataset",), ("analysis_freq_hz",)),
+    "regression-gem5": (("dataset",), ("analysis_freq_hz",)),
+    "event-comparison": (
+        ("dataset", "workload-clusters"), ("analysis_freq_hz",),
+    ),
+    "power-model": (
+        ("power-dataset",),
+        ("core", "power_model_terms", "gem5_restrained_power_model"),
+    ),
+    "power-energy": (("dataset", "workload-clusters", "power-model"), ()),
+    "dvfs": (("dataset", "workload-clusters", "power-model"), ()),
+    "report": (tuple(p for p in PHASES if p != "report"), ()),
+}
 
 
 @dataclass(frozen=True)
@@ -123,6 +168,33 @@ class RunManifest:
             description=description,
         )
 
+    def phase_key(self, phase: str) -> str:
+        """Fingerprint of the description subset one phase depends on.
+
+        Built from :data:`PHASE_GRAPH`: the phase's own fields plus the
+        phase keys of its parents, recursively — so a change to any
+        ancestor's inputs propagates down, while unrelated edits leave the
+        key (and therefore the checkpoint) valid.  Unknown phases, and
+        manifests whose description lacks a required field (hand-built
+        test manifests), fall back to the full ``fingerprint`` — splicing
+        then degrades to the old all-or-nothing behaviour, never to a
+        false match.
+        """
+        spec = PHASE_GRAPH.get(phase)
+        if spec is None:
+            return self.fingerprint
+        parents, fields = spec
+        if any(name not in self.description for name in fields):
+            return self.fingerprint
+        payload = {
+            "phase": phase,
+            "fields": {name: self.description[name] for name in fields},
+            "parents": {p: self.phase_key(p) for p in parents},
+        }
+        return hashlib.sha1(
+            json.dumps(payload, sort_keys=True).encode()
+        ).hexdigest()
+
 
 class RunStateTelemetry(MetricView):
     """Counters for one run-state instance's lifetime.
@@ -135,7 +207,7 @@ class RunStateTelemetry(MetricView):
     _fields = {
         name: f"core.runstate.{name}"
         for name in (
-            "restored", "checkpointed", "quarantined",
+            "restored", "checkpointed", "quarantined", "spliced",
             "journal_records_dropped",
         )
     }
@@ -186,11 +258,17 @@ class RunState:
         self.inert = False
         self._warned = False
         self._seq = 0
+        self._spliced: list[str] = []
         try:
             os.makedirs(directory, exist_ok=True)
             existing = self._read_manifest_fingerprint()
             if existing is not None and existing != manifest.fingerprint:
-                self._quarantine_all()
+                if existing == "":
+                    # Corrupt manifest: nothing in the directory can be
+                    # attributed, so nothing is spliced.
+                    self._quarantine_all()
+                else:
+                    self._quarantine_stale()
                 existing = None
             if existing is None:
                 atomic_write_text(
@@ -216,6 +294,11 @@ class RunState:
             fingerprint=manifest.fingerprint,
             resume=bool(resume),
         )
+        if self._spliced:
+            self.journal("phases-spliced", phases=sorted(self._spliced))
+            self.tracer.event(
+                "phases-spliced", phases=sorted(self._spliced)
+            )
 
     # ------------------------------------------------------------------ paths
     @property
@@ -305,6 +388,54 @@ class RunState:
                     os.remove(src)
         self.telemetry.quarantined += moved
 
+    def _checkpoint_key(self, phase: str) -> str | None:
+        """The ``phase_key`` recorded in a checkpoint's header, or None."""
+        try:
+            with open(self.checkpoint_path(phase), "rb") as handle:
+                header = json.loads(handle.readline())
+            key = header.get("phase_key")
+            return key if isinstance(key, str) else None
+        except (OSError, ValueError, TypeError, AttributeError):
+            return None
+
+    def _quarantine_stale(self) -> None:
+        """Quarantine a mismatched run's artifacts, splicing what survives.
+
+        The manifest and journal belong to the *old* run and always go;
+        each checkpoint stays if and only if the phase key in its header
+        matches what the *new* manifest derives for that phase — meaning
+        every input the phase consumes is unchanged and its payload would
+        be recomputed bit-identically.  Kept phases are recorded in
+        ``self._spliced`` and journalled after ``run-start``.
+        """
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return
+        os.makedirs(self.quarantine_dir, exist_ok=True)
+        moved = 0
+        for name in sorted(names):
+            if name.endswith(".ckpt"):
+                phase = name[: -len(".ckpt")]
+                recorded = self._checkpoint_key(phase)
+                if (
+                    recorded is not None
+                    and recorded == self.manifest.phase_key(phase)
+                ):
+                    self._spliced.append(phase)
+                    continue
+            elif name not in ("journal.jsonl", "manifest.json"):
+                continue
+            src = os.path.join(self.directory, name)
+            try:
+                os.replace(src, os.path.join(self.quarantine_dir, name))
+                moved += 1
+            except OSError:
+                with contextlib.suppress(OSError):
+                    os.remove(src)
+        self.telemetry.quarantined += moved
+        self.telemetry.spliced += len(self._spliced)
+
     # ---------------------------------------------------------------- journal
     def journal(self, event: str, **fields: Any) -> None:
         """Append one checksummed record to the run journal (fsync'd)."""
@@ -368,6 +499,7 @@ class RunState:
             "schema": RUNSTATE_SCHEMA_VERSION,
             "phase": phase,
             "fingerprint": self.manifest.fingerprint,
+            "phase_key": self.manifest.phase_key(phase),
             "checksum": hashlib.sha1(body).hexdigest(),
             "n_bytes": len(body),
         }
@@ -407,7 +539,9 @@ class RunState:
                 raise ValueError(f"schema {header['schema']}")
             if header["phase"] != phase:
                 raise ValueError(f"phase {header['phase']!r}")
-            if header["fingerprint"] != self.manifest.fingerprint:
+            if header["fingerprint"] != self.manifest.fingerprint and (
+                header.get("phase_key") != self.manifest.phase_key(phase)
+            ):
                 raise ValueError("fingerprint mismatch")
             if header["n_bytes"] != len(body):
                 raise ValueError("truncated payload")

@@ -147,6 +147,18 @@ class MetricsRegistry:
             return metric.sum
         return metric.value
 
+    def values_with_prefix(self, prefix: str) -> dict[str, float]:
+        """Scalar values of every metric under one dotted prefix, sorted.
+
+        Lets a caller surface one subsystem's counters (the campaign CLI
+        prints ``sim.campaign.*`` this way) without naming each metric.
+        """
+        return {
+            name: self.value(name)
+            for name in self.names()
+            if name.startswith(prefix)
+        }
+
     def snapshot(self) -> dict[str, dict]:
         """JSON-ready dump of every metric, sorted by name."""
         out: dict[str, dict] = {}

@@ -57,13 +57,24 @@ from repro.sim.guard import (
     guarded_simulate,
 )
 from repro.sim.machine import MachineConfig
-from repro.sim.result_cache import SimResultCache, cache_key
+from repro.sim.result_cache import (
+    SimResultCache,
+    cache_key,
+    cache_spec,
+    open_cache_spec,
+)
 from repro.workloads.trace import SyntheticTrace
 
 logger = get_logger(__name__)
 
 #: One simulation job: the executor's unit of work.
 SimJob = tuple[SyntheticTrace, MachineConfig]
+
+#: Exponent bound for :meth:`RetryPolicy.delay`.  ``2.0 ** 62`` already
+#: dwarfs any sane cap, while an unbounded ``2.0 ** attempt`` raises
+#: OverflowError once campaign lease re-queues push attempt counts into
+#: the thousands.
+_MAX_BACKOFF_EXPONENT = 62
 
 
 @dataclass(frozen=True)
@@ -89,8 +100,14 @@ class RetryPolicy:
             raise ValueError("delays must be >= 0 and backoff >= 1")
 
     def delay(self, attempt: int) -> float:
-        """Backoff before retrying after failed attempt ``attempt`` (1-based)."""
-        return min(self.base_seconds * self.backoff ** (attempt - 1), self.cap_seconds)
+        """Backoff before retrying after failed attempt ``attempt`` (1-based).
+
+        The exponent is bounded so pathological attempt counts (campaign
+        lease re-queues) saturate at ``cap_seconds`` instead of raising
+        OverflowError from the float power.
+        """
+        exponent = min(attempt - 1, _MAX_BACKOFF_EXPONENT)
+        return min(self.base_seconds * self.backoff**exponent, self.cap_seconds)
 
 
 @dataclass
@@ -195,24 +212,26 @@ class SimTelemetry(MetricView):
 def _run_job(payload):
     """Worker-side entry point: simulate one job.
 
-    ``payload`` is ``(trace, machine, cache_dir, faults, ordinal, attempt,
+    ``payload`` is ``(trace, machine, spec, faults, ordinal, attempt,
     want_spans, engine, guard_plan)``.  Any fault matching (ordinal,
     attempt) fires first — a ``crash`` fault hard-kills this worker so the
     parent observes a genuine broken pool, and a guard memory budget
     already breached refuses the job with ``MemoryError`` (the parent
     isolates it to the serial lane).
 
-    With a cache directory the worker writes its entry atomically (via the
-    cache's temp-file + rename protocol) and ships only a tiny token
-    across the process boundary; the parent reaps the entry from disk.
-    Without a cache the result itself is returned in-band.  Either way the
-    return value is a ``(token_or_result, span_records, guard_payload)``
-    triple: when the parent traces, the worker records its own child spans
-    on a throwaway tracer and the parent stitches them into its tree, and
-    ``guard_payload = (guard_events, sentinel_replays)`` ships the
-    guardrail outcome back for the parent's :class:`GuardRail` to absorb.
+    With a cache spec (see :func:`~repro.sim.result_cache.cache_spec` —
+    flat directory or campaign sharded store) the worker writes its entry
+    atomically (via the cache's temp-file + rename protocol) and ships
+    only a tiny token across the process boundary; the parent reaps the
+    entry from disk.  Without a cache the result itself is returned
+    in-band.  Either way the return value is a ``(token_or_result,
+    span_records, guard_payload)`` triple: when the parent traces, the
+    worker records its own child spans on a throwaway tracer and the
+    parent stitches them into its tree, and ``guard_payload =
+    (guard_events, sentinel_replays)`` ships the guardrail outcome back
+    for the parent's :class:`GuardRail` to absorb.
     """
-    (trace, machine, cache_dir, faults, ordinal, attempt, want_spans,
+    (trace, machine, spec, faults, ordinal, attempt, want_spans,
      engine, guard_plan) = payload
     tracer = Tracer(enabled=want_spans)
     with tracer.span(
@@ -230,9 +249,9 @@ def _run_job(payload):
         result, guard_events, sentinels = guarded_simulate(
             trace, machine, engine, guard_plan, faults, ordinal, attempt
         )
-        if cache_dir is not None:
+        if spec is not None:
             with tracer.span("cache-put", kind="cache"):
-                SimResultCache(cache_dir, faults=faults).put(
+                open_cache_spec(spec, faults=faults).put(
                     trace, machine, result
                 )
             result = None
@@ -252,6 +271,11 @@ class SimExecutor:
             ``os.cpu_count()``.
         cache_dir: Optional on-disk result cache shared by parent and
             workers; see :class:`~repro.sim.result_cache.SimResultCache`.
+        cache: Optional prebuilt cache object (a
+            :class:`~repro.sim.result_cache.SimResultCache` or a campaign
+            :class:`~repro.sim.result_cache.ShardedResultStore`); takes
+            precedence over ``cache_dir``.  Workers rebuild an equivalent
+            writer from its :func:`~repro.sim.result_cache.cache_spec`.
         retry: Per-job retry policy (deterministic, jitter-free).
         timeout_seconds: Optional per-job timeout for pool attempts; a job
             exceeding it is abandoned and rerun serially in the parent.
@@ -283,6 +307,7 @@ class SimExecutor:
         self,
         jobs: int | None = None,
         cache_dir: str | None = None,
+        cache=None,
         retry: RetryPolicy | None = None,
         timeout_seconds: float | None = None,
         faults=None,
@@ -309,11 +334,14 @@ class SimExecutor:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.metrics.gauge("sim.executor.workers").set(self.jobs)
-        self.cache = (
-            SimResultCache(cache_dir, faults=faults, metrics=self.metrics)
-            if cache_dir is not None
-            else None
-        )
+        if cache is not None:
+            self.cache = cache
+        else:
+            self.cache = (
+                SimResultCache(cache_dir, faults=faults, metrics=self.metrics)
+                if cache_dir is not None
+                else None
+            )
         self.telemetry = SimTelemetry(self.metrics)
         #: Guardrail state: plan, recorded events, watchdog, telemetry.
         self.guard = GuardRail(guard, self.metrics, self.tracer)
@@ -461,8 +489,8 @@ class SimExecutor:
     ) -> list[SimResult | SimJobFailure]:
         telemetry = self.telemetry
         # A degraded cache cannot absorb worker writes; ship results in-band.
-        cache_dir = (
-            self.cache.directory
+        spec = (
+            cache_spec(self.cache)
             if self.cache is not None and not self.cache.degraded
             else None
         )
@@ -499,7 +527,7 @@ class SimExecutor:
                 ):
                     futures[i] = pool.submit(
                         _run_job,
-                        (trace, machine, cache_dir, self.faults, ordinal, 1,
+                        (trace, machine, spec, self.faults, ordinal, 1,
                          want_spans, self.engine, self.guard.plan),
                     )
                     watchdog.job_started(ordinal, trace.name, machine.name)

@@ -29,6 +29,13 @@ fire where:
 * ``oom`` — a worker breaches the guard plan's memory budget: the job
   raises :class:`MemoryError` in a worker (and in the parent's pool-retry
   path), exercising the executor's isolate-to-serial OOM lane.
+* ``shard-crash`` / ``lease-stall`` — campaign-shard faults consumed by
+  :mod:`repro.sim.campaign` workers: a shard process dies *after* storing
+  its result but *before* marking the job done (the orphaned result must
+  be adopted by whichever shard steals the expired lease), or a shard
+  stalls past the lease TTL while still alive (a peer must steal the
+  lease and the staller must notice on waking and abandon the job so no
+  result is duplicated).
 
 Every fault is seeded: the same plan against the same batch injects the
 same failures, so chaos tests can assert *bit-identical* recovery.
@@ -55,10 +62,15 @@ FAULT_KINDS = (
     "poison-memo",
     "nan-pass",
     "oom",
+    "shard-crash",
+    "lease-stall",
 )
 
 #: Kinds consumed inside :func:`repro.sim.guard.guarded_simulate`.
 COLUMNAR_FAULT_KINDS = ("corrupt-column", "poison-memo", "nan-pass")
+
+#: Kinds consumed by campaign shard workers (:mod:`repro.sim.campaign`).
+SHARD_FAULT_KINDS = ("shard-crash", "lease-stall")
 
 
 class InjectedFault(RuntimeError):
@@ -92,7 +104,7 @@ class FaultSpec:
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}")
-        job_scoped = ("crash", "hang", "oom") + COLUMNAR_FAULT_KINDS
+        job_scoped = ("crash", "hang", "oom") + COLUMNAR_FAULT_KINDS + SHARD_FAULT_KINDS
         if self.kind in job_scoped and self.job is None and self.workload is None:
             raise ValueError(f"{self.kind} fault needs a job ordinal or a workload name")
 
@@ -161,6 +173,26 @@ class FaultPlan:
         return cls((FaultSpec("oom", workload=workload, attempts=attempts),))
 
     @classmethod
+    def shard_crash(cls, workload: str, attempts: int = 1) -> "FaultPlan":
+        """Kill a campaign shard after storing ``workload``'s result.
+
+        Fires between the store write and the done marker, so the lease
+        expires with an orphaned-but-intact result on disk; the stealing
+        shard must adopt it instead of recomputing.
+        """
+        return cls((FaultSpec("shard-crash", workload=workload, attempts=attempts),))
+
+    @classmethod
+    def lease_stall(
+        cls, workload: str, seconds: float = 1.0, attempts: int = 1
+    ) -> "FaultPlan":
+        """Stall a live shard past the lease TTL after claiming a job."""
+        return cls(
+            (FaultSpec("lease-stall", workload=workload, hang_seconds=seconds,
+                       attempts=attempts),)
+        )
+
+    @classmethod
     def drop_power(cls, workload: str | None = None, fraction: float = 0.25) -> "FaultPlan":
         """Drop a deterministic share of the platform's power samples."""
         return cls((FaultSpec("drop-power", workload=workload, fraction=fraction),))
@@ -206,6 +238,26 @@ class FaultPlan:
                     f"injected memory-budget breach: job {ordinal} "
                     f"({trace_name}) attempt {attempt}"
                 )
+
+    # ------------------------------------------------------------ shard faults
+    def shard_fault(
+        self, phase: str, trace_name: str, attempt: int
+    ) -> FaultSpec | None:
+        """The shard fault (if any) firing at this campaign phase.
+
+        ``phase`` is where the worker currently is: ``"claimed"`` (lease
+        held, job not yet run — where ``lease-stall`` sleeps) or
+        ``"stored"`` (result written, done marker not yet placed — where
+        ``shard-crash`` kills the shard).  Matching is by workload name
+        and attempt count, same as the executor job faults.
+        """
+        wanted = {"claimed": "lease-stall", "stored": "shard-crash"}.get(phase)
+        if wanted is None:
+            return None
+        for spec in self.faults:
+            if spec.kind == wanted and spec._matches_job(-1, trace_name, attempt):
+                return spec
+        return None
 
     # ------------------------------------------------------- columnar faults
     def columnar_faults(

@@ -73,7 +73,7 @@ class GuardEvent:
         kind: What was detected: ``divergence``, ``nan-result``,
             ``decode-corrupt``, ``engine-error``, ``poison-job``,
             ``worker-oom``, ``heartbeat-stall``, ``deadline``,
-            ``memory-budget``.
+            ``memory-budget``, ``shard-lost``, ``lease-steal``.
         workload: Trace name of the affected job ("*" for campaign-wide
             watchdog events).
         machine: Machine name of the affected job ("*" likewise).
@@ -204,6 +204,8 @@ class GuardTelemetry(MetricView):
         heartbeat_stalls: Jobs observed in flight past the heartbeat budget.
         deadline_breaches: Batches that ran past the deadline budget.
         memory_breaches: Parent peak-RSS budget breaches observed.
+        shard_losses: Campaign shard processes that exited abnormally.
+        lease_steals: Expired campaign leases taken over by another shard.
         events: All guard events recorded.
     """
 
@@ -221,6 +223,8 @@ class GuardTelemetry(MetricView):
             "heartbeat_stalls",
             "deadline_breaches",
             "memory_breaches",
+            "shard_losses",
+            "lease_steals",
             "events",
         )
     }
@@ -237,6 +241,8 @@ _KIND_COUNTERS = {
     "heartbeat-stall": "heartbeat_stalls",
     "deadline": "deadline_breaches",
     "memory-budget": "memory_breaches",
+    "shard-lost": "shard_losses",
+    "lease-steal": "lease_steals",
 }
 
 #: Event kinds that mean a job's columnar result was replaced by the

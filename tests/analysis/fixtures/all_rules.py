@@ -3,10 +3,11 @@
 Linted with ``--assume-module repro.sim._fixture`` so the scoped
 determinism and performance rules apply; tests assert the reported rule
 ids are exactly {DET001, DET002, DET003, OBS001, PERF001, PURE001,
-PURE002, ROB001, ROB002, ROB003}, one finding each.  This file is never
+PURE002, ROB001, ROB002, ROB003, ROB004}, one finding each.  This file is never
 imported and is excluded from every self-clean run.
 """
 
+import fcntl
 import random
 import time
 
@@ -68,3 +69,9 @@ def rob003(path):
         return open(path).read()
     except OSError:
         return None
+
+
+def rob004(handle):
+    fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+    handle.write(b"unsafe between acquire and unlock")
+    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)

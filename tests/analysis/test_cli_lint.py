@@ -27,12 +27,12 @@ class TestFixtureFiles:
         # One finding per core rule, nothing else.
         assert sorted(reported) == [
             "DET001", "DET002", "DET003", "OBS001", "PERF001",
-            "PURE001", "PURE002", "ROB001", "ROB002", "ROB003",
+            "PURE001", "PURE002", "ROB001", "ROB002", "ROB003", "ROB004",
         ]
         assert document["counts"] == {
             "DET001": 1, "DET002": 1, "DET003": 1, "OBS001": 1,
             "PERF001": 1, "PURE001": 1, "PURE002": 1, "ROB001": 1,
-            "ROB002": 1, "ROB003": 1,
+            "ROB002": 1, "ROB003": 1, "ROB004": 1,
         }
 
     def test_suppressed_fixture_exercises_suppression_paths(self, capsys):
@@ -86,7 +86,7 @@ class TestExitCodesAndFlags:
         assert exit_code == 1
         assert sorted(document["counts"]) == [
             "DET001", "DET002", "OBS001", "PERF001", "PURE002",
-            "ROB001", "ROB002", "ROB003",
+            "ROB001", "ROB002", "ROB003", "ROB004",
         ]
 
     def test_exclude_skips_the_fixture_tree(self, capsys):
@@ -102,7 +102,8 @@ class TestExitCodesAndFlags:
         out = capsys.readouterr().out
         for rule_id in (
             "DET001", "DET002", "DET003", "OBS001", "PERF001", "PURE001",
-            "PURE002", "ROB001", "ROB002", "ROB003", "SUP001", "SUP002",
+            "PURE002", "ROB001", "ROB002", "ROB003", "ROB004",
+            "SUP001", "SUP002",
             "PARSE001",
         ):
             assert rule_id in out
@@ -111,8 +112,8 @@ class TestExitCodesAndFlags:
         exit_code = lint_main([ALL_RULES, *AS_SIM])
         out = capsys.readouterr().out
         assert exit_code == 1
-        assert "all_rules.py:20:12: DET001" in out
-        assert out.strip().endswith("7 error(s), 3 warning(s)")
+        assert "all_rules.py:21:12: DET001" in out
+        assert out.strip().endswith("8 error(s), 3 warning(s)")
 
 
 class TestGemstoneLintSubcommand:
@@ -122,7 +123,7 @@ class TestGemstoneLintSubcommand:
         )
         document = json.loads(capsys.readouterr().out)
         assert exit_code == 1
-        assert document["total"] == 10
+        assert document["total"] == 11
 
     def test_gemstone_lint_clean_exits_zero(self, tmp_path, capsys):
         clean = tmp_path / "clean.py"

@@ -162,7 +162,7 @@ class TestRegistry:
             "OBS001",
             "PERF001",
             "PURE001", "PURE002",
-            "ROB001", "ROB002", "ROB003",
+            "ROB001", "ROB002", "ROB003", "ROB004",
             "SUP001", "SUP002",
             "THR001", "THR002", "THR003",
             "PARSE001",

@@ -1,4 +1,4 @@
-"""Per-rule fixture tests for ROB001, ROB002 and ROB003."""
+"""Per-rule fixture tests for ROB001, ROB002, ROB003 and ROB004."""
 
 from __future__ import annotations
 
@@ -159,3 +159,61 @@ class TestRob002NonAtomicWrite:
         assert rule_ids(
             lint_snippet(snippet, module="repro.core._snippet")
         ) == ["ROB002"]
+
+
+class TestRob004FileLockRelease:
+    SAFE = (
+        "import fcntl\n"
+        "def f(handle):\n"
+        "    fcntl.flock(handle.fileno(), fcntl.LOCK_EX)\n"
+        "    try:\n"
+        "        return handle.read()\n"
+        "    finally:\n"
+        "        fcntl.flock(handle.fileno(), fcntl.LOCK_UN)\n"
+    )
+    UNSAFE = (
+        "import fcntl\n"
+        "def f(handle):\n"
+        "    fcntl.flock(handle.fileno(), fcntl.LOCK_EX)\n"
+        "    data = handle.read()\n"
+        "    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)\n"
+        "    return data\n"
+    )
+
+    def test_acquire_with_immediate_try_finally_unlock_is_clean(self):
+        assert lint_snippet(self.SAFE) == []
+
+    def test_unprotected_statements_after_acquire_are_flagged(self):
+        assert rule_ids(lint_snippet(self.UNSAFE)) == ["ROB004"]
+
+    def test_close_in_finally_counts_as_release(self):
+        snippet = (
+            "import fcntl\n"
+            "def f(handle):\n"
+            "    fcntl.flock(handle.fileno(), fcntl.LOCK_EX)\n"
+            "    try:\n"
+            "        return handle.read()\n"
+            "    finally:\n"
+            "        handle.close()\n"
+        )
+        assert lint_snippet(snippet) == []
+
+    def test_lockf_and_from_import_and_composed_flags_are_seen(self):
+        snippet = (
+            "from fcntl import lockf, LOCK_EX, LOCK_NB\n"
+            "def f(handle):\n"
+            "    lockf(handle, LOCK_EX | LOCK_NB)\n"
+            "    return handle.read()\n"
+        )
+        assert rule_ids(lint_snippet(snippet)) == ["ROB004"]
+
+    def test_unlock_and_shared_reads_outside_scope_stay_quiet(self):
+        # LOCK_UN alone is not an acquisition, and outside repro.sim the
+        # rule does not apply at all.
+        unlock_only = (
+            "import fcntl\n"
+            "def f(handle):\n"
+            "    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)\n"
+        )
+        assert lint_snippet(unlock_only) == []
+        assert lint_snippet(self.UNSAFE, module="repro.core._snippet") == []

@@ -119,26 +119,36 @@ def test_fully_completed_run_resumes_from_the_report_checkpoint(
     assert resumed.runstate.telemetry.checkpointed == 0
 
 
-def test_mismatched_config_is_quarantined_and_fully_recomputed(
+def test_mismatched_config_splices_the_shared_subgraph(
     sim_cache_dir, tmp_path, reference_report
 ):
     directory = str(tmp_path / "ckpt")
     GemStone(_config(sim_cache_dir, directory)).report()
 
-    # Same directory, different result-affecting config: the fingerprint
-    # changes, every stale artifact is quarantined, nothing is restored.
+    # Same directory, different clustering: the fingerprint changes, but
+    # only the phases downstream of ``n_workload_clusters`` are stale.
+    # The phase graph splices the rest through instead of quarantining
+    # the whole run.
     changed = GemStone(
         _config(sim_cache_dir, directory, resume=True, n_workload_clusters=3)
     )
-    assert changed.runstate.telemetry.restored == 0
     quarantined = os.listdir(changed.runstate.quarantine_dir)
     assert "manifest.json" in quarantined
     assert "report.ckpt" in quarantined
+    assert "workload-clusters.ckpt" in quarantined
+    assert "dataset.ckpt" not in quarantined
+    assert "power-model.ckpt" not in quarantined
+    assert changed.runstate.telemetry.spliced == 7
 
     report = changed.report()
     assert report != reference_report  # a different experiment, honestly run
-    assert changed.runstate.telemetry.restored == 0
+    # Exactly the invalidated subgraph recomputed; everything whose
+    # phase key survived the config change restored from its checkpoint.
+    assert changed.runstate.telemetry.restored == 7
+    assert changed.runstate.telemetry.checkpointed == 5
     assert changed.runstate.completed_phases() == list(PHASES)
+    events = [r["event"] for r in changed.runstate.read_journal()]
+    assert "phases-spliced" in events
 
 
 def test_resumed_journal_tells_the_whole_story(

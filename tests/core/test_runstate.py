@@ -166,6 +166,78 @@ class TestCheckpoints:
         assert set(state.completed_phases()) <= set(PHASES)
 
 
+class TestPhaseKeys:
+    def test_unknown_phase_falls_back_to_the_fingerprint(self):
+        manifest = _manifest()
+        assert manifest.phase_key("not-a-phase") == manifest.fingerprint
+
+    def test_bare_manifest_keeps_all_or_nothing_invalidation(self):
+        # Hand-built manifests (no config description) keep the original
+        # semantics: every phase key follows the fingerprint, so a
+        # fingerprint change still invalidates every phase.
+        a, b = _manifest("a"), _manifest("b")
+        for phase in PHASES:
+            assert a.phase_key(phase) != b.phase_key(phase)
+        # Phases with description fields fall back to the fingerprint
+        # itself; derived phases hash their parents' fallbacks.
+        assert a.phase_key("dataset") == a.fingerprint
+
+    def test_phase_keys_are_stable_and_ignore_execution_knobs(self):
+        base = RunManifest.from_config(GemStoneConfig(trace_instructions=9000))
+        again = RunManifest.from_config(
+            GemStoneConfig(trace_instructions=9000, jobs=4, resume=True)
+        )
+        for phase in PHASES:
+            assert base.phase_key(phase) == again.phase_key(phase)
+            assert base.phase_key(phase) != base.fingerprint
+
+    def test_clustering_change_invalidates_only_its_subgraph(self):
+        base = RunManifest.from_config(GemStoneConfig(trace_instructions=9000))
+        changed = RunManifest.from_config(
+            GemStoneConfig(trace_instructions=9000, n_workload_clusters=3)
+        )
+        stale = {
+            p for p in PHASES
+            if base.phase_key(p) != changed.phase_key(p)
+        }
+        assert stale == {
+            "workload-clusters", "event-comparison", "power-energy",
+            "dvfs", "report",
+        }
+
+    def test_trace_length_change_invalidates_everything(self):
+        base = RunManifest.from_config(GemStoneConfig(trace_instructions=9000))
+        changed = RunManifest.from_config(
+            GemStoneConfig(trace_instructions=9001)
+        )
+        for phase in PHASES:
+            assert base.phase_key(phase) != changed.phase_key(phase)
+
+    def test_runstate_splices_shared_phases(self, tmp_path):
+        directory = str(tmp_path / "run")
+        old = RunState(
+            directory,
+            RunManifest.from_config(GemStoneConfig(trace_instructions=9000)),
+        )
+        old.checkpoint("dataset", {"rows": 1})
+        old.checkpoint("workload-clusters", {"clusters": 2})
+        fresh = RunState(
+            directory,
+            RunManifest.from_config(
+                GemStoneConfig(trace_instructions=9000, n_workload_clusters=3)
+            ),
+            resume=True,
+        )
+        assert fresh.restore("dataset") == {"rows": 1}
+        assert fresh.restore("workload-clusters") is None
+        assert fresh.telemetry.spliced == 1
+        quarantined = os.listdir(fresh.quarantine_dir)
+        assert "workload-clusters.ckpt" in quarantined
+        assert "dataset.ckpt" not in quarantined
+        events = [r["event"] for r in fresh.read_journal()]
+        assert "phases-spliced" in events
+
+
 class TestStaleDirectory:
     def test_mismatched_fingerprint_quarantines_everything(self, tmp_path):
         directory = str(tmp_path / "run")

@@ -92,6 +92,20 @@ class TestFaultPlan:
             plan.apply_job_fault(7, "mi-sha", attempt=2, in_worker=False)
         plan.apply_job_fault(7, "mi-qsort", attempt=1, in_worker=False)
 
+    def test_shard_faults_match_phase_workload_and_attempt(self):
+        plan = (FaultPlan.shard_crash("mi-sha")
+                | FaultPlan.lease_stall("mi-qsort", seconds=0.5, attempts=2))
+        crash = plan.shard_fault("stored", "mi-sha", 1)
+        assert crash is not None and crash.kind == "shard-crash"
+        # Spent attempt budget, wrong workload, wrong phase: no fault.
+        assert plan.shard_fault("stored", "mi-sha", 2) is None
+        assert plan.shard_fault("stored", "mi-qsort", 1) is None
+        assert plan.shard_fault("claimed", "mi-sha", 1) is None
+        stall = plan.shard_fault("claimed", "mi-qsort", 2)
+        assert stall is not None and stall.kind == "lease-stall"
+        assert stall.hang_seconds == 0.5
+        assert plan.shard_fault("unknown-phase", "mi-sha", 1) is None
+
     def test_power_faults_deterministic(self):
         import numpy as np
 
@@ -119,6 +133,19 @@ class TestRetryPolicy:
             RetryPolicy(max_attempts=0)
         with pytest.raises(ValueError):
             RetryPolicy(backoff=0.5)
+
+    def test_pathological_attempt_counts_saturate_at_cap(self):
+        # Campaign lease re-queues can produce attempt numbers far past
+        # anything a pool retry loop sees; the bounded exponent must
+        # saturate at the cap instead of raising OverflowError.
+        policy = RetryPolicy(max_attempts=3, base_seconds=0.05,
+                             backoff=2.0, cap_seconds=1.0)
+        assert policy.delay(10_000) == policy.cap_seconds
+        assert policy.delay(2**31) == policy.cap_seconds
+        huge = RetryPolicy(max_attempts=3, base_seconds=1.0, backoff=10.0,
+                           cap_seconds=float("inf"))
+        assert huge.delay(10_000) == huge.delay(10_001)  # bounded, finite
+        assert huge.delay(10_000) < float("inf")
 
 
 class TestSerialRecovery:

@@ -1,5 +1,6 @@
 """Tests for on-disk simulation-result caching."""
 
+import os
 from dataclasses import replace
 
 import pytest
@@ -8,7 +9,15 @@ from repro.sim.cpu import simulate
 from repro.sim.gem5 import Gem5Simulation
 from repro.sim.machine import gem5_ex5_big, hardware_a15
 from repro.sim.platform import HardwarePlatform
-from repro.sim.result_cache import SimResultCache, cache_key, machine_fingerprint
+from repro.sim.result_cache import (
+    ShardedResultStore,
+    SimResultCache,
+    advisory_lock,
+    cache_key,
+    cache_spec,
+    machine_fingerprint,
+    open_cache_spec,
+)
 from repro.workloads.suites import workload_by_name
 from repro.workloads.trace import compile_trace
 
@@ -231,3 +240,105 @@ class TestIntegration:
                                cache_dir=str(tmp_path / "c"))
         plain = Gem5Simulation(trace_instructions=6_000)
         assert rerun.run(profile, 1000e6).stats == plain.run(profile, 1000e6).stats
+
+
+class TestAdvisoryLock:
+    def test_lock_is_exclusive_across_handles(self, tmp_path):
+        import fcntl
+
+        directory = str(tmp_path)
+        with advisory_lock(directory) as held:
+            assert held
+            # A second claimant (another fd, as another process would
+            # hold) cannot take the lock while we do.
+            probe = open(str(tmp_path / ".lock"), "a")
+            with pytest.raises(OSError):
+                fcntl.flock(probe.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            probe.close()
+        probe = open(str(tmp_path / ".lock"), "a")
+        fcntl.flock(probe.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        fcntl.flock(probe.fileno(), fcntl.LOCK_UN)
+        probe.close()
+
+    def test_unopenable_lock_degrades_to_noop(self, tmp_path):
+        with advisory_lock(str(tmp_path / "missing" / "deep")) as held:
+            assert held is False
+
+    def test_put_and_quarantine_run_under_lock(self, cache, trace):
+        # The locked write path must still round-trip and quarantine
+        # exactly as before.
+        machine = hardware_a15()
+        result = simulate(trace, machine, "scalar")
+        cache.put(trace, machine, result)
+        key = cache_key(trace, machine)
+        assert cache.verify(key)
+
+
+class TestVerify:
+    def test_verify_states(self, cache, trace):
+        machine = hardware_a15()
+        key = cache_key(trace, machine)
+        assert not cache.verify(key)          # missing
+        cache.put(trace, machine, simulate(trace, machine, "scalar"))
+        assert cache.verify(key)              # intact
+        with open(cache._path(key), "r+") as handle:
+            handle.write("garbage")
+        assert not cache.verify(key)          # corrupt -> quarantined
+        assert not cache.verify(key)          # and stays gone
+
+
+class TestShardedStore:
+    def test_round_trip_and_layout(self, tmp_path, trace):
+        store = ShardedResultStore(str(tmp_path / "store"), prefix_chars=2)
+        machine = hardware_a15()
+        result = simulate(trace, machine, "scalar")
+        store.put(trace, machine, result)
+        key = cache_key(trace, machine)
+        assert store.verify(key)
+        hit = store.get(trace, machine)
+        assert hit is not None
+        assert hit.counts == result.counts
+        assert hit.core_cycles == result.core_cycles
+        # Entries live in key-prefix shard subdirectories.
+        assert os.path.exists(
+            os.path.join(str(tmp_path / "store"), key[:2], f"{key}.json")
+        )
+
+    def test_entries_relocatable_from_flat_cache(self, tmp_path, trace):
+        machine = hardware_a15()
+        flat = SimResultCache(str(tmp_path / "flat"))
+        flat.put(trace, machine, simulate(trace, machine, "scalar"))
+        key = cache_key(trace, machine)
+        store = ShardedResultStore(str(tmp_path / "store"), prefix_chars=2)
+        os.makedirs(os.path.join(str(tmp_path / "store"), key[:2]),
+                    exist_ok=True)
+        os.rename(
+            flat._path(key),
+            os.path.join(str(tmp_path / "store"), key[:2], f"{key}.json"),
+        )
+        assert store.verify(key)
+        assert store.get(trace, machine) is not None
+
+    def test_clear_spans_shards(self, tmp_path, trace):
+        store = ShardedResultStore(str(tmp_path / "store"))
+        machine = hardware_a15()
+        store.put(trace, machine, simulate(trace, machine, "scalar"))
+        other = compile_trace(workload_by_name("mi-fft"), 6_000)
+        store.put(other, machine, simulate(other, machine, "scalar"))
+        assert store.clear() == 2
+        assert not store.verify(cache_key(trace, machine))
+
+
+class TestCacheSpec:
+    def test_specs_round_trip_both_layouts(self, tmp_path):
+        flat = SimResultCache(str(tmp_path / "flat"))
+        sharded = ShardedResultStore(str(tmp_path / "store"), prefix_chars=3)
+        assert cache_spec(None) is None
+        assert open_cache_spec(None) is None
+        rebuilt_flat = open_cache_spec(cache_spec(flat))
+        assert isinstance(rebuilt_flat, SimResultCache)
+        assert rebuilt_flat.directory == flat.directory
+        rebuilt = open_cache_spec(cache_spec(sharded))
+        assert isinstance(rebuilt, ShardedResultStore)
+        assert rebuilt.directory == sharded.directory
+        assert rebuilt.prefix_chars == 3
