@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-chaos test-dist trace-smoke bench bench-smoke bench-replay bench-guard bench-campaign bench-lint lint check
+.PHONY: test test-chaos test-dist trace-smoke trace-campaign-smoke bench bench-smoke bench-replay bench-guard bench-campaign bench-lint bench-prof lint check
 
 # Tier-1: the full unit/integration suite (includes the chaos scenarios).
 test:
@@ -33,6 +33,13 @@ test-dist:
 trace-smoke:
 	$(PYTHON) -m pytest -q -m obs tests/obs/test_trace_smoke.py
 
+# Campaign observability smoke: a traced two-shard campaign stitched into
+# one Chrome trace with per-shard tracks, merged Prometheus counters that
+# equal the journal counts, and a clean report byte-identical to the
+# untraced run — including the kill/steal/resume stitching scenarios.
+trace-campaign-smoke:
+	$(PYTHON) -m pytest -q -m dist tests/sim/test_chaos_campaign.py -k TraceStitching
+
 # One tiny parallel collection end-to-end (pool + disk cache + dataset),
 # so executor regressions surface without the full benchmark suite.
 bench-smoke:
@@ -61,6 +68,12 @@ bench-campaign:
 # speedup floor and refreshes BENCH_lint.json at the repo root.
 bench-lint:
 	$(PYTHON) -m pytest -q -s -m bench_lint benchmarks/test_bench_lint.py
+
+# Replay-profiler overhead: traced+profiled columnar replay must stay
+# within the 5% budget of the untraced hot path while attributing >=95%
+# of simulated cycles; refreshes BENCH_prof.json at the repo root.
+bench-prof:
+	$(PYTHON) -m pytest -q -s benchmarks/test_bench_profiler_overhead.py
 
 # Full paper-figure benchmark suite, including the throughput benchmark.
 bench:

@@ -104,6 +104,10 @@ def test_bench_lint(tmp_path):
         "findings": len(reference),
         "parallel_floor": PARALLEL_SPEEDUP_FLOOR,
         "warm_floor": WARM_SPEEDUP_FLOOR,
+        # The warm floor is always asserted; the parallel floor only on
+        # multi-core hosts, and the snapshot records which one this was.
+        "cpu_gated": True,
+        "gate_enforced": cores >= 2,
     }
     with open(RESULTS_PATH, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

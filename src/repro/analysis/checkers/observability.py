@@ -1,17 +1,27 @@
-"""Observability rule: OBS001 (print / root-logger diagnostics in library code).
+"""Observability rules: OBS001 (stray diagnostics), OBS002 (tracer hygiene).
 
-The library's diagnostics flow through :func:`repro.obs.log.get_logger`
-(namespaced under ``repro``, silent until ``configure_logging`` installs a
-handler).  A ``print()`` in library code writes to stdout — corrupting
-piped report output — and a root-logger call (``logging.warning(...)``)
-bypasses the ``repro`` hierarchy, so ``--log-level``/``--log-json`` cannot
-route or silence it.  The user-facing surfaces (the CLI front ends and the
-report/reporter renderers, whose *product* is printed text) are exempt.
+OBS001: the library's diagnostics flow through
+:func:`repro.obs.log.get_logger` (namespaced under ``repro``, silent until
+``configure_logging`` installs a handler).  A ``print()`` in library code
+writes to stdout — corrupting piped report output — and a root-logger call
+(``logging.warning(...)``) bypasses the ``repro`` hierarchy, so
+``--log-level``/``--log-json`` cannot route or silence it.  The
+user-facing surfaces (the CLI front ends and the report/reporter
+renderers, whose *product* is printed text) are exempt.
+
+OBS002: spans and metric names have contracts the runtime cannot enforce.
+A ``Tracer.span(...)`` call whose result is neither used as a context
+manager nor explicitly ``__enter__``-ed never closes: the span leaks out
+of the trace, its duration histogram never fires, and every child span
+mis-parents.  Metric names outside ``[a-z][a-z0-9_.]*`` break the
+Prometheus exposition mapping (the exporter would have to mangle them,
+so two different registry names could collide in the snapshot).
 """
 
 from __future__ import annotations
 
 import ast
+import re
 
 from repro.analysis.findings import Severity
 from repro.analysis.rules import BaseChecker, rule
@@ -73,4 +83,96 @@ class LibraryPrintChecker(BaseChecker):
                     "repro hierarchy; use "
                     "repro.obs.log.get_logger(__name__) instead",
                 )
+        self.generic_visit(node)
+
+
+#: The tracer implementation itself builds spans internally.
+_TRACER_IMPL_MODULES = ("repro.obs.tracer",)
+
+#: Registry factory methods whose first argument is a metric name.
+_METRIC_FACTORIES = frozenset({"counter", "gauge", "histogram"})
+
+#: The exporter-safe metric name alphabet (dots become underscores in the
+#: Prometheus snapshot; anything else would need lossy mangling).
+_METRIC_NAME_RE = re.compile(r"[a-z][a-z0-9_.]*\Z")
+
+
+@rule(
+    "OBS002",
+    "leaked span / malformed metric name",
+    Severity.WARNING,
+    "A span created without `with` (and never explicitly __enter__-ed) "
+    "never closes: it vanishes from the trace, its duration histogram "
+    "never fires, and children mis-parent.  Metric names outside "
+    "[a-z][a-z0-9_.]* cannot round-trip through the Prometheus "
+    "exposition format without lossy mangling.",
+    scope=("repro",),
+)
+class SpanHygieneChecker(BaseChecker):
+    """Flags leaked ``.span(...)`` calls and malformed metric names.
+
+    A span call is fine when it is the context expression of a ``with``
+    item, or when it is assigned to a name that the module later uses as
+    a ``with`` context or calls ``.__enter__()`` on (the executor's
+    manual-enter idiom for spans that outlive one lexical block).
+    """
+
+    def visit_Module(self, node: ast.Module) -> None:
+        self._with_exprs: set[int] = set()
+        self._entered_names: set[str] = set()
+        self._assigned_to: dict[int, str] = {}
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.With, ast.AsyncWith)):
+                for item in sub.items:
+                    self._with_exprs.add(id(item.context_expr))
+                    if isinstance(item.context_expr, ast.Name):
+                        self._entered_names.add(item.context_expr.id)
+            elif isinstance(sub, ast.Call):
+                func = sub.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "__enter__"
+                    and isinstance(func.value, ast.Name)
+                ):
+                    self._entered_names.add(func.value.id)
+            elif isinstance(sub, ast.Assign):
+                if isinstance(sub.value, ast.Call) and all(
+                    isinstance(t, ast.Name) for t in sub.targets
+                ):
+                    self._assigned_to[id(sub.value)] = sub.targets[0].id
+        self.generic_visit(node)
+
+    def _tracer_impl(self) -> bool:
+        module = self.ctx.module
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in _TRACER_IMPL_MODULES
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and not self._tracer_impl():
+            if func.attr == "span":
+                if id(node) not in self._with_exprs:
+                    name = self._assigned_to.get(id(node))
+                    if name is None or name not in self._entered_names:
+                        self.report(
+                            node,
+                            "span created without `with` (and never "
+                            "__enter__-ed) leaks: it never closes and "
+                            "its children mis-parent",
+                        )
+            elif func.attr in _METRIC_FACTORIES and node.args:
+                first = node.args[0]
+                if (
+                    isinstance(first, ast.Constant)
+                    and isinstance(first.value, str)
+                    and not _METRIC_NAME_RE.match(first.value)
+                ):
+                    self.report(
+                        node,
+                        f"metric name {first.value!r} is outside "
+                        "[a-z][a-z0-9_.]*; it cannot round-trip through "
+                        "the Prometheus snapshot",
+                    )
         self.generic_visit(node)

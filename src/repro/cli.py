@@ -46,6 +46,7 @@ from repro.obs.exporters import (
     write_chrome_trace,
 )
 from repro.obs.log import LEVELS, configure_logging
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.machine import machine_by_name
 from repro.workloads.microbench import memory_latency_sweep
 
@@ -316,17 +317,24 @@ def cmd_trace(args: argparse.Namespace) -> int:
     """Inspect or re-export a ``--trace-out`` directory (run health).
 
     ``summary`` aggregates spans by name; ``slowest`` lists the longest
-    individual spans; ``export`` rebuilds (and schema-validates) the
+    individual spans; ``profile`` attributes replay cycles and seconds
+    per columnar pass; ``export`` rebuilds (and schema-validates) the
     Chrome trace-event JSON from the raw event stream.
+
+    The directory may be a plain ``--trace-out`` directory or a campaign
+    board: board directories transparently stitch every shard's
+    checksummed segments (plus the coordinator's stream, when present)
+    into one campaign-wide trace with per-shard tracks.
     """
-    stream = os.path.join(args.trace_dir, EVENTS_FILE)
+    from repro.obs.merge import load_trace_records
+
     try:
-        records = read_event_stream(stream)
+        records, names = load_trace_records(args.trace_dir)
     except FileNotFoundError:
-        print(f"no trace stream at {stream}", file=sys.stderr)
+        print(f"no trace stream in {args.trace_dir}", file=sys.stderr)
         return 1
     segments = sorted(
-        {r["segment"] for r in records if r.get("kind") == "segment-start"}
+        {int(r.get("segment", 0)) for r in records}
     )
     if args.action == "summary":
         rows = [
@@ -358,9 +366,39 @@ def cmd_trace(args: argparse.Namespace) -> int:
             ),
             args.out,
         )
+    elif args.action == "profile":
+        from repro.obs.prof import profile_records
+
+        profile = profile_records(records)
+        rows = [
+            [
+                row["pass"],
+                row["calls"],
+                row["seconds"] * 1e3,
+                row["cycles"],
+                f"{row['share']:.1%}",
+            ]
+            for row in profile["rows"]
+        ]
+        lines = [
+            text_table(
+                ["pass", "calls", "total ms", "cycles", "share"],
+                rows,
+                title=(
+                    f"replay profile over {profile['replays']} "
+                    "simulation(s)"
+                ),
+            ),
+            (
+                f"attributed {profile['attributed_cycles']:.0f} of "
+                f"{profile['core_cycles']:.0f} simulated cycles "
+                f"(coverage {profile['coverage']:.1%})"
+            ),
+        ]
+        _emit("\n".join(lines), args.out)
     else:  # export
         path = args.out or os.path.join(args.trace_dir, CHROME_FILE)
-        n_events = write_chrome_trace(records, path)
+        n_events = write_chrome_trace(records, path, process_names=names)
         from json import load
 
         with open(path) as handle:
@@ -377,7 +415,10 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     board are reused, never re-run), spawns shard workers, steals the
     leases of lost ones, and prints the final report.  ``worker`` joins an
     existing board from any process or host sharing the directory.
-    ``status`` prints the board counts and the journal tail.
+    ``status`` prints the board counts and the journal tail;
+    ``status --detail`` adds per-shard progress, derived health from the
+    merged shard metrics, an ETA from journal completion deltas, and the
+    shard-count auto-tune hint.
     """
     from repro.sim.campaign import CampaignBoard, run_campaign, run_worker
 
@@ -395,7 +436,11 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                 title=f"campaign board {args.board}",
             )
         ]
-        tail = board.read_journal()[-args.tail :]
+        journal = board.read_journal()
+        if getattr(args, "detail", False):
+            lines.append("")
+            lines.extend(_campaign_detail(args.board, status, journal))
+        tail = journal[-args.tail :]
         if tail:
             lines.append("")
             lines.append(
@@ -442,12 +487,20 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         engine=args.engine,
         guard_level=args.guard_level,
     )
+    tracer = NULL_TRACER
+    if args.trace_out is not None:
+        os.makedirs(args.trace_out, exist_ok=True)
+        tracer = Tracer(
+            enabled=True,
+            stream_path=os.path.join(args.trace_out, EVENTS_FILE),
+        )
     result = run_campaign(
         config,
         args.board,
         shards=args.shards,
         ttl_seconds=args.ttl,
         collate=not args.no_collate,
+        tracer=tracer,
     )
     summary = [
         f"board {args.board}: {result.status['done']} done, "
@@ -460,9 +513,124 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         if value:
             summary.append(f"  {name} = {value:g}")
     print("\n".join(summary), file=sys.stderr)
+    if args.trace_out is not None:
+        from repro.obs.merge import export_campaign_trace
+
+        tracer.close()
+        paths = export_campaign_trace(args.board, args.trace_out)
+        print(
+            f"wrote {paths['chrome']} ({paths['events']} events) and "
+            f"{paths['metrics']}",
+            file=sys.stderr,
+        )
     if result.gemstone is not None:
         _emit(result.gemstone.report(), args.out)
     return 1 if result.degraded else 0
+
+
+def _campaign_detail(board_dir, status, journal) -> list[str]:
+    """The ``campaign status --detail`` sections (per-shard + health)."""
+    from repro.obs.merge import (
+        autotune_hint,
+        campaign_health,
+        merge_board_metrics,
+    )
+
+    per_owner: dict[str, dict[str, int]] = {}
+
+    def _bump(owner, field):
+        if not owner:
+            return
+        row = per_owner.setdefault(
+            owner,
+            {"done": 0, "claimed": 0, "stolen": 0, "abandoned": 0,
+             "poisoned": 0},
+        )
+        row[field] += 1
+
+    done_clocks: list[float] = []
+    guard_rollup: dict[str, int] = {}
+    for record in journal:
+        event = record.get("event")
+        owner = record.get("owner", "")
+        if event == "job-done":
+            _bump(owner, "done")
+            if "clock" in record:
+                done_clocks.append(float(record["clock"]))
+        elif event == "lease-claimed":
+            _bump(owner, "claimed")
+        elif event == "lease-stolen":
+            _bump(owner, "stolen")
+            _bump(record.get("victim", ""), "claimed")
+        elif event == "job-abandoned":
+            _bump(owner, "abandoned")
+        elif event == "job-poisoned":
+            _bump(owner, "poisoned")
+        if event in ("lease-stolen", "job-abandoned", "job-poisoned",
+                     "job-requeued"):
+            guard_rollup[event] = guard_rollup.get(event, 0) + 1
+    lines = [
+        text_table(
+            ["shard", "done", "claimed", "stolen", "abandoned", "poisoned"],
+            [
+                [owner, row["done"], row["claimed"], row["stolen"],
+                 row["abandoned"], row["poisoned"]]
+                for owner, row in sorted(per_owner.items())
+            ],
+            title="per-shard progress (from the board journal)",
+        )
+    ]
+    if guard_rollup:
+        lines.append(
+            "guard events: "
+            + ", ".join(
+                f"{event} x{n}" for event, n in sorted(guard_rollup.items())
+            )
+        )
+    remaining = status["total"] - status["done"] - status["poisoned"]
+    if remaining > 0 and len(done_clocks) >= 2:
+        span = max(done_clocks) - min(done_clocks)
+        if span > 0:
+            rate = (len(done_clocks) - 1) / span
+            lines.append(
+                f"ETA: ~{remaining / rate:.1f}s for {remaining} "
+                f"remaining job(s) at {rate:.2f} jobs/s"
+            )
+    elif remaining == 0:
+        lines.append("ETA: board fully drained")
+    try:
+        merged = merge_board_metrics(board_dir)
+    except (TypeError, ValueError) as exc:
+        lines.append(f"merged metrics unavailable: {exc}")
+        return lines
+    health = campaign_health(
+        merged, {o: r["done"] for o, r in per_owner.items()}
+    )
+    rows = [["steal rate", f"{health['steal_rate']:.1%}"]]
+    if health["straggler_skew"] is not None:
+        rows.append(
+            ["straggler skew", f"{health['straggler_skew']:.2f}"]
+        )
+    if health["contention_index"] is not None:
+        rows.append(
+            ["board contention index", f"{health['contention_index']:.3f}"]
+        )
+    lines.append(
+        text_table(
+            ["health", "value"], rows,
+            title="derived health (merged shard metrics)",
+        )
+    )
+    shards = len(per_owner) or 1
+    hint = autotune_hint(
+        shards, status["total"], health["steal_rate"],
+        health["contention_index"],
+    )
+    lines.append(
+        f"shard auto-tune: suggest {hint['suggested_shards']} shard(s) — "
+        f"{hint['reason']}"
+    )
+    return lines
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -555,10 +723,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "trace",
-        help="inspect a --trace-out directory: span summary, slowest "
-        "spans, Chrome-trace re-export",
+        help="inspect a --trace-out directory or campaign board: span "
+        "summary, slowest spans, replay profile, Chrome-trace re-export",
     )
-    p.add_argument("action", choices=("summary", "slowest", "export"))
+    p.add_argument(
+        "action", choices=("summary", "slowest", "profile", "export")
+    )
     p.add_argument("trace_dir", metavar="DIR")
     p.add_argument("--top", type=int, default=10,
                    help="spans to list for 'slowest'")
@@ -576,6 +746,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("run", "worker", "status"),
         help="run = coordinate shards and report; worker = join an "
         "existing board; status = board counts and journal tail",
+    )
+    p.add_argument(
+        "--trace-out", default=None, metavar="DIR",
+        help="for 'run': trace the campaign and write the merged "
+        "campaign-wide Chrome trace + Prometheus snapshot there",
+    )
+    p.add_argument(
+        "--detail", action="store_true",
+        help="for 'status': per-shard progress, derived health, ETA and "
+        "the shard-count auto-tune hint",
     )
     p.add_argument(
         "--board", required=True, metavar="DIR",

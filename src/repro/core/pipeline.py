@@ -260,6 +260,9 @@ class GemStone:
         # One health record spans the validation and power campaigns; the
         # report surfaces it whenever anything was lost.
         self.health = CollectionHealth()
+        # Set by run_campaign() on a collation run: deterministic campaign
+        # section data (job counts + auto-tune hint) for the report.
+        self.campaign: dict | None = None
         self.platform = HardwarePlatform(
             self.config.core,
             trace_instructions=self.config.trace_instructions,
@@ -564,6 +567,11 @@ class GemStone:
                 then resumed run renders as two aligned process tracks);
                 otherwise it covers this process's in-memory records.
 
+        When the run is attached to a campaign board (``board_dir``), the
+        Chrome export stitches every shard's checksummed trace segments
+        into the coordinator timeline as per-shard tracks, so one file
+        shows the whole distributed campaign.
+
         Returns:
             ``{"chrome": path, "metrics": path}`` of the written files.
 
@@ -571,6 +579,7 @@ class GemStone:
             ValueError: When no directory is given or configured.
         """
         from repro.obs.exporters import read_event_stream
+        from repro.obs.merge import is_campaign_dir, merge_campaign_records
 
         if directory is None:
             directory = self.config.trace_dir
@@ -581,8 +590,14 @@ class GemStone:
         records = read_event_stream(stream, missing_ok=True)
         if not records:
             records = self.tracer.records
+        names = None
+        board_dir = self.config.board_dir
+        if board_dir is not None and is_campaign_dir(board_dir):
+            records, names = merge_campaign_records(
+                board_dir, coordinator_records=records
+            )
         chrome_path = os.path.join(directory, CHROME_FILE)
         metrics_path = os.path.join(directory, METRICS_FILE)
-        write_chrome_trace(records, chrome_path)
+        write_chrome_trace(records, chrome_path, process_names=names)
         write_prometheus_snapshot(self.metrics, metrics_path)
         return {"chrome": chrome_path, "metrics": metrics_path}

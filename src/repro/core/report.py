@@ -244,6 +244,42 @@ def render_dvfs_figure(scaling) -> str:
     )
 
 
+def render_campaign_section(summary: dict) -> str:
+    """Distributed-campaign section of a collation report.
+
+    Every row is derived from the board journal and the sync counts —
+    deterministic inputs only, so a clean campaign's report is
+    byte-identical whether or not the campaign was traced.  The
+    wall-clock health view (contention index, straggler skew) lives in
+    the merged Prometheus snapshot and ``gemstone campaign status
+    --detail`` instead.
+    """
+    rows = [
+        ["shards", summary["shards"]],
+        ["jobs total", summary["total"]],
+        ["jobs done", summary["done"]],
+        ["jobs poisoned", summary["poisoned"]],
+        ["results reused", summary["reused"]],
+        ["jobs requeued", summary["requeued"]],
+        ["leases stolen", summary["stolen"]],
+        ["jobs abandoned", summary["abandoned"]],
+    ]
+    lines = [
+        text_table(
+            ["campaign", "value"],
+            rows,
+            title="Distributed campaign",
+        )
+    ]
+    hint = summary.get("hint")
+    if hint:
+        lines.append(
+            f"shard auto-tune: suggest {hint['suggested_shards']} shard(s)"
+            f" — {hint['reason']}"
+        )
+    return "\n".join(lines)
+
+
 def render_power_model_summary(model) -> str:
     """Section V: power model composition and quality."""
     lines = [f"{model.core} empirical power model ({len(model.terms)} events)"]
@@ -335,6 +371,10 @@ def render_full_report(gemstone, include_telemetry: bool = True) -> str:
     sections.append(render_power_model_summary(gemstone.power_model))
     sections.append(render_power_energy_figure(gemstone.power_energy))
     sections.append(render_dvfs_figure(gemstone.dvfs))
+
+    campaign = getattr(gemstone, "campaign", None)
+    if campaign is not None:
+        sections.append(render_campaign_section(campaign))
 
     health = getattr(gemstone, "health", None)
     if health is not None and health.degraded:

@@ -24,6 +24,14 @@ thing being measured.
   behind ``gemstone --log-level/--log-json``; library code gets its
   loggers from :func:`get_logger` (rule ``OBS001`` bans ``print`` and the
   root logger in library modules).
+* :mod:`repro.obs.merge` — read-time stitching for distributed campaigns:
+  checksummed shard trace segments adopted into one campaign-wide trace
+  with per-shard tracks, and shard metric snapshots merged into one
+  campaign Prometheus snapshot with derived health gauges.
+* :mod:`repro.obs.prof` — the deterministic replay profiler: per-pass
+  cycle attribution derived from ``SimResult.components`` (no sampling,
+  no wall-clock in the identity), joined with measured ``replay/*`` span
+  durations into the ``gemstone trace profile`` view.
 
 Nothing in this package ever feeds back into results: a report rendered
 with tracing on is byte-identical to one rendered with tracing off.
@@ -40,7 +48,16 @@ from repro.obs.exporters import (
     write_prometheus_snapshot,
 )
 from repro.obs.log import configure_logging, get_logger
+from repro.obs.merge import (
+    campaign_health,
+    export_campaign_trace,
+    load_trace_records,
+    merge_board_metrics,
+    merge_campaign_records,
+    read_shard_stream,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.prof import attribute_cycles, profile_records
 from repro.obs.tracer import NULL_TRACER, Span, Tracer
 
 __all__ = [
@@ -51,11 +68,19 @@ __all__ = [
     "NULL_TRACER",
     "Span",
     "Tracer",
+    "attribute_cycles",
+    "campaign_health",
     "chrome_trace_document",
     "configure_logging",
+    "export_campaign_trace",
     "get_logger",
+    "load_trace_records",
+    "merge_board_metrics",
+    "merge_campaign_records",
+    "profile_records",
     "prometheus_snapshot",
     "read_event_stream",
+    "read_shard_stream",
     "slowest_spans",
     "summarize_spans",
     "validate_chrome_trace",

@@ -65,8 +65,16 @@ def span_records(records: Iterable[dict]) -> list[dict]:
 
 
 # --------------------------------------------------------------------- chrome
-def chrome_trace_document(records: Iterable[dict]) -> dict:
-    """Records -> a Chrome trace-event JSON document (Perfetto-loadable)."""
+def chrome_trace_document(
+    records: Iterable[dict],
+    process_names: dict[int, str] | None = None,
+) -> dict:
+    """Records -> a Chrome trace-event JSON document (Perfetto-loadable).
+
+    ``process_names`` overrides the display name of individual ``pid``
+    lanes (stitched campaigns label shard tracks with the shard owner;
+    plain runs keep the default ``gemstone run segment N`` naming).
+    """
     events: list[dict] = []
     segments: set[int] = set()
     for record in records:
@@ -104,13 +112,18 @@ def chrome_trace_document(records: Iterable[dict]) -> dict:
                     "args": dict(record.get("attrs", {})),
                 }
             )
+    names = process_names or {}
     metadata = [
         {
             "name": "process_name",
             "ph": "M",
             "pid": segment,
             "tid": 0,
-            "args": {"name": f"gemstone run segment {segment}"},
+            "args": {
+                "name": names.get(
+                    segment, f"gemstone run segment {segment}"
+                ),
+            },
         }
         for segment in sorted(segments)
     ]
@@ -152,9 +165,13 @@ def validate_chrome_trace(document: Any) -> int:
     return len(events)
 
 
-def write_chrome_trace(records: Iterable[dict], path: str) -> int:
+def write_chrome_trace(
+    records: Iterable[dict],
+    path: str,
+    process_names: dict[int, str] | None = None,
+) -> int:
     """Write the Chrome trace-event export atomically; returns event count."""
-    document = chrome_trace_document(records)
+    document = chrome_trace_document(records, process_names=process_names)
     atomic_write_text(path, json.dumps(document, sort_keys=True))
     return len(document["traceEvents"])
 
@@ -177,9 +194,38 @@ def _prom_value(value: float) -> str:
     return repr(value) if isinstance(value, float) else str(value)
 
 
-def prometheus_snapshot(registry: MetricsRegistry) -> str:
-    """The registry as Prometheus text exposition format (version 0.0.4)."""
+def _prom_label_value(value: str) -> str:
+    """Escape a label value per the exposition format: ``\\``, ``\\n``, ``"``."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _prom_labels(labels: dict[str, str] | None, extra: str = "") -> str:
+    parts = [
+        f'{key}="{_prom_label_value(value)}"'
+        for key, value in sorted((labels or {}).items())
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def prometheus_snapshot(
+    registry: MetricsRegistry, labels: dict[str, str] | None = None
+) -> str:
+    """The registry as Prometheus text exposition format (version 0.0.4).
+
+    ``labels`` are attached to every sample (merged campaign snapshots
+    label per-shard slices with ``shard="..."``); label values are escaped
+    per the exposition format, so owner names with quotes, backslashes or
+    newlines cannot corrupt the document.
+    """
     lines: list[str] = []
+    plain = _prom_labels(labels)
     for name in registry.names():
         metric = registry._metrics[name]
         prom = _prom_name(name)
@@ -187,13 +233,14 @@ def prometheus_snapshot(registry: MetricsRegistry) -> str:
             lines.append(f"# TYPE {prom} histogram")
             for bound, count in metric.cumulative():
                 le = "+Inf" if bound == float("inf") else _prom_value(bound)
-                lines.append(f'{prom}_bucket{{le="{le}"}} {count}')
-            lines.append(f"{prom}_sum {_prom_value(metric.sum)}")
-            lines.append(f"{prom}_count {metric.count}")
+                bucket = _prom_labels(labels, extra=f'le="{le}"')
+                lines.append(f"{prom}_bucket{bucket} {count}")
+            lines.append(f"{prom}_sum{plain} {_prom_value(metric.sum)}")
+            lines.append(f"{prom}_count{plain} {metric.count}")
         else:
             kind = "gauge" if isinstance(metric, Gauge) else "counter"
             lines.append(f"# TYPE {prom} {kind}")
-            lines.append(f"{prom} {_prom_value(metric.value)}")
+            lines.append(f"{prom}{plain} {_prom_value(metric.value)}")
     return "\n".join(lines) + "\n"
 
 

@@ -194,6 +194,11 @@ class MetricsRegistry:
                 self.gauge(name).set(metric.value)
             else:
                 mine = self.histogram(name, buckets=metric.buckets)
+                if mine.buckets != metric.buckets:
+                    raise ValueError(
+                        f"histogram {name!r} bucket mismatch: "
+                        f"{mine.buckets} != {metric.buckets}"
+                    )
                 for bound_index, n in enumerate(metric.bucket_counts):
                     mine.bucket_counts[bound_index] += n
                 mine.count += metric.count

@@ -31,6 +31,7 @@ span: :data:`NULL_TRACER` returns a shared no-op span and reads no clocks.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import warnings
@@ -141,6 +142,8 @@ class Tracer:
         self._seq = 0
         self._stack: list[Span] = []
         self._stream = None
+        self._segment_sha = hashlib.sha1()
+        self._segment_lines = 0
         self._epoch = perf_counter() if enabled else 0.0
         if enabled and stream_path is not None:
             self._open_stream(stream_path)
@@ -179,8 +182,11 @@ class Tracer:
         self.records.append(record)
         if self._stream is not None:
             try:
-                self._stream.write(json.dumps(record, sort_keys=True) + "\n")
+                line = json.dumps(record, sort_keys=True) + "\n"
+                self._stream.write(line)
                 self._stream.flush()
+                self._segment_sha.update(line.encode("utf-8"))
+                self._segment_lines += 1
             except (OSError, ValueError):
                 self._stream = None
 
@@ -266,6 +272,8 @@ class Tracer:
         records: list[dict],
         rebase_us: float | None = None,
         tid: int = 0,
+        segment: int | None = None,
+        keep_tid: bool = False,
     ) -> None:
         """Stitch a worker tracer's records into this tree.
 
@@ -275,12 +283,18 @@ class Tracer:
         Chrome trace), and — because the worker's clock epoch is its own —
         re-based so its timestamps sit at ``rebase_us`` (default: now) in
         this tracer's timeline.
+
+        Campaign stitching generalises the pool case: ``segment`` places
+        the adopted records on their own Chrome process track instead of
+        this tracer's current segment, and ``keep_tid`` preserves the
+        worker's own thread lanes rather than flattening onto ``tid``.
         """
         if not self.enabled or not records:
             return
         parent = self._stack[-1] if self._stack else None
         base_path = parent.path if parent is not None else ""
         base_us = self._now_us() if rebase_us is None else rebase_us
+        new_segment = self.segment if segment is None else segment
         # Two passes: children close (and record) before their parents in
         # the worker, so every new id must exist before links are rewritten.
         adopted_records: list[tuple[dict, dict]] = []
@@ -296,8 +310,8 @@ class Tracer:
             self._seq += 1
             id_map[record["id"]] = new_id
             adopted["id"] = new_id
-            adopted["tid"] = tid
-            adopted["segment"] = self.segment
+            adopted["tid"] = int(record.get("tid", 0)) if keep_tid else tid
+            adopted["segment"] = new_segment
             adopted_records.append((record, adopted))
         for record, adopted in adopted_records:
             if record["kind"] == "span":
@@ -333,8 +347,26 @@ class Tracer:
         return skeleton
 
     def close(self) -> None:
-        """Close the stream handle (records stay available in memory)."""
+        """Seal and close the stream handle (records stay in memory).
+
+        The seal is a ``segment-end`` record carrying the line count and
+        SHA-1 of everything this tracer wrote for its segment.  It goes to
+        the *stream only* (not :attr:`records`), so shapes and adoption are
+        unaffected; readers use it to verify a shard's segment arrived
+        intact, and its absence marks a segment that died mid-write.
+        """
         if self._stream is not None:
+            try:
+                seal = {
+                    "kind": "segment-end",
+                    "segment": self.segment,
+                    "records": self._segment_lines,
+                    "sha1": self._segment_sha.hexdigest(),
+                }
+                self._stream.write(json.dumps(seal, sort_keys=True) + "\n")
+                self._stream.flush()
+            except (OSError, ValueError):
+                pass
             try:
                 self._stream.close()
             except OSError:

@@ -58,7 +58,15 @@ import time
 from dataclasses import dataclass
 
 from repro.atomicio import atomic_write_text
+from repro.obs.exporters import write_prometheus_snapshot
 from repro.obs.log import get_logger
+from repro.obs.merge import (
+    autotune_hint,
+    campaign_health,
+    record_health_gauges,
+    merge_board_metrics,
+    registry_from_snapshot,
+)
 from repro.obs.metrics import MetricsRegistry, MetricView
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.executor import RetryPolicy
@@ -261,7 +269,8 @@ class CampaignBoard:
         self.prefix_chars = int(prefix_chars)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.telemetry = CampaignTelemetry(self.metrics)
-        for sub in ("jobs", "state", "leases", "done", "poisoned", "results"):
+        for sub in ("jobs", "state", "leases", "done", "poisoned", "results",
+                    "obs"):
             os.makedirs(os.path.join(directory, sub), exist_ok=True)
 
     @classmethod
@@ -338,8 +347,12 @@ class CampaignBoard:
             yield False
             return
         with open(os.path.join(self.directory, "board.lock"), "a") as handle:
+            waited = time.perf_counter()
             fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
             try:
+                self.metrics.histogram(
+                    "sim.campaign.board.flock_wait.seconds"
+                ).observe(time.perf_counter() - waited)
                 yield True
             finally:
                 fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
@@ -366,9 +379,13 @@ class CampaignBoard:
         own the counter.  Journals are small (a few records per job), so
         the re-read is cheap.
         """
+        started = time.perf_counter()
         records = self.read_journal()
         seq = int(records[-1]["seq"]) + 1 if records else 0
-        record = {"seq": seq, "event": event, **fields}
+        # ``clock`` stamps the record with the board's shared-filesystem
+        # clock (never wall time), so ``campaign status --detail`` can
+        # derive completion rates and an ETA from journal deltas.
+        record = {"seq": seq, "event": event, "clock": self.now(), **fields}
         record["sha1"] = _journal_checksum(record)
         try:
             self._truncate_torn_tail(records)
@@ -378,6 +395,9 @@ class CampaignBoard:
                 os.fsync(handle.fileno())
         except OSError as exc:
             logger.warning("campaign journal append failed: %s", exc)
+        self.metrics.histogram(
+            "sim.campaign.journal.append.seconds"
+        ).observe(time.perf_counter() - started)
 
     def _truncate_torn_tail(self, records: list[dict]) -> None:
         """Drop a torn tail before appending (caller holds the lock).
@@ -593,6 +613,9 @@ class CampaignBoard:
                     except OSError as exc:
                         logger.debug("lease vanished under claim: %s", exc)
                         age = self.ttl_seconds + 1.0
+                    self.metrics.histogram(
+                        "sim.campaign.lease.age.seconds"
+                    ).observe(max(age, 0.0))
                     if age <= self.ttl_seconds:
                         continue
                     stolen = True
@@ -781,6 +804,7 @@ def _run_one(
     faults,
     in_worker: bool,
     report: WorkerReport,
+    tracer: Tracer = NULL_TRACER,
 ) -> None:
     """One claimed job: adopt, or recompute + store + mark done."""
     if store.verify(job.key):
@@ -802,7 +826,8 @@ def _run_one(
         faults.apply_job_fault(job.ordinal, job.workload, attempt,
                                in_worker=in_worker)
     result, _events, _sentinels = guarded_simulate(
-        trace, machine, engine, guard_plan, faults, job.ordinal, attempt
+        trace, machine, engine, guard_plan, faults, job.ordinal, attempt,
+        tracer=tracer,
     )
     store.put(trace, machine, result)
     if faults is not None:
@@ -849,6 +874,8 @@ def run_worker(
     if owner is None:
         owner = f"worker-{os.getpid()}"
     report = WorkerReport(owner=owner)
+    worker_span = tracer.span("campaign-worker", kind="campaign", owner=owner)
+    worker_span.__enter__()
     while max_jobs is None or report.done < max_jobs:
         claim = board.claim(owner)
         if claim is None:
@@ -860,59 +887,120 @@ def run_worker(
         report.claimed += 1
         if claim.stolen:
             report.stolen += 1
-        if faults is not None:
-            # A lease-stall fault sleeps *before* the heartbeat thread
-            # starts, so the lease genuinely expires under a live worker.
-            stall = faults.shard_fault("claimed", job.workload, attempt)
-            if stall is not None:
-                time.sleep(stall.hang_seconds)
-                if not board.owns(job.key, owner):
-                    board.note_abandoned(job.key, owner)
-                    report.abandoned += 1
-                    continue
-        stop = threading.Event()
-        beat = threading.Thread(
-            target=_heartbeat_loop, args=(board, job.key, owner, stop),
-            daemon=True,
+        # The span opens before the stall-fault window so a lease lost
+        # under a live worker is visible on this shard's track (closed
+        # with ``abandoned=True``) while the thief's track carries the
+        # matching ``stolen=True`` span.
+        jspan = tracer.span(
+            "campaign-job", kind="campaign", workload=job.workload,
+            machine=job.machine_name, attempt=attempt, owner=owner,
+            stolen=claim.stolen,
         )
-        beat.start()
-        try:
-            with tracer.span(
-                "campaign-job", kind="campaign", workload=job.workload,
-                machine=job.machine_name, attempt=attempt, owner=owner,
-            ):
+        with jspan:
+            if faults is not None:
+                # A lease-stall fault sleeps *before* the heartbeat thread
+                # starts, so the lease genuinely expires under a live
+                # worker.
+                stall = faults.shard_fault("claimed", job.workload, attempt)
+                if stall is not None:
+                    time.sleep(stall.hang_seconds)
+                    if not board.owns(job.key, owner):
+                        board.note_abandoned(job.key, owner)
+                        report.abandoned += 1
+                        jspan.set(abandoned=True)
+                        continue
+            stop = threading.Event()
+            beat = threading.Thread(
+                target=_heartbeat_loop, args=(board, job.key, owner, stop),
+                daemon=True,
+            )
+            beat.start()
+            started = time.perf_counter()
+            try:
                 _run_one(board, store, job, attempt, owner, engine,
-                         guard_plan, faults, in_worker, report)
-        except Exception as exc:
-            report.errors += 1
-            board.telemetry.job_errors += 1
-            logger.warning(
-                "campaign job %s on %s failed on attempt %d: %s",
-                job.workload, job.machine_name, attempt, exc,
-            )
-            board.release(
-                job.key, owner, reason=f"{type(exc).__name__}: {exc}"
-            )
-        finally:
-            stop.set()
-            beat.join()
+                         guard_plan, faults, in_worker, report, tracer)
+                board.metrics.histogram(
+                    "sim.campaign.job.seconds"
+                ).observe(time.perf_counter() - started)
+            except Exception as exc:
+                report.errors += 1
+                board.telemetry.job_errors += 1
+                jspan.set(failed=True, error=type(exc).__name__)
+                logger.warning(
+                    "campaign job %s on %s failed on attempt %d: %s",
+                    job.workload, job.machine_name, attempt, exc,
+                )
+                board.release(
+                    job.key, owner, reason=f"{type(exc).__name__}: {exc}"
+                )
+            finally:
+                stop.set()
+                beat.join()
+    worker_span.set(
+        claimed=report.claimed, done=report.done, stolen=report.stolen,
+        abandoned=report.abandoned, errors=report.errors,
+    )
+    worker_span.__exit__(None, None, None)
     return report
 
 
 def _worker_entry(
-    board_dir, owner, engine, guard_level, faults, max_jobs, poll_seconds
+    board_dir, owner, engine, guard_level, faults, max_jobs, poll_seconds,
+    trace=False,
 ):
-    """Spawned-shard entry point (module-level for picklability)."""
-    run_worker(
-        board_dir,
-        owner=owner,
-        engine=engine,
-        guard_level=guard_level,
-        faults=faults,
-        max_jobs=max_jobs,
-        poll_seconds=poll_seconds,
-        in_worker=True,
+    """Spawned-shard entry point (module-level for picklability).
+
+    Every shard owns a private metrics registry and (when ``trace`` is
+    set) a tracer streaming checksummed segments into
+    ``<board_dir>/obs/<owner>/events.jsonl``.  The metrics snapshot is
+    written even on an error exit — only a SIGKILL loses it, and the
+    coordinator-side merge tolerates the gap.
+    """
+    obs_dir = os.path.join(board_dir, "obs", owner)
+    metrics = MetricsRegistry()
+    tracer = Tracer(
+        enabled=bool(trace),
+        stream_path=(
+            os.path.join(obs_dir, "events.jsonl") if trace else None
+        ),
+        metrics=metrics,
     )
+    try:
+        run_worker(
+            board_dir,
+            owner=owner,
+            engine=engine,
+            guard_level=guard_level,
+            faults=faults,
+            max_jobs=max_jobs,
+            poll_seconds=poll_seconds,
+            in_worker=True,
+            metrics=metrics,
+            tracer=tracer,
+        )
+    finally:
+        tracer.close()
+        os.makedirs(obs_dir, exist_ok=True)
+        snapshot_path = os.path.join(obs_dir, "metrics.json")
+        # Cumulative across campaign resumes: an owner re-spawned on the
+        # same board folds its previous snapshot in, so the merged
+        # campaign snapshot keeps matching the (append-only) journal.
+        cumulative = MetricsRegistry()
+        try:
+            with open(snapshot_path) as handle:
+                prior = json.load(handle)
+            if isinstance(prior, dict):
+                cumulative.absorb(registry_from_snapshot(prior))
+        except (OSError, ValueError, TypeError, KeyError) as exc:
+            logger.warning(
+                "prior shard snapshot unusable (%s: %s); starting fresh",
+                type(exc).__name__, exc,
+            )
+        cumulative.absorb(metrics)
+        atomic_write_text(
+            snapshot_path,
+            json.dumps(cumulative.snapshot(), sort_keys=True) + "\n",
+        )
 
 
 # -------------------------------------------------------------- coordinator
@@ -932,6 +1020,9 @@ class CampaignResult:
         counters: The coordinator's ``sim.campaign.*`` counter values.
         gemstone: The collation :class:`~repro.core.pipeline.GemStone`
             (reading the campaign's store) when ``collate=True``.
+        summary: Deterministic campaign section data (job counts, steal /
+            abandon totals, the shard-count auto-tune hint) rendered into
+            the collation report.
     """
 
     board_dir: str
@@ -943,6 +1034,7 @@ class CampaignResult:
     health: object
     counters: dict
     gemstone: object | None = None
+    summary: dict | None = None
 
     @property
     def degraded(self) -> bool:
@@ -985,6 +1077,8 @@ def run_campaign(
         poll_seconds: Supervision/idle-claim poll interval.
         collate: Build the collation GemStone (datasets, report) once the
             board settles.
+        tracer: Coordinator-side tracer; shard workers always stream
+            their own tracers into ``<board>/obs/<owner>/`` regardless.
 
     Raises:
         ValueError: For a non-positive ``shards``.
@@ -1023,7 +1117,8 @@ def run_campaign(
                     target=_worker_entry,
                     args=(board_dir, f"shard-{i}", config.engine,
                           config.guard_level, config.faults,
-                          max_jobs_per_shard, poll_seconds),
+                          max_jobs_per_shard, poll_seconds,
+                          tracer.enabled),
                 )
                 proc.start()
                 procs.append(proc)
@@ -1045,6 +1140,7 @@ def run_campaign(
                         guard_level=config.guard_level,
                         faults=config.faults, in_worker=False,
                         poll_seconds=poll_seconds,
+                        metrics=board.metrics, tracer=tracer,
                     )
                     break
                 time.sleep(poll_seconds)
@@ -1084,16 +1180,74 @@ def run_campaign(
         health.record_failure(
             workload, 0.0, "campaign", RuntimeError(reason)
         )
+    status = board.status()
+    journal = board.read_journal()
+    stolen = sum(1 for r in journal if r.get("event") == "lease-stolen")
+    journal_claims = sum(
+        1
+        for r in journal
+        if r.get("event") in ("lease-claimed", "lease-stolen")
+    )
+    abandoned = sum(
+        1 for r in journal if r.get("event") == "job-abandoned"
+    )
+    # The campaign summary is built from journal- and board-derived counts
+    # only — no wall-clock, no per-owner scheduling detail — so a clean
+    # campaign's report stays byte-identical traced or untraced.  The
+    # wall-clock health view (contention index, straggler skew) lives in
+    # the merged Prometheus snapshot and ``campaign status --detail``.
+    summary = {
+        "shards": shards,
+        "total": status["total"],
+        "done": status["done"],
+        "poisoned": status["poisoned"],
+        "reused": sync["reused"],
+        "requeued": sync["requeued"],
+        "stolen": stolen,
+        "abandoned": abandoned,
+        "hint": autotune_hint(
+            shards,
+            status["total"],
+            stolen / journal_claims if journal_claims else 0.0,
+        ),
+    }
+    # Publish the campaign observability artifacts: the coordinator's own
+    # metric snapshot (cumulative across resumes, like the shards') and
+    # the merged campaign Prometheus snapshot over every obs/ snapshot.
+    obs_dir = os.path.join(board_dir, "obs")
+    coordinator_obs = os.path.join(obs_dir, "coordinator")
+    os.makedirs(coordinator_obs, exist_ok=True)
+    coordinator_path = os.path.join(coordinator_obs, "metrics.json")
+    coordinator_registry = MetricsRegistry()
+    try:
+        with open(coordinator_path) as handle:
+            prior = json.load(handle)
+        if isinstance(prior, dict):
+            coordinator_registry.absorb(registry_from_snapshot(prior))
+    except (OSError, ValueError, TypeError, KeyError) as exc:
+        logger.warning(
+            "prior coordinator snapshot unusable (%s: %s); starting fresh",
+            type(exc).__name__, exc,
+        )
+    coordinator_registry.absorb(board.metrics)
+    atomic_write_text(
+        coordinator_path,
+        json.dumps(coordinator_registry.snapshot(), sort_keys=True) + "\n",
+    )
+    merged = merge_board_metrics(board_dir)
+    record_health_gauges(merged, campaign_health(merged))
+    write_prometheus_snapshot(merged, os.path.join(obs_dir, "metrics.prom"))
     result = CampaignResult(
         board_dir=board_dir,
         shards=shards,
         sync=sync,
-        status=board.status(),
+        status=status,
         poisoned=poisoned,
         lost_shards=lost,
         health=health,
         counters=board.metrics.values_with_prefix("sim.campaign."),
         gemstone=None,
+        summary=summary,
     )
     if collate:
         from repro.core.pipeline import GemStone
@@ -1103,6 +1257,7 @@ def run_campaign(
         # travel with the collation run, so its report and metric
         # snapshots tell the whole story.
         gemstone.metrics.absorb(board.metrics)
+        gemstone.campaign = summary
         for event in health.guard_events:
             gemstone.health.record_guard_event(event)
             gemstone.executor.guard.record(event)

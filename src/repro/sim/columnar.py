@@ -380,7 +380,7 @@ def simulate_columnar(
 
     cond_mispredicts = int(np.count_nonzero(cond_miss))
 
-    return _finalise(
+    result = _finalise(
         trace,
         machine,
         l1i_stats=l1i_stats,
@@ -414,6 +414,21 @@ def simulate_columnar(
         },
         dram_weight=dram_weight,
     )
+    if tracer.enabled:
+        # Deterministic per-pass cycle attribution: every attribute is a
+        # pure function of (trace, machine), so traced replays keep
+        # deterministic span shapes (no wall-clock in the identity).
+        from repro.obs.prof import attribute_cycles
+
+        tracer.event(
+            "replay-profile",
+            kind="profile",
+            workload=trace.name,
+            machine=machine.name,
+            core_cycles=result.core_cycles,
+            cycles_by_pass=attribute_cycles(result.components),
+        )
+    return result
 
 
 def _control_pass(trace, machine, cols, cond_miss, ras, shadow_stack, indirect):

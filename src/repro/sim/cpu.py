@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.machine import MachineConfig
 from repro.uarch.branch import IndirectPredictor, ReturnAddressStack, make_predictor
 from repro.uarch.cache import SetAssociativeCache, StridePrefetcher
@@ -283,18 +284,23 @@ def simulate_dvfs_sweep(
 
 
 def simulate(
-    trace: SyntheticTrace, machine: MachineConfig, engine: str = "auto"
+    trace: SyntheticTrace,
+    machine: MachineConfig,
+    engine: str = "auto",
+    tracer: Tracer = NULL_TRACER,
 ) -> SimResult:
     """Simulate ``trace`` on ``machine``; see :class:`SimResult`.
 
     ``engine`` selects the replay implementation: ``"columnar"`` (the
     vectorized engine), ``"scalar"`` (the per-block reference loop), or
     ``"auto"`` (columnar).  Both engines produce bit-identical results;
-    the golden and randomized equivalence suites enforce it.
+    the golden and randomized equivalence suites enforce it.  ``tracer``
+    (columnar engine only) records per-pass spans and the deterministic
+    replay-profile attribution; results never depend on it.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
-    return _dispatch(trace, machine, engine, None)
+    return _dispatch(trace, machine, engine, None, tracer)
 
 
 def _dispatch(
@@ -302,12 +308,13 @@ def _dispatch(
     machine: MachineConfig,
     engine: str,
     state: _SimState | None,
+    tracer: Tracer = NULL_TRACER,
 ) -> SimResult:
     if engine == "scalar":
         return _simulate(trace, machine, state)
     from repro.sim.columnar import simulate_columnar
 
-    return simulate_columnar(trace, machine, state)
+    return simulate_columnar(trace, machine, state, tracer)
 
 
 def _simulate(

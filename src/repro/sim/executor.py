@@ -247,7 +247,8 @@ def _run_job(payload):
             faults.apply_job_fault(ordinal, trace.name, attempt, in_worker=True)
         check_memory_budget(guard_plan)
         result, guard_events, sentinels = guarded_simulate(
-            trace, machine, engine, guard_plan, faults, ordinal, attempt
+            trace, machine, engine, guard_plan, faults, ordinal, attempt,
+            tracer=tracer,
         )
         if spec is not None:
             with tracer.span("cache-put", kind="cache"):
@@ -626,7 +627,7 @@ class SimExecutor:
                 # recompute in the parent; determinism makes this safe.
                 result, events, sentinels = guarded_simulate(
                     trace, machine, self.engine, self.guard.plan,
-                    self.faults, ordinals[i],
+                    self.faults, ordinals[i], tracer=self.tracer,
                 )
                 self.guard.absorb(events, sentinels)
                 if self.cache is not None:
@@ -722,7 +723,7 @@ class SimExecutor:
                     )
                 result, guard_events, sentinels = guarded_simulate(
                     trace, machine, self.engine, self.guard.plan,
-                    self.faults, ordinal, attempt,
+                    self.faults, ordinal, attempt, tracer=self.tracer,
                 )
                 self.guard.absorb(guard_events, sentinels)
             except Exception as exc:

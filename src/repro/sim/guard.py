@@ -383,6 +383,7 @@ def guarded_simulate(
     faults=None,
     ordinal: int = 0,
     attempt: int = 1,
+    tracer=NULL_TRACER,
 ):
     """Simulate one job with the guardrail checks of ``plan`` applied.
 
@@ -411,7 +412,7 @@ def guarded_simulate(
 
     events: list[GuardEvent] = []
     if plan is None or not plan.active or engine == "scalar":
-        return simulate(trace, machine, engine), events, 0
+        return simulate(trace, machine, engine, tracer=tracer), events, 0
 
     tables = trace.replay_tables()
     cols = tables.columnar(trace)
@@ -446,7 +447,7 @@ def guarded_simulate(
     # --- columnar replay, guarded against exceptions ----------------------
     result = None
     try:
-        result = simulate(trace, machine, "columnar")
+        result = simulate(trace, machine, "columnar", tracer=tracer)
     except Exception as exc:
         events.append(
             GuardEvent(

@@ -2,8 +2,8 @@
 
 Linted with ``--assume-module repro.sim._fixture`` so the scoped
 determinism and performance rules apply; tests assert the reported rule
-ids are exactly {DET001, DET002, DET003, OBS001, PERF001, PURE001,
-PURE002, ROB001, ROB002, ROB003, ROB004}, one finding each.  This file is never
+ids are exactly {DET001, DET002, DET003, OBS001, OBS002 (x2), PERF001,
+PURE001, PURE002, ROB001, ROB002, ROB003, ROB004}.  This file is never
 imported and is excluded from every self-clean run.
 """
 
@@ -75,3 +75,11 @@ def rob004(handle):
     fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
     handle.write(b"unsafe between acquire and unlock")
     fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+
+def obs002_span(tracer):
+    tracer.span("leaked")
+
+
+def obs002_metric(registry):
+    return registry.counter("Bad-Name")

@@ -26,11 +26,13 @@ class TestFixtureFiles:
         assert exit_code == 1
         # One finding per core rule, nothing else.
         assert sorted(reported) == [
-            "DET001", "DET002", "DET003", "OBS001", "PERF001",
+            "DET001", "DET002", "DET003", "OBS001", "OBS002", "OBS002",
+            "PERF001",
             "PURE001", "PURE002", "ROB001", "ROB002", "ROB003", "ROB004",
         ]
         assert document["counts"] == {
             "DET001": 1, "DET002": 1, "DET003": 1, "OBS001": 1,
+            "OBS002": 2,
             "PERF001": 1, "PURE001": 1, "PURE002": 1, "ROB001": 1,
             "ROB002": 1, "ROB003": 1, "ROB004": 1,
         }
@@ -85,7 +87,7 @@ class TestExitCodesAndFlags:
         document = json.loads(capsys.readouterr().out)
         assert exit_code == 1
         assert sorted(document["counts"]) == [
-            "DET001", "DET002", "OBS001", "PERF001", "PURE002",
+            "DET001", "DET002", "OBS001", "OBS002", "PERF001", "PURE002",
             "ROB001", "ROB002", "ROB003", "ROB004",
         ]
 
@@ -101,7 +103,8 @@ class TestExitCodesAndFlags:
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in (
-            "DET001", "DET002", "DET003", "OBS001", "PERF001", "PURE001",
+            "DET001", "DET002", "DET003", "OBS001", "OBS002",
+            "PERF001", "PURE001",
             "PURE002", "ROB001", "ROB002", "ROB003", "ROB004",
             "SUP001", "SUP002",
             "PARSE001",
@@ -113,7 +116,7 @@ class TestExitCodesAndFlags:
         out = capsys.readouterr().out
         assert exit_code == 1
         assert "all_rules.py:21:12: DET001" in out
-        assert out.strip().endswith("8 error(s), 3 warning(s)")
+        assert out.strip().endswith("8 error(s), 5 warning(s)")
 
 
 class TestGemstoneLintSubcommand:
@@ -123,7 +126,7 @@ class TestGemstoneLintSubcommand:
         )
         document = json.loads(capsys.readouterr().out)
         assert exit_code == 1
-        assert document["total"] == 11
+        assert document["total"] == 13
 
     def test_gemstone_lint_clean_exits_zero(self, tmp_path, capsys):
         clean = tmp_path / "clean.py"

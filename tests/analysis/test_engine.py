@@ -159,7 +159,7 @@ class TestRegistry:
         assert set(REGISTRY) == {
             "DET001", "DET002", "DET003", "DET004",
             "NUM001", "NUM002", "NUM003",
-            "OBS001",
+            "OBS001", "OBS002",
             "PERF001",
             "PURE001", "PURE002",
             "ROB001", "ROB002", "ROB003", "ROB004",

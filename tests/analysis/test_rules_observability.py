@@ -73,3 +73,89 @@ class TestObs001Allows:
     def test_suppressible_inline(self):
         snippet = "def f(x):\n    print(x)  # repro: noqa[OBS001]\n"
         assert lint_snippet(snippet, config=OBS) == []
+
+
+OBS2 = LintConfig(select=frozenset({"OBS002"}))
+
+
+class TestObs002Flags:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            # A bare span call: the span never closes.
+            "def f(tracer):\n    tracer.span('work')\n",
+            # Assigned but never entered anywhere in the module.
+            "def f(tracer):\n    s = tracer.span('work')\n    return s\n",
+            # Attribute receivers leak just the same.
+            "class C:\n"
+            "    def f(self):\n"
+            "        self.tracer.span('work')\n",
+        ],
+        ids=["bare-call", "assigned-never-entered", "self-attr"],
+    )
+    def test_flags_leaked_spans(self, snippet):
+        assert rule_ids(lint_snippet(snippet, config=OBS2)) == ["OBS002"]
+
+    @pytest.mark.parametrize(
+        "name",
+        ["Bad-Name", "UPPER", "1starts.with.digit", "has space", "dash-ed"],
+    )
+    def test_flags_malformed_metric_names(self, name):
+        snippet = f"def f(registry):\n    registry.counter({name!r})\n"
+        assert rule_ids(lint_snippet(snippet, config=OBS2)) == ["OBS002"]
+
+    def test_severity_is_warning(self):
+        (finding,) = lint_snippet(
+            "def f(t):\n    t.span('x')\n", config=OBS2
+        )
+        assert finding.severity.value == "warning"
+
+
+class TestObs002Allows:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            # The sanctioned context-manager form.
+            "def f(tracer):\n"
+            "    with tracer.span('work'):\n"
+            "        pass\n",
+            # The executor's manual-enter idiom: assign, __enter__ later.
+            "def f(tracer):\n"
+            "    s = tracer.span('pool')\n"
+            "    s.__enter__()\n"
+            "    s.__exit__(None, None, None)\n",
+            # Assigned, then used as a with-context elsewhere.
+            "def f(tracer):\n"
+            "    s = tracer.span('job')\n"
+            "    with s:\n"
+            "        pass\n",
+            # Well-formed metric names pass.
+            "def f(r):\n"
+            "    r.counter('sim.campaign.jobs_done')\n"
+            "    r.histogram('trace.span.seconds')\n"
+            "    r.gauge('pipeline.l2_walk')\n",
+            # Dynamic names are out of static reach: no finding.
+            "def f(r, name):\n    r.counter(name)\n",
+        ],
+        ids=[
+            "with-span", "manual-enter", "assigned-then-with",
+            "clean-names", "dynamic-name",
+        ],
+    )
+    def test_allows_hygienic_usage(self, snippet):
+        assert lint_snippet(snippet, config=OBS2) == []
+
+    def test_tracer_module_itself_is_exempt(self):
+        snippet = "def f(t):\n    t.span('internal')\n"
+        findings = lint_snippet(
+            snippet, module="repro.obs.tracer", config=OBS2
+        )
+        assert findings == []
+
+    def test_out_of_scope_modules_are_ignored(self):
+        snippet = "def f(t):\n    t.span('x')\n"
+        assert lint_snippet(snippet, module="tests.helpers", config=OBS2) == []
+
+    def test_suppressible_inline(self):
+        snippet = "def f(t):\n    t.span('x')  # repro: noqa[OBS002]\n"
+        assert lint_snippet(snippet, config=OBS2) == []

@@ -184,7 +184,9 @@ class TestStreaming:
         with open(path, "a") as handle:
             handle.write('{"kind": "span", "tru')  # the kill point
         records = read_event_stream(path)
-        assert len(records) == 2  # segment-start + the finished span
+        # segment-start + the finished span + the segment-end seal
+        assert len(records) == 3
+        assert records[-1]["kind"] == "segment-end"
 
     def test_unwritable_stream_degrades_to_memory(self, tmp_path):
         blocked = tmp_path / "blocked"

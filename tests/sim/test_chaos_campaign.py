@@ -368,3 +368,211 @@ class TestIncrementalRecompute:
         assert new_claims == 2
         _assert_no_duplicate_completions(board_dir)
         _assert_bit_identical(result.gemstone, reference)
+
+
+class TestTraceStitching:
+    """Campaign control tower: cross-shard traces under chaos."""
+
+    def _traced_campaign(self, tmp_path, **kwargs):
+        import os
+
+        from repro.obs.exporters import EVENTS_FILE
+        from repro.obs.tracer import Tracer
+
+        board_dir = str(tmp_path / "board")
+        trace_dir = str(tmp_path / "trace")
+        os.makedirs(trace_dir, exist_ok=True)
+        tracer = Tracer(
+            enabled=True,
+            stream_path=os.path.join(trace_dir, EVENTS_FILE),
+        )
+        result = run_campaign(
+            _config(), board_dir, shards=2, tracer=tracer, **kwargs
+        )
+        tracer.close()
+        return board_dir, trace_dir, result
+
+    def test_clean_report_byte_identical_traced_or_not(
+        self, tmp_path, reference
+    ):
+        # Tracing must never feed back into results: same report bytes.
+        from repro.core.report import render_full_report
+
+        plain = run_campaign(_config(), str(tmp_path / "plain"), shards=2)
+        _board, _trace, traced = self._traced_campaign(tmp_path)
+        assert not plain.degraded and not traced.degraded
+        assert plain.summary == traced.summary
+        assert render_full_report(
+            plain.gemstone, include_telemetry=False
+        ) == render_full_report(traced.gemstone, include_telemetry=False)
+        _assert_bit_identical(traced.gemstone, reference)
+
+    def test_merged_trace_and_prom_snapshot(self, tmp_path):
+        import json
+
+        from repro.obs.exporters import validate_chrome_trace
+        from repro.obs.merge import export_campaign_trace
+
+        board_dir, trace_dir, result = self._traced_campaign(tmp_path)
+        paths = export_campaign_trace(board_dir, trace_dir)
+        with open(paths["chrome"]) as handle:
+            document = json.load(handle)
+        validate_chrome_trace(document)
+        tracks = {
+            e["args"]["name"]
+            for e in document["traceEvents"]
+            if e.get("ph") == "M" and e.get("name") == "process_name"
+        }
+        # The coordinator timeline plus one distinct track per shard.
+        assert "campaign shard-0" in tracks
+        assert "campaign shard-1" in tracks
+        assert len(tracks) >= 3
+        # The merged Prometheus counters equal the journal's job counts.
+        done = _journal_events(board_dir).count("job-done")
+        with open(paths["metrics"]) as handle:
+            prom = handle.read()
+        assert f"repro_sim_campaign_jobs_done {done}" in prom
+        assert result.status["done"] == done
+
+    def test_sigkilled_shard_keeps_surviving_spans(self, tmp_path):
+        # SIGKILL mid-segment: the unsealed tail merges best-effort, the
+        # torn final line is dropped, and the board still converges.
+        from repro.obs.merge import merge_campaign_records, read_shard_stream
+
+        board_dir = str(tmp_path / "board")
+        config = _config()
+        board = CampaignBoard(board_dir, ttl_seconds=0.3)
+        board.create_or_sync(
+            RunManifest.from_config(config).fingerprint,
+            campaign_jobs(config),
+        )
+        victim = multiprocessing.get_context().Process(
+            target=_worker_entry,
+            args=(board_dir, "victim", "scalar", "off", None,
+                  None, 0.02, True),
+        )
+        victim.start()
+        deadline = time.monotonic() + 30.0
+        try:
+            while time.monotonic() < deadline:
+                done = sum(
+                    1
+                    for r in CampaignBoard.open(board_dir).read_journal()
+                    if r["event"] == "job-done"
+                )
+                if done >= 2:
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("victim never completed a job")
+        finally:
+            victim.kill()
+            victim.join()
+        import os
+
+        stream = os.path.join(board_dir, "obs", "victim", "events.jsonl")
+        records, problems = read_shard_stream(stream)
+        # The segment never sealed, yet the finished spans survive.
+        assert any("no seal" in p for p in problems)
+        assert any(r.get("name") == "campaign-job" for r in records)
+        thief = run_worker(
+            board_dir, owner="thief", engine="scalar", in_worker=False
+        )
+        assert thief.done >= 1
+        merged, names = merge_campaign_records(board_dir)
+        assert "campaign victim" in names.values()
+        victim_pids = {
+            pid for pid, name in names.items() if "victim" in name
+        }
+        assert any(
+            r.get("segment") in victim_pids
+            and r.get("name") == "campaign-job"
+            for r in merged
+        )
+        _assert_no_duplicate_completions(board_dir)
+
+    def test_lease_steal_visible_on_both_tracks(self, tmp_path):
+        # The victim's track closes the job span with abandoned=True; the
+        # thief's track carries the matching stolen=True span.
+        import os
+
+        from repro.obs.merge import merge_campaign_records
+        from repro.obs.tracer import Tracer
+
+        board_dir = str(tmp_path / "board")
+        config = _config()
+        board = CampaignBoard(board_dir, ttl_seconds=0.2)
+        board.create_or_sync(
+            RunManifest.from_config(config).fingerprint,
+            campaign_jobs(config),
+        )
+
+        def _tracer(owner):
+            return Tracer(
+                enabled=True,
+                stream_path=os.path.join(
+                    board_dir, "obs", owner, "events.jsonl"
+                ),
+            )
+
+        tracers = {"sleepy": _tracer("sleepy"), "peer": _tracer("peer")}
+
+        def stall_worker():
+            run_worker(
+                board_dir, owner="sleepy", engine="scalar",
+                faults=FaultPlan.lease_stall(
+                    TARGET, seconds=1.0, attempts=2
+                ),
+                in_worker=False, poll_seconds=0.02,
+                tracer=tracers["sleepy"],
+            )
+
+        thread = threading.Thread(target=stall_worker)
+        thread.start()
+        time.sleep(0.35)
+        peer = run_worker(
+            board_dir, owner="peer", engine="scalar", in_worker=False,
+            poll_seconds=0.02, tracer=tracers["peer"],
+        )
+        thread.join()
+        for tracer in tracers.values():
+            tracer.close()
+        assert peer.stolen >= 1
+        merged, names = merge_campaign_records(board_dir)
+        track_of = {name: pid for pid, name in names.items()}
+        jobs = [
+            r for r in merged
+            if r.get("kind") == "span" and r.get("name") == "campaign-job"
+        ]
+        abandoned = [
+            r for r in jobs
+            if r["segment"] == track_of["campaign sleepy"]
+            and r["attrs"].get("abandoned")
+        ]
+        stolen = [
+            r for r in jobs
+            if r["segment"] == track_of["campaign peer"]
+            and r["attrs"].get("stolen")
+        ]
+        assert abandoned and stolen
+        _assert_no_duplicate_completions(board_dir)
+
+    def test_coordinator_kill_resume_merge_is_byte_identical(
+        self, tmp_path, reference
+    ):
+        # A coordinator killed mid-campaign leaves a partial board; after
+        # the resumed campaign drains it, exporting the merged trace is a
+        # pure function — repeated exports produce identical bytes.
+        self._traced_campaign(tmp_path, max_jobs_per_shard=1, collate=False)
+        board_dir, trace_dir, result = self._traced_campaign(tmp_path)
+        assert result.status["done"] == 6
+        from repro.obs.merge import export_campaign_trace
+
+        paths = export_campaign_trace(board_dir, trace_dir)
+        with open(paths["chrome"], "rb") as handle:
+            first = handle.read()
+        export_campaign_trace(board_dir, trace_dir)
+        with open(paths["chrome"], "rb") as handle:
+            assert handle.read() == first
+        _assert_no_duplicate_completions(board_dir)
+        _assert_bit_identical(result.gemstone, reference)
